@@ -1,0 +1,205 @@
+//! The FaaS(w) / IaaS(w) formulas.
+
+use crate::constants;
+use lml_sim::{Cost, SimTime};
+
+/// Workload-level inputs of the analytical model.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticParams {
+    /// Dataset size `s` in bytes.
+    pub dataset_bytes: f64,
+    /// Model/statistic size `m` in bytes.
+    pub model_bytes: f64,
+    /// Epochs to converge with one worker (`R`).
+    pub epochs: f64,
+    /// Communication rounds per epoch (`ρ`): 1 for MA/EM, iterations per
+    /// epoch for GA-SGD, 1/local_scans for ADMM.
+    pub rounds_per_epoch: f64,
+    /// Single-worker compute seconds per epoch (`C`).
+    pub compute_per_epoch: f64,
+}
+
+/// Infrastructure-level inputs: which channel/network and worker pricing.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticCase {
+    /// Channel bandwidth `B` (bytes/s): S3/ElastiCache for FaaS, VM network
+    /// for IaaS.
+    pub bandwidth: f64,
+    /// Channel latency `L` (s).
+    pub latency: f64,
+    /// Worker price per second (Lambda GB-s rate or instance hourly/3600).
+    pub worker_price_per_s: f64,
+}
+
+impl AnalyticCase {
+    /// FaaS over S3 with 3 GB functions.
+    pub fn faas_s3() -> Self {
+        AnalyticCase {
+            bandwidth: constants::B_S3,
+            latency: constants::L_S3,
+            worker_price_per_s: 3.008 * lml_faas::lambda::PRICE_PER_GB_SECOND,
+        }
+    }
+
+    /// FaaS over ElastiCache (cache.t3.medium).
+    pub fn faas_elasticache() -> Self {
+        AnalyticCase { bandwidth: constants::B_EC_T3, latency: constants::L_EC, ..Self::faas_s3() }
+    }
+
+    /// IaaS on t2.medium.
+    pub fn iaas_t2() -> Self {
+        AnalyticCase {
+            bandwidth: constants::B_N_T2,
+            latency: constants::L_N_T2,
+            worker_price_per_s: 0.0464 / 3600.0,
+        }
+    }
+
+    /// IaaS on c5.large.
+    pub fn iaas_c5() -> Self {
+        AnalyticCase {
+            bandwidth: constants::B_N_C5,
+            latency: constants::L_N_C5,
+            worker_price_per_s: 0.085 / 3600.0,
+        }
+    }
+}
+
+/// Convergence scaling factor `f(w)` — more workers can need more epochs.
+/// The paper's validation uses perfect scaling (`f ≡ 1`) with measured `R`;
+/// `sqrt_degradation` models workloads that scale poorly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scaling {
+    Perfect,
+    /// `f(w) = w^alpha` — statistical-efficiency loss with more workers.
+    Power { alpha: f64 },
+}
+
+impl Scaling {
+    pub fn f(&self, w: usize) -> f64 {
+        match *self {
+            Scaling::Perfect => 1.0,
+            Scaling::Power { alpha } => (w as f64).powf(alpha),
+        }
+    }
+}
+
+/// `FaaS(w)`: start-up + loading + R·f(w)·(ρ·(3w−2)(m/w/B + L) + C/w).
+pub fn faas_time(p: &AnalyticParams, c: &AnalyticCase, scaling: Scaling, w: usize) -> SimTime {
+    assert!(w >= 1);
+    let startup = constants::t_f().eval(w as f64);
+    let load = p.dataset_bytes / w as f64 / constants::B_S3;
+    let comm_per_round =
+        (3.0 * w as f64 - 2.0) * (p.model_bytes / w as f64 / c.bandwidth + c.latency);
+    let per_epoch = p.rounds_per_epoch * comm_per_round + p.compute_per_epoch / w as f64;
+    SimTime::secs(startup + load + p.epochs * scaling.f(w) * per_epoch)
+}
+
+/// `IaaS(w)`: start-up + loading + R·f(w)·(ρ·(2w−2)(m/w/B_n + L_n) + C/w).
+pub fn iaas_time(p: &AnalyticParams, c: &AnalyticCase, scaling: Scaling, w: usize) -> SimTime {
+    assert!(w >= 1);
+    let startup = constants::t_i().eval(w as f64);
+    let load = p.dataset_bytes / w as f64 / constants::B_S3;
+    let comm_per_round =
+        (2.0 * w as f64 - 2.0) * (p.model_bytes / w as f64 / c.bandwidth + c.latency);
+    let per_epoch = p.rounds_per_epoch * comm_per_round + p.compute_per_epoch / w as f64;
+    SimTime::secs(startup + load + p.epochs * scaling.f(w) * per_epoch)
+}
+
+/// Dollar cost: `w × price × time` — FaaS bills only execution (time minus
+/// start-up), IaaS bills wall time including start-up.
+pub fn faas_cost(p: &AnalyticParams, c: &AnalyticCase, scaling: Scaling, w: usize) -> Cost {
+    let t = faas_time(p, c, scaling, w).as_secs() - constants::t_f().eval(w as f64);
+    Cost::usd(w as f64 * c.worker_price_per_s * t)
+}
+
+/// IaaS dollar cost (bills through start-up).
+pub fn iaas_cost(p: &AnalyticParams, c: &AnalyticCase, scaling: Scaling, w: usize) -> Cost {
+    let t = iaas_time(p, c, scaling, w).as_secs();
+    Cost::usd(w as f64 * c.worker_price_per_s * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LR on Higgs with ADMM-ish communication: ρ = 0.1 rounds/epoch,
+    /// R ≈ 6 epochs, C ≈ 70 s/epoch on one worker-equivalent.
+    fn lr_higgs() -> AnalyticParams {
+        AnalyticParams {
+            dataset_bytes: 8e9,
+            model_bytes: 224.0,
+            epochs: 6.0,
+            rounds_per_epoch: 0.1,
+            compute_per_epoch: 70.0,
+        }
+    }
+
+    /// MobileNet on Cifar10 with GA-SGD: ρ = 422 rounds/epoch (54 K / 128),
+    /// heavy 12 MB messages.
+    fn mn_cifar() -> AnalyticParams {
+        AnalyticParams {
+            dataset_bytes: 220e6,
+            model_bytes: 12e6,
+            epochs: 15.0,
+            rounds_per_epoch: 422.0,
+            compute_per_epoch: 1700.0,
+        }
+    }
+
+    #[test]
+    fn faas_wins_communication_light_workloads() {
+        // LR/Higgs: tiny model, few rounds — the FaaS start-up edge decides.
+        let p = lr_higgs();
+        let f = faas_time(&p, &AnalyticCase::faas_s3(), Scaling::Perfect, 10);
+        let i = iaas_time(&p, &AnalyticCase::iaas_t2(), Scaling::Perfect, 10);
+        assert!(f < i, "FaaS {f} vs IaaS {i}");
+    }
+
+    #[test]
+    fn iaas_wins_communication_heavy_workloads() {
+        // MN/Cifar10: 422 rounds/epoch of 12 MB — the (3w−2) storage-hop
+        // penalty at 65 MB/s buries FaaS.
+        let p = mn_cifar();
+        let f = faas_time(&p, &AnalyticCase::faas_s3(), Scaling::Perfect, 10);
+        let i = iaas_time(&p, &AnalyticCase::iaas_t2(), Scaling::Perfect, 10);
+        assert!(i < f, "IaaS {i} vs FaaS {f}");
+    }
+
+    #[test]
+    fn faas_is_not_proportionally_cheaper() {
+        // Even when FaaS is much faster it is never much cheaper (§1).
+        let p = lr_higgs();
+        let fc = faas_cost(&p, &AnalyticCase::faas_s3(), Scaling::Perfect, 10).as_usd();
+        let ic = iaas_cost(&p, &AnalyticCase::iaas_t2(), Scaling::Perfect, 10).as_usd();
+        assert!(fc > 0.2 * ic, "FaaS ${fc} vs IaaS ${ic}");
+    }
+
+    #[test]
+    fn adding_workers_has_diminishing_returns_then_hurts() {
+        let p = mn_cifar();
+        let c = AnalyticCase::faas_s3();
+        let t10 = faas_time(&p, &c, Scaling::Perfect, 10);
+        let t50 = faas_time(&p, &c, Scaling::Perfect, 50);
+        let t200 = faas_time(&p, &c, Scaling::Perfect, 200);
+        // communication term grows with w: large fleets lose
+        assert!(t50 > t10 || t200 > t50, "{t10} {t50} {t200}");
+    }
+
+    #[test]
+    fn elasticache_beats_s3_per_round_in_the_model() {
+        let p = mn_cifar();
+        let s3 = faas_time(&p, &AnalyticCase::faas_s3(), Scaling::Perfect, 10);
+        let ec = faas_time(&p, &AnalyticCase::faas_elasticache(), Scaling::Perfect, 10);
+        assert!(ec < s3);
+    }
+
+    #[test]
+    fn scaling_degradation_raises_time() {
+        let p = lr_higgs();
+        let c = AnalyticCase::faas_s3();
+        let perfect = faas_time(&p, &c, Scaling::Perfect, 50);
+        let degraded = faas_time(&p, &c, Scaling::Power { alpha: 0.3 }, 50);
+        assert!(degraded > perfect);
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the numeric kernels on the training hot
+//! path: dense/sparse BLAS-1, MLP backprop, EM statistics, and the
+//! per-worker statistic production of each distributed algorithm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lml_data::generators::DatasetId;
+use lml_data::partition::partition_rows;
+use lml_models::{ModelId, Objective};
+use lml_optim::algorithm::{Algorithm, WorkerState};
+use std::hint::black_box;
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let x: Vec<f64> = (0..4_096).map(|i| i as f64 * 0.001).collect();
+    let y: Vec<f64> = (0..4_096).map(|i| (i as f64).sin()).collect();
+    c.bench_function("dense_dot_4096", |b| {
+        b.iter(|| lml_linalg::dense::dot(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("dense_axpy_4096", |b| {
+        b.iter_batched(
+            || y.clone(),
+            |mut out| lml_linalg::dense::axpy(black_box(0.5), &x, &mut out),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let data = DatasetId::Rcv1.generate_rows(100, 1).data;
+    let w = vec![0.01; data.dim()];
+    c.bench_function("sparse_dot_rcv1_row", |b| {
+        b.iter(|| black_box(data.row(0).dot(black_box(&w))))
+    });
+}
+
+fn bench_model_gradients(c: &mut Criterion) {
+    let higgs = DatasetId::Higgs.generate_rows(2_000, 1).data;
+    let lr = ModelId::Lr { l2: 0.0 }.build(&higgs, 1);
+    let rows: Vec<usize> = (0..100).collect();
+    let mut grad = vec![0.0; lr.param_len()];
+    c.bench_function("lr_grad_batch100_higgs", |b| {
+        b.iter(|| {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            black_box(lr.grad(&higgs, &rows, &mut grad))
+        })
+    });
+
+    let cifar = DatasetId::Cifar10.generate_rows(200, 1).data;
+    let mn = ModelId::MobileNet.build(&cifar, 1);
+    let batch: Vec<usize> = (0..13).collect();
+    let mut mn_grad = vec![0.0; mn.param_len()];
+    c.bench_function("mlp_grad_batch13_cifar", |b| {
+        b.iter(|| {
+            mn_grad.iter_mut().for_each(|g| *g = 0.0);
+            black_box(mn.grad(&cifar, &batch, &mut mn_grad))
+        })
+    });
+
+    let km = ModelId::KMeans { k: 10 }.build(&higgs, 1);
+    let all: Vec<usize> = (0..500).collect();
+    c.bench_function("kmeans_em_stats_500x28_k10", |b| {
+        b.iter(|| black_box(km.em_stats(&higgs, &all)))
+    });
+}
+
+fn bench_worker_produce(c: &mut Criterion) {
+    let higgs = DatasetId::Higgs.generate_rows(2_000, 1).data;
+    let model = ModelId::Lr { l2: 0.0 }.build(&higgs, 1);
+    let parts = partition_rows(higgs.len(), 4);
+    for (name, algo) in [
+        ("ga_sgd", Algorithm::GaSgd { batch: 100 }),
+        ("ma_sgd_5iters", Algorithm::MaSgd { batch: 100, local_iters: 5 }),
+        ("admm_2scans", Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 }),
+    ] {
+        let worker =
+            WorkerState::new(0, model.clone(), parts[0].indices().collect(), 100);
+        c.bench_function(&format!("produce_{name}_higgs"), |b| {
+            b.iter_batched(
+                || worker.clone(),
+                |mut w| black_box(w.produce(&algo, &higgs, 0.3)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_mlp_inference(c: &mut Criterion) {
+    let mlp = lml_models::Mlp::new(&[1_024, 256, 10], 1);
+    let x = vec![0.1; 1_024];
+    c.bench_function("mlp_predict_1024_256_10", |b| {
+        b.iter(|| black_box(mlp.predict_proba(black_box(&x))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_kernels,
+    bench_sparse_kernels,
+    bench_model_gradients,
+    bench_worker_produce,
+    bench_mlp_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the simulator itself: storage-channel rounds
+//! (AllReduce vs ScatterReduce — the Table 3 ablation as a host-time
+//! measurement), the BSP protocol, and a full end-to-end FaaS job. These
+//! bound the harness overhead: a full simulated training job must run in
+//! host milliseconds-to-seconds, which is what makes the parameter sweeps
+//! of Figures 11–12 tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lml_comm::{patterns, Bsp, Pattern};
+use lml_core::{JobConfig, TrainingJob};
+use lml_core::job::Workload;
+use lml_data::generators::DatasetId;
+use lml_models::ModelId;
+use lml_optim::{Algorithm, StopSpec};
+use lml_sim::ByteSize;
+use lml_storage::{ServiceProfile, StorageChannel};
+use std::hint::black_box;
+
+fn bench_reduce_patterns(c: &mut Criterion) {
+    let stats: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64; 10_000]).collect();
+    for (name, pattern) in
+        [("allreduce", Pattern::AllReduce), ("scatter_reduce", Pattern::ScatterReduce)]
+    {
+        c.bench_function(&format!("reduce_{name}_10w_80KB"), |b| {
+            b.iter(|| {
+                let mut ch = StorageChannel::new(ServiceProfile::s3());
+                black_box(
+                    patterns::reduce(&mut ch, pattern, "r", &stats, ByteSize::of_f64s(10_000))
+                        .expect("reduce"),
+                )
+            })
+        });
+    }
+}
+
+fn bench_bsp_round(c: &mut Criterion) {
+    let stats: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64; 28]).collect();
+    let bsp = Bsp::new(Pattern::AllReduce);
+    c.bench_function("bsp_round_lr_higgs_50w", |b| {
+        b.iter(|| {
+            let mut ch = StorageChannel::new(ServiceProfile::s3());
+            black_box(bsp.run_round(&mut ch, 0, 0, &stats, ByteSize::bytes(224)).expect("round"))
+        })
+    });
+}
+
+fn bench_end_to_end_job(c: &mut Criterion) {
+    let bundle = DatasetId::Higgs.generate_rows(2_000, 42);
+    let workload = Workload::from_generated(&bundle, 42);
+    let cfg = JobConfig::new(
+        10,
+        Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 20 },
+        0.3,
+        StopSpec::new(0.0, 3),
+    );
+    c.bench_function("faas_job_lr_higgs_3epochs", |b| {
+        b.iter(|| {
+            black_box(
+                TrainingJob::new(&workload, ModelId::Lr { l2: 0.0 }, cfg)
+                    .run()
+                    .expect("job runs"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_reduce_patterns, bench_bsp_round, bench_end_to_end_job);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs every experiment in paper order (DESIGN.md §3 index).
+//! Flags: `--seed N`, `--full` (paper-scale worker counts).
+fn main() {
+    let h = lml_bench::Harness::from_args();
+    for name in lml_bench::ALL_EXPERIMENTS {
+        eprintln!(">>> {name}");
+        lml_bench::run_experiment(name, &h);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `table3_patterns` (see DESIGN.md §3).
+//! Flags: `--seed N`, `--full` (paper-scale worker counts).
+fn main() {
+    let h = lml_bench::Harness::from_args();
+    lml_bench::run_experiment("table3_patterns", &h);
+}

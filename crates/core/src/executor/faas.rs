@@ -1,0 +1,337 @@
+//! The pure-FaaS executor — LambdaML proper (Figure 2).
+//!
+//! Synchronous path: starter→worker fan-out, partition loading from S3,
+//! BSP rounds over the storage channel, 15-minute lifetime rollovers,
+//! GB-second billing plus storage request/node charges.
+//!
+//! Asynchronous path (S-ASP, §4.5): one global model on the channel; each
+//! worker independently reads it, takes its local step(s), writes it back.
+//! Workers get heterogeneous speeds (jitter), so fast workers genuinely
+//! read stale models — Figure 8's instability arises from the numerics.
+
+use crate::config::{ChannelKind, Protocol};
+use crate::engine;
+use crate::executor::sync_driver::{run_sync, DriverCtx};
+use crate::executor::{memory_required, partition_load_time, request_cost_per_round};
+use crate::job::{JobError, TrainingJob};
+use crate::result::{Breakdown, CostBreakdown, RunResult};
+use lml_comm::{Asp, Bsp, Pattern};
+use lml_faas::{GbSecondsMeter, InvocationPlan, LambdaSpec, LifetimeManager};
+use lml_models::AnyModel;
+use lml_optim::algorithm::{Algorithm, WorkerState};
+use lml_optim::{CurvePoint, LossCurve};
+use lml_sim::{Cost, EventQueue, Pcg64, SimTime};
+use lml_storage::StorageChannel;
+
+/// Run a FaaS job (dispatched from [`TrainingJob::run`]).
+pub fn run(
+    job: &TrainingJob<'_>,
+    model: AnyModel,
+    spec: LambdaSpec,
+    channel_kind: ChannelKind,
+    pattern: Pattern,
+    protocol: Protocol,
+) -> Result<RunResult, JobError> {
+    match protocol {
+        Protocol::Sync => run_bsp(job, model, spec, channel_kind, pattern),
+        Protocol::Async => run_asp(job, model, spec, channel_kind),
+    }
+}
+
+/// Common setup: memory admission, partitions, channel, timings.
+struct Setup {
+    channel: StorageChannel,
+    workers: Vec<WorkerState>,
+    startup: SimTime,
+    load: SimTime,
+    rollover: SimTime,
+    scale_inv: f64,
+    nnz: f64,
+    part_len: usize,
+}
+
+fn setup(
+    job: &TrainingJob<'_>,
+    model: &AnyModel,
+    spec: LambdaSpec,
+    channel_kind: ChannelKind,
+) -> Result<Setup, JobError> {
+    let cfg = &job.config;
+    let wl = job.workload;
+    let w = cfg.workers;
+    let parts = lml_data::partition::partition_rows(wl.train.len(), w);
+    let part_len = parts[0].len();
+    let batch = cfg.algorithm.batch_size(part_len);
+    let scale_inv = wl.scale_inv();
+
+    // Admission: does a worker's working set fit the function memory?
+    let paper_batch = batch as f64 * scale_inv;
+    spec.check_memory(memory_required(model, &wl.spec, w, paper_batch))?;
+
+    let channel = StorageChannel::new(channel_kind.profile());
+    let plan = InvocationPlan::fan_out(w, wl.spec.name);
+    // The channel must be provisioned before the functions start
+    // ("we trigger Lambda functions after ... Memcached is launched").
+    let startup = channel.startup() + plan.startup_time();
+    let load = partition_load_time(&wl.spec, w);
+    // Lifetime rollover: checkpoint write + read on the channel, then
+    // reload the data partition from S3.
+    let rollover = channel.op_time(model.wire_bytes()) * 2.0 + load;
+
+    let workers: Vec<WorkerState> = parts
+        .iter()
+        .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), batch))
+        .collect();
+
+    Ok(Setup {
+        channel,
+        workers,
+        startup,
+        load,
+        rollover,
+        scale_inv,
+        nnz: engine::avg_nnz(&wl.train),
+        part_len,
+    })
+}
+
+fn run_bsp(
+    job: &TrainingJob<'_>,
+    model: AnyModel,
+    spec: LambdaSpec,
+    channel_kind: ChannelKind,
+    pattern: Pattern,
+) -> Result<RunResult, JobError> {
+    let cfg = &job.config;
+    let wl = job.workload;
+    let w = cfg.workers;
+    let s = setup(job, &model, spec, channel_kind)?;
+    let Setup { mut channel, workers, startup, load, rollover, scale_inv, nnz, part_len } = s;
+
+    let stat_wire = model.statistic_wire_bytes();
+    let bsp = Bsp::new(pattern);
+    let mut lifetime = LifetimeManager::with_overhead(rollover);
+    let req_per_round = request_cost_per_round(channel.profile(), pattern, w, stat_wire);
+    let node_hourly = channel.profile().hourly;
+    let price_ps = spec.price_per_second();
+
+    let ctx = DriverCtx {
+        train: &wl.train,
+        valid: &wl.valid,
+        algo: cfg.algorithm,
+        schedule: cfg.lr,
+        stop: cfg.stop,
+        eval_every: cfg.resolved_eval_every(part_len),
+        start_offset: startup + load,
+    };
+    let compute_time_of = |ex: u64| {
+        engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
+    };
+    let cost_at = |elapsed: SimTime, rounds: u64| {
+        let busy = (elapsed - startup).max(SimTime::ZERO);
+        price_ps * (busy.as_secs() * w as f64)
+            + req_per_round * rounds as f64
+            + node_hourly * elapsed.as_hours()
+    };
+
+    let out = {
+        let channel = &mut channel;
+        let lifetime = &mut lifetime;
+        run_sync(
+            &ctx,
+            workers,
+            &compute_time_of,
+            &mut |round, epoch, stats| {
+                let o = bsp.run_round(channel, epoch, round as usize, stats, stat_wire)?;
+                Ok((o.aggregate, o.duration))
+            },
+            &mut |t| lifetime.charge(t),
+            &cost_at,
+        )?
+    };
+
+    let elapsed = startup + load + out.compute + out.comm + out.overhead;
+    let mut meter = GbSecondsMeter::new();
+    for _ in 0..w {
+        meter.charge(spec, load + out.compute + out.comm + out.overhead);
+    }
+    let final_accuracy = out.final_model.full_accuracy(&wl.valid);
+    let final_loss = out.curve.final_loss();
+    Ok(RunResult {
+        system: format!("LambdaML({})", channel_kind.name()),
+        curve: out.curve,
+        breakdown: Breakdown {
+            startup: startup + out.overhead,
+            load,
+            compute: out.compute,
+            comm: out.comm,
+        },
+        cost: CostBreakdown {
+            compute: meter.cost(),
+            requests: channel.request_cost(),
+            nodes: channel.node_cost(elapsed),
+        },
+        epochs: out.epochs,
+        rounds: out.rounds,
+        converged: out.converged,
+        final_loss,
+        final_accuracy,
+        reinvocations: lifetime.reinvocations(),
+    })
+}
+
+fn run_asp(
+    job: &TrainingJob<'_>,
+    model: AnyModel,
+    spec: LambdaSpec,
+    channel_kind: ChannelKind,
+) -> Result<RunResult, JobError> {
+    let cfg = &job.config;
+    let wl = job.workload;
+    let w = cfg.workers;
+    if !matches!(cfg.algorithm, Algorithm::GaSgd { .. } | Algorithm::MaSgd { .. }) {
+        return Err(JobError::NotApplicable(format!(
+            "the asynchronous protocol supports SGD variants, not {}",
+            cfg.algorithm.name()
+        )));
+    }
+    let s = setup(job, &model, spec, channel_kind)?;
+    let Setup { mut channel, mut workers, startup, load, rollover, scale_inv, nnz, part_len } = s;
+
+    let wire = model.wire_bytes();
+    let mut asp = Asp::new();
+    asp.init_model(&mut channel, model.params(), wire)?;
+
+    // Heterogeneous worker speeds — the stragglers that make fast workers
+    // read stale models (§4.5).
+    let mut rng = Pcg64::new(cfg.seed ^ 0xA5F0);
+    let jitter: Vec<f64> = (0..w).map(|_| 0.75 + 0.5 * rng.uniform()).collect();
+    let mut lifetimes: Vec<LifetimeManager> =
+        (0..w).map(|_| LifetimeManager::with_overhead(rollover)).collect();
+
+    let eval_every = (cfg.resolved_eval_every(part_len) * w).max(1) as u64;
+    let node_hourly = channel.profile().hourly;
+    let price_ps = spec.price_per_second();
+    let req_per_iter = channel.profile().put_price.price(wire) + channel.profile().get_price.price(wire);
+
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for wid in 0..w {
+        queue.push(startup + load, wid);
+    }
+    let mut curve = LossCurve::new();
+    let mut events = 0u64;
+    let mut total_examples = 0u64;
+    let mut epochs = 0.0f64;
+    let mut compute_total = SimTime::ZERO;
+    let mut comm_total = SimTime::ZERO;
+    let mut overhead_total = SimTime::ZERO;
+    let mut converged = false;
+    let mut elapsed = startup + load;
+
+    while let Some((t, wid)) = queue.pop() {
+        elapsed = elapsed.max(t);
+        if cfg.stop.exhausted(epochs, t) {
+            break;
+        }
+        let lr = cfg.lr.lr(epochs.floor() as usize);
+
+        // read the (possibly stale) global model
+        let (read_t, params) = asp.read_model(&mut channel)?;
+        workers[wid].model.params_mut().copy_from_slice(&params);
+
+        // local step(s)
+        let (stat, ex) = workers[wid].produce(&cfg.algorithm, &wl.train, lr);
+        if matches!(cfg.algorithm, Algorithm::GaSgd { .. }) {
+            // apply own gradient to the copy just read
+            workers[wid].consume(&cfg.algorithm, &stat, 1, lr);
+        }
+        // write the updated model back (blind overwrite, SIREN-style)
+        let write_t = asp.write_model(&mut channel, workers[wid].model.params(), wire)?;
+
+        let compute_t = engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
+            * jitter[wid];
+        let busy = read_t + compute_t + write_t;
+        let wall = lifetimes[wid].charge(busy);
+        overhead_total += wall - busy;
+        compute_total += compute_t;
+        comm_total += read_t + write_t;
+        total_examples += ex;
+        epochs = total_examples as f64 / wl.train.len() as f64;
+        events += 1;
+
+        let done = t + wall;
+        elapsed = elapsed.max(done);
+        queue.push(done, wid);
+
+        if events % eval_every == 0 {
+            let (_, gp) = asp.read_model(&mut channel)?;
+            let mut eval = model.clone();
+            eval.params_mut().copy_from_slice(&gp);
+            let loss = eval.full_loss(&wl.valid);
+            let busy_all = (elapsed - startup).max(SimTime::ZERO);
+            curve.push(CurvePoint {
+                time: elapsed,
+                epoch: epochs,
+                rounds: events,
+                loss,
+                cost: price_ps * (busy_all.as_secs() * w as f64)
+                    + req_per_iter * events as f64
+                    + node_hourly * elapsed.as_hours(),
+            });
+            if cfg.stop.converged(loss) {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    // final observation
+    let (_, gp) = asp.read_model(&mut channel)?;
+    let mut final_model = model.clone();
+    final_model.params_mut().copy_from_slice(&gp);
+    if curve.is_empty() || curve.last().map(|p| p.rounds) != Some(events) {
+        let loss = final_model.full_loss(&wl.valid);
+        if cfg.stop.converged(loss) {
+            converged = true;
+        }
+        curve.push(CurvePoint {
+            time: elapsed,
+            epoch: epochs,
+            rounds: events,
+            loss,
+            cost: Cost::ZERO,
+        });
+    }
+
+    // Billing: every worker is busy from fan-out to the end (async workers
+    // never idle).
+    let busy_per_worker = (elapsed - startup).max(SimTime::ZERO);
+    let mut meter = GbSecondsMeter::new();
+    for _ in 0..w {
+        meter.charge(spec, busy_per_worker);
+    }
+    let reinvocations = lifetimes.iter().map(|l| l.reinvocations()).sum();
+    let final_accuracy = final_model.full_accuracy(&wl.valid);
+    let per_worker = 1.0 / w as f64;
+    Ok(RunResult {
+        system: format!("LambdaML-ASP({})", channel_kind.name()),
+        curve: curve.clone(),
+        breakdown: Breakdown {
+            startup: startup + overhead_total * per_worker,
+            load,
+            compute: compute_total * per_worker,
+            comm: comm_total * per_worker,
+        },
+        cost: CostBreakdown {
+            compute: meter.cost(),
+            requests: channel.request_cost(),
+            nodes: channel.node_cost(elapsed),
+        },
+        epochs,
+        rounds: events,
+        converged,
+        final_loss: curve.final_loss(),
+        final_accuracy,
+        reinvocations,
+    })
+}

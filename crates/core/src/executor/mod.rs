@@ -1,0 +1,81 @@
+//! Backend executors.
+//!
+//! Each executor runs the same real training loop (produce statistics →
+//! aggregate → consume) while charging virtual time and dollars according
+//! to its infrastructure:
+//!
+//! * [`faas`] — LambdaML proper: Lambda fleet + storage channel, BSP or
+//!   ASP, with the 15-minute lifetime mechanism.
+//! * [`iaas`] — distributed PyTorch / Angel on an EC2 cluster with ring
+//!   AllReduce.
+//! * [`hybrid`] — Cirrus-style Lambda workers + VM parameter server.
+//! * [`single`] — one machine (the COST sanity check).
+//! * [`sync_driver`] — the shared synchronous round loop.
+
+pub mod faas;
+pub mod hybrid;
+pub mod iaas;
+pub mod single;
+pub mod sync_driver;
+
+use lml_comm::Pattern;
+use lml_data::DatasetSpec;
+use lml_models::AnyModel;
+use lml_sim::{ByteSize, Cost, Link, SimTime};
+use lml_storage::ServiceProfile;
+
+/// The link every backend loads training data over (S3, Table 6).
+pub(crate) fn s3_data_link() -> Link {
+    Link::mbps(65.0, 0.08)
+}
+
+/// Time for one worker to load its partition from S3 (paper-scale bytes;
+/// workers load in parallel, each over its own S3 stream).
+pub(crate) fn partition_load_time(spec: &DatasetSpec, workers: usize) -> SimTime {
+    s3_data_link().transfer_time(spec.partition_bytes(workers))
+}
+
+/// Working-set estimate for one worker: the partition, model + gradient +
+/// communication buffers, and the mini-batch materialization (activations
+/// for deep models — the term that blows ResNet50 past 3 GB at batch 64,
+/// §5.2).
+pub(crate) fn memory_required(
+    model: &AnyModel,
+    spec: &DatasetSpec,
+    workers: usize,
+    paper_batch: f64,
+) -> ByteSize {
+    let partition = spec.partition_bytes(workers).as_f64();
+    let model_mem = model.wire_bytes().as_f64() * 4.0;
+    let batch_mem = match model {
+        // Backprop activations scale with batch size; the 0.55·wire-bytes
+        // per example coefficient puts ResNet50 at ~3.3 GB for batch 64
+        // (OOM, §5.2) and ~1.9 GB for batch 32 (fits).
+        AnyModel::Mlp { .. } => model.wire_bytes().as_f64() * 0.55 * paper_batch,
+        // EM scans the partition in place — no batch materialization.
+        AnyModel::KMeans(_) => 0.0,
+        _ => spec.bytes_per_instance() * paper_batch,
+    };
+    ByteSize::bytes((partition + model_mem + batch_mem) as u64)
+}
+
+/// Estimated request charges of one synchronous round (used for live
+/// curve-point costs; the final result uses the channel's exact meter).
+pub(crate) fn request_cost_per_round(
+    profile: &ServiceProfile,
+    pattern: Pattern,
+    w: usize,
+    wire: ByteSize,
+) -> Cost {
+    let (puts, gets, lists, op_bytes) = match pattern {
+        Pattern::AllReduce => ((w + 1) as u64, (2 * w - 1) as u64, 1u64, wire),
+        Pattern::ScatterReduce => {
+            let chunk = ByteSize::bytes((wire.as_f64() / w as f64).ceil() as u64);
+            ((w * w + w) as u64, (w * w + w) as u64, 0u64, chunk)
+        }
+    };
+    profile.put_price.price(op_bytes) * puts as f64
+        + profile.get_price.price(op_bytes) * gets as f64
+        + profile.put_price.per_request * lists as f64
+}
+

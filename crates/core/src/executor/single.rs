@@ -1,0 +1,92 @@
+//! Single-machine executor — the COST sanity check (§5.1.1).
+//!
+//! One EC2 instance holds the entire dataset and trains with no
+//! communication at all. McSherry et al.'s COST methodology demands that
+//! every scaled-up configuration beat this baseline before its scalability
+//! numbers mean anything.
+
+use crate::engine;
+use crate::executor::s3_data_link;
+use crate::executor::sync_driver::{run_sync, DriverCtx};
+use crate::job::{JobError, TrainingJob};
+use crate::result::{Breakdown, CostBreakdown, RunResult};
+use lml_faas::FaasError;
+use lml_iaas::{cluster::iaas_startup_table, InstanceType};
+use lml_models::AnyModel;
+use lml_optim::algorithm::WorkerState;
+use lml_sim::{Cost, SimTime};
+
+/// Run a single-machine job (dispatched from [`TrainingJob::run`]).
+pub fn run(
+    job: &TrainingJob<'_>,
+    model: AnyModel,
+    instance: InstanceType,
+) -> Result<RunResult, JobError> {
+    let cfg = &job.config;
+    let wl = job.workload;
+    let n = wl.train.len();
+    let batch = cfg.algorithm.batch_size(n);
+    let scale_inv = wl.scale_inv();
+
+    // The whole dataset must fit in memory.
+    if wl.spec.paper_bytes.as_f64() > instance.memory().as_f64() * 0.8 {
+        return Err(JobError::Faas(FaasError::OutOfMemory {
+            required: wl.spec.paper_bytes,
+            limit: instance.memory(),
+        }));
+    }
+
+    let startup = SimTime::secs(iaas_startup_table().eval(1.0));
+    let load = s3_data_link().transfer_time(wl.spec.paper_bytes);
+    let gpu = match model {
+        AnyModel::Mlp { .. } => instance.gpu(),
+        _ => None,
+    };
+    let nnz = engine::avg_nnz(&wl.train);
+    let vcpus = instance.vcpus() as f64;
+    let hourly = instance.hourly();
+
+    let workers = vec![WorkerState::new(0, model.clone(), (0..n).collect(), batch)];
+
+    let ctx = DriverCtx {
+        train: &wl.train,
+        valid: &wl.valid,
+        algo: cfg.algorithm,
+        schedule: cfg.lr,
+        stop: cfg.stop,
+        eval_every: cfg.resolved_eval_every(n),
+        start_offset: startup + load,
+    };
+    let compute_time_of =
+        |ex: u64| engine::compute_time(&model, ex as f64 * scale_inv, nnz, vcpus, gpu, 1.0);
+    let cost_at = |elapsed: SimTime, _r: u64| hourly * elapsed.as_hours();
+
+    let out = run_sync(
+        &ctx,
+        workers,
+        &compute_time_of,
+        &mut |_r, _e, stats| Ok((stats[0].clone(), SimTime::ZERO)),
+        &mut |t| t,
+        &cost_at,
+    )?;
+
+    let elapsed = startup + load + out.compute;
+    let final_accuracy = out.final_model.full_accuracy(&wl.valid);
+    let final_loss = out.curve.final_loss();
+    Ok(RunResult {
+        system: format!("Single({})", instance.name()),
+        curve: out.curve,
+        breakdown: Breakdown { startup, load, compute: out.compute, comm: SimTime::ZERO },
+        cost: CostBreakdown {
+            compute: hourly * elapsed.as_hours(),
+            requests: Cost::ZERO,
+            nodes: Cost::ZERO,
+        },
+        epochs: out.epochs,
+        rounds: out.rounds,
+        converged: out.converged,
+        final_loss,
+        final_accuracy,
+        reinvocations: 0,
+    })
+}

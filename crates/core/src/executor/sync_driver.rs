@@ -1,0 +1,249 @@
+//! The shared bulk-synchronous training loop.
+//!
+//! All synchronous backends differ only in three hooks:
+//! how long a worker's computation takes, how a round's statistics get
+//! aggregated (and how long that takes), and what a second of everything
+//! costs. The driver owns the rest: producing/consuming statistics,
+//! epoch accounting, periodic validation, curve recording and stopping.
+
+use crate::job::JobError;
+use lml_data::Dataset;
+use lml_models::AnyModel;
+use lml_optim::algorithm::{Algorithm, WorkerState};
+use lml_optim::{CurvePoint, LossCurve, LrSchedule, StopSpec};
+use lml_sim::{Cost, SimTime};
+
+/// Inputs common to every synchronous run.
+pub struct DriverCtx<'a> {
+    pub train: &'a Dataset,
+    pub valid: &'a Dataset,
+    pub algo: Algorithm,
+    pub schedule: LrSchedule,
+    pub stop: StopSpec,
+    /// Evaluate every this many rounds (≥ 1).
+    pub eval_every: usize,
+    /// Virtual time already elapsed before the first round (start-up +
+    /// data loading).
+    pub start_offset: SimTime,
+}
+
+/// What the loop reports back.
+pub struct DriverOutput {
+    pub curve: LossCurve,
+    pub rounds: u64,
+    pub epochs: f64,
+    /// Per-worker computation on the critical path (sum over rounds).
+    pub compute: SimTime,
+    /// Communication on the critical path (sum over rounds).
+    pub comm: SimTime,
+    /// Extra wall time injected by the backend per round (lifetime
+    /// rollovers) — reported separately so breakdowns can attribute it.
+    pub overhead: SimTime,
+    pub converged: bool,
+    pub final_model: AnyModel,
+}
+
+/// Run the synchronous loop.
+///
+/// * `compute_time_of(max_examples)` — critical-path compute time of one
+///   round in which the busiest worker touched `max_examples` *sample*
+///   rows (the hook applies the paper-scale conversion).
+/// * `comm_round(round, epoch, stats)` — aggregate the statistics, return
+///   the element-wise sum and the communication time.
+/// * `wall_of_round(t)` — wall time consumed by a round of busy time `t`
+///   (identity for IaaS; lifetime rollovers for FaaS).
+/// * `cost_at(elapsed, rounds)` — dollars spent by `elapsed` after
+///   `rounds` rounds (for curve points).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync(
+    ctx: &DriverCtx<'_>,
+    mut workers: Vec<WorkerState>,
+    compute_time_of: &dyn Fn(u64) -> SimTime,
+    comm_round: &mut dyn FnMut(u64, usize, &[Vec<f64>]) -> Result<(Vec<f64>, SimTime), JobError>,
+    wall_of_round: &mut dyn FnMut(SimTime) -> SimTime,
+    cost_at: &dyn Fn(SimTime, u64) -> Cost,
+) -> Result<DriverOutput, JobError> {
+    assert!(!workers.is_empty());
+    assert!(ctx.eval_every >= 1);
+    let n = workers.len();
+    let part_len = workers[0].partition_len();
+
+    let mut curve = LossCurve::new();
+    let mut elapsed = ctx.start_offset;
+    let mut epochs = 0.0f64;
+    let mut rounds = 0u64;
+    let mut compute_total = SimTime::ZERO;
+    let mut comm_total = SimTime::ZERO;
+    let mut overhead_total = SimTime::ZERO;
+    let mut converged = false;
+
+    loop {
+        if ctx.stop.exhausted(epochs, elapsed) {
+            break;
+        }
+        let epoch_idx = epochs.floor() as usize;
+        let lr = ctx.schedule.lr(epoch_idx);
+
+        // Every worker produces its statistic (real math).
+        let mut stats = Vec::with_capacity(n);
+        let mut max_examples = 0u64;
+        for w in workers.iter_mut() {
+            let (s, ex) = w.produce(&ctx.algo, ctx.train, lr);
+            max_examples = max_examples.max(ex);
+            stats.push(s);
+        }
+        let compute_t = compute_time_of(max_examples);
+
+        // Aggregate (real data through the backend's channel).
+        let (agg, comm_t) = comm_round(rounds, epoch_idx, &stats)?;
+
+        // Everyone consumes the sum.
+        for w in workers.iter_mut() {
+            w.consume(&ctx.algo, &agg, n, lr);
+        }
+
+        rounds += 1;
+        epochs += max_examples as f64 / part_len as f64;
+        compute_total += compute_t;
+        comm_total += comm_t;
+        let busy = compute_t + comm_t;
+        let wall = wall_of_round(busy);
+        debug_assert!(wall.as_secs() >= busy.as_secs() - 1e-9);
+        overhead_total += wall - busy;
+        elapsed += wall;
+
+        // Periodic validation.
+        if rounds % ctx.eval_every as u64 == 0 {
+            let m = workers[0].eval_model(&ctx.algo);
+            let loss = m.full_loss(ctx.valid);
+            curve.push(CurvePoint {
+                time: elapsed,
+                epoch: epochs,
+                rounds,
+                loss,
+                cost: cost_at(elapsed, rounds),
+            });
+            if ctx.stop.converged(loss) {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    // Guarantee a final observation.
+    let final_model = workers[0].eval_model(&ctx.algo);
+    if curve.is_empty() || curve.last().map(|p| p.rounds) != Some(rounds) {
+        let loss = final_model.full_loss(ctx.valid);
+        curve.push(CurvePoint {
+            time: elapsed,
+            epoch: epochs,
+            rounds,
+            loss,
+            cost: cost_at(elapsed, rounds),
+        });
+        if ctx.stop.converged(loss) {
+            converged = true;
+        }
+    }
+
+    Ok(DriverOutput {
+        curve,
+        rounds,
+        epochs,
+        compute: compute_total,
+        comm: comm_total,
+        overhead: overhead_total,
+        converged,
+        final_model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lml_data::generators::DatasetId;
+    use lml_data::partition::partition_rows;
+    use lml_models::ModelId;
+    use lml_optim::algorithm::sum_statistics;
+
+    fn drive(stop: StopSpec, eval_every: usize) -> DriverOutput {
+        let data = DatasetId::Higgs.generate_rows(1_000, 42).data;
+        let valid = DatasetId::Higgs.generate_rows(200, 43).data;
+        let model = ModelId::Lr { l2: 0.0 }.build(&data, 1);
+        let algo = Algorithm::GaSgd { batch: 100 };
+        let workers: Vec<WorkerState> = partition_rows(data.len(), 4)
+            .iter()
+            .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), 100))
+            .collect();
+        let ctx = DriverCtx {
+            train: &data,
+            valid: &valid,
+            algo,
+            schedule: LrSchedule::Const(0.5),
+            stop,
+            eval_every,
+            start_offset: SimTime::secs(10.0),
+        };
+        run_sync(
+            &ctx,
+            workers,
+            &|ex| SimTime::secs(ex as f64 * 0.001),
+            &mut |_r, _e, stats| Ok((sum_statistics(stats), SimTime::secs(0.5))),
+            &mut |t| t,
+            &|elapsed, _| Cost::usd(elapsed.as_secs() * 0.01),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_to_threshold_and_stops() {
+        let out = drive(StopSpec::new(0.665, 100), 1);
+        assert!(out.converged, "final loss {}", out.curve.final_loss());
+        assert!(out.curve.final_loss() <= 0.665);
+        assert!(out.epochs < 100.0);
+    }
+
+    #[test]
+    fn epoch_cap_halts_unconverged_runs() {
+        let out = drive(StopSpec::new(0.0, 3), 1);
+        assert!(!out.converged);
+        // 1000 rows / 4 workers / batch 100 (clamped to 250-row partition)
+        // → epochs advance by batch/partition per round; cap at 3 epochs.
+        assert!(out.epochs >= 3.0 && out.epochs < 3.5, "epochs {}", out.epochs);
+    }
+
+    #[test]
+    fn time_accounting_adds_up() {
+        let out = drive(StopSpec::new(0.0, 2), 1);
+        // per round: compute = 100 examples × 1 ms = 0.1 s; comm 0.5 s
+        let per_round = 0.6;
+        let expected = 10.0 + out.rounds as f64 * per_round;
+        let last = out.curve.last().unwrap();
+        assert!((last.time.as_secs() - expected).abs() < 1e-6);
+        assert!((out.compute.as_secs() - out.rounds as f64 * 0.1).abs() < 1e-9);
+        assert!((out.comm.as_secs() - out.rounds as f64 * 0.5).abs() < 1e-9);
+        assert_eq!(out.overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn eval_cadence_thins_the_curve() {
+        let dense = drive(StopSpec::new(0.0, 2), 1);
+        let sparse = drive(StopSpec::new(0.0, 2), 5);
+        assert!(sparse.curve.points().len() < dense.curve.points().len());
+        // but both end with a final point at the same round count
+        assert_eq!(
+            dense.curve.last().unwrap().rounds,
+            sparse.curve.last().unwrap().rounds
+        );
+    }
+
+    #[test]
+    fn curve_costs_are_monotone() {
+        let out = drive(StopSpec::new(0.0, 2), 1);
+        let pts = out.curve.points();
+        for w in pts.windows(2) {
+            assert!(w[1].cost >= w[0].cost);
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+}

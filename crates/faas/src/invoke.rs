@@ -1,0 +1,81 @@
+//! Hierarchical invocation (§3.3.1, Figure 5).
+//!
+//! LambdaML starts a job with a *starter* function (triggered when the
+//! training data lands in S3) that fans out `n` *worker* functions, each
+//! bound to one data partition by ID. [`InvocationPlan`] computes the time
+//! from trigger to all-workers-running and carries the metadata each worker
+//! receives.
+
+use crate::startup::{faas_startup_time, INVOKE_LATENCY};
+use lml_sim::SimTime;
+
+/// Metadata handed to one worker function at invocation (Figure 5: the
+/// partition path and worker ID).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerInvocation {
+    pub worker_id: usize,
+    pub partition_key: String,
+}
+
+/// The starter→workers fan-out for a job.
+#[derive(Debug, Clone)]
+pub struct InvocationPlan {
+    workers: Vec<WorkerInvocation>,
+}
+
+impl InvocationPlan {
+    /// Plan a fan-out of `n` workers over partitions named
+    /// `{prefix}_p{worker}`.
+    pub fn fan_out(n: usize, prefix: &str) -> Self {
+        assert!(n >= 1);
+        let workers = (0..n)
+            .map(|w| WorkerInvocation { worker_id: w, partition_key: format!("{prefix}_p{w}") })
+            .collect();
+        InvocationPlan { workers }
+    }
+
+    pub fn workers(&self) -> &[WorkerInvocation] {
+        &self.workers
+    }
+
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Time from the starter's trigger until every worker runs: one invoke
+    /// call for the starter plus the measured fleet cold-start `t_F(n)`.
+    pub fn startup_time(&self) -> SimTime {
+        INVOKE_LATENCY + faas_startup_time(self.workers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_assigns_partitions_by_id() {
+        let plan = InvocationPlan::fan_out(4, "higgs");
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.workers()[2].worker_id, 2);
+        assert_eq!(plan.workers()[2].partition_key, "higgs_p2");
+    }
+
+    #[test]
+    fn startup_time_scales_with_fleet() {
+        let small = InvocationPlan::fan_out(10, "d");
+        let large = InvocationPlan::fan_out(200, "d");
+        assert!(small.startup_time() < large.startup_time());
+        assert!((small.startup_time().as_secs() - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        InvocationPlan::fan_out(0, "d");
+    }
+}

@@ -1,0 +1,59 @@
+//! FaaS cold-start model.
+//!
+//! Table 6 measures `t_F(w)` — the time from job submission until all `w`
+//! Lambda workers are running: `(1.2±0.1)s` at 10 workers, `(11±1)s` at 50,
+//! `(18±1)s` at 100, `(35±3)s` at 200. We interpolate piecewise-linearly
+//! between the measured knots and extrapolate beyond (Figure 7 uses 300
+//! workers).
+
+use lml_sim::{PiecewiseLinear, SimTime};
+
+/// Latency of a single Invoke API call (the starter triggering one worker,
+/// or a worker re-triggering itself at the lifetime boundary).
+pub const INVOKE_LATENCY: SimTime = SimTime(0.05);
+
+/// Table 6 knots for `t_F(w)`.
+pub fn startup_table() -> PiecewiseLinear {
+    PiecewiseLinear::new(vec![(1.0, 0.3), (10.0, 1.2), (50.0, 11.0), (100.0, 18.0), (200.0, 35.0)])
+}
+
+/// Time until all `workers` functions are running.
+pub fn faas_startup_time(workers: usize) -> SimTime {
+    SimTime::secs(startup_table().eval(workers as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table6_knots() {
+        assert!((faas_startup_time(10).as_secs() - 1.2).abs() < 1e-9);
+        assert!((faas_startup_time(50).as_secs() - 11.0).abs() < 1e-9);
+        assert!((faas_startup_time(100).as_secs() - 18.0).abs() < 1e-9);
+        assert!((faas_startup_time(200).as_secs() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_worker_count() {
+        let mut prev = SimTime::ZERO;
+        for w in [1, 5, 10, 25, 50, 75, 100, 150, 200, 300] {
+            let t = faas_startup_time(w);
+            assert!(t >= prev, "startup must not shrink with more workers");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn extrapolates_to_300_workers() {
+        // Figure 7 runs 300 workers; linear extrapolation gives ~52 s.
+        let t = faas_startup_time(300);
+        assert!((t.as_secs() - 52.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn vastly_faster_than_iaas_at_10_workers() {
+        // The paper's headline: 1.3 s vs >2 minutes for EC2 (§5.2).
+        assert!(faas_startup_time(10).as_secs() < 2.0);
+    }
+}

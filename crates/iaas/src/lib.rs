@@ -1,0 +1,29 @@
+//! # lml-iaas — VM cluster simulator for LambdaML-rs
+//!
+//! The "serverful" side of the paper's comparison: EC2 clusters running
+//! distributed PyTorch (with Gloo AllReduce), the Angel parameter server,
+//! and the VM-based parameter server of the hybrid design (Cirrus-style).
+//!
+//! * [`instances`] — the EC2 catalogue with vCPUs, network bandwidth
+//!   (Table 6 `B_n`/`L_n`), hourly prices and GPU profiles (g3s M60, g4 T4).
+//! * [`cluster`] — cluster start-up model (`t_I(w)`: 132 s at 10 workers →
+//!   606 s at 200) and instance-hour billing.
+//! * [`fabric`] — VM-to-VM links and the ring-AllReduce time model
+//!   (`(2w−2)(m/w/B + L)`, the green term of the paper's IaaS formula).
+//! * [`param_server`] — the hybrid design's VM parameter server with
+//!   gRPC/Thrift serialization costs and lock-contention scaling, calibrated
+//!   to Table 2.
+//! * [`systems`] — IaaS system profiles: PyTorch vs Angel (Hadoop-stack
+//!   start-up, HDFS loading and slower kernels; Figure 10).
+
+pub mod cluster;
+pub mod fabric;
+pub mod instances;
+pub mod param_server;
+pub mod systems;
+
+pub use cluster::ClusterSpec;
+pub use fabric::ring_allreduce_time;
+pub use instances::{GpuKind, InstanceType};
+pub use param_server::{PsModel, RpcKind};
+pub use systems::SystemProfile;

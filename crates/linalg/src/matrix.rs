@@ -1,0 +1,162 @@
+//! Row-major dense matrix.
+//!
+//! Used for dense feature blocks (a dataset partition is a `rows × dim`
+//! matrix) and MLP weight layers. Only the operations the workloads need are
+//! implemented: row access, matvec, and transposed-matvec (the backprop
+//! kernel).
+
+use crate::dense;
+
+/// Row-major `rows × cols` matrix of f64.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major view of the whole matrix.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_flat_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `out = self * x` where `x` has `cols` entries and `out` has `rows`.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(out.len(), self.rows, "matvec: out length");
+        for r in 0..self.rows {
+            out[r] = dense::dot(self.row(r), x);
+        }
+    }
+
+    /// `out = selfᵀ * x` where `x` has `rows` entries and `out` has `cols`.
+    /// This is the backprop kernel `Wᵀ δ`.
+    pub fn matvec_t(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length");
+        assert_eq!(out.len(), self.cols, "matvec_t: out length");
+        dense::zero(out);
+        for r in 0..self.rows {
+            dense::axpy(x[r], self.row(r), out);
+        }
+    }
+
+    /// Rank-1 update `self += a * u vᵀ` — the weight-gradient accumulation
+    /// kernel (`δ xᵀ`).
+    pub fn rank1_update(&mut self, a: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "rank1: u length");
+        assert_eq!(v.len(), self.cols, "rank1: v length");
+        for r in 0..self.rows {
+            let s = a * u[r];
+            dense::axpy(s, v, &mut self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Matrix {
+        Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = m22();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zeros_and_set() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.as_flat().iter().sum::<f64>(), 7.0);
+    }
+
+    #[test]
+    fn matvec_forward() {
+        let m = m22();
+        let mut out = vec![0.0; 2];
+        m.matvec(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_transposed() {
+        let m = m22();
+        let mut out = vec![0.0; 2];
+        m.matvec_t(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn rank1_update_is_outer_product() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank1_update(2.0, &[1.0, 3.0], &[5.0, 7.0]);
+        assert_eq!(m.as_flat(), &[10.0, 14.0, 30.0, 42.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_flat_rejects_wrong_size() {
+        Matrix::from_flat(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut m = m22();
+        m.row_mut(1)[1] = 9.0;
+        assert_eq!(m.get(1, 1), 9.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Feed-forward network with manual backprop.
+//!
+//! The statistical engine behind the paper's deep-model workloads
+//! (MobileNet/ResNet50 on Cifar10). The simulator charges communication and
+//! compute using the *surrogate profile* in [`crate::zoo`] (12 MB / 89 MB
+//! payloads, per-image FLOPs); this module supplies genuine non-convex
+//! optimization so that phenomena like unstable model averaging (Figure 7c)
+//! and asynchronous divergence (Figure 8) arise from real numerics.
+//!
+//! Architecture: fully-connected ReLU layers ending in softmax
+//! cross-entropy. All parameters live in one flat `Vec<f64>` (layer-major:
+//! `W₀, b₀, W₁, b₁, …`) so the communication layer can ship them like any
+//! other statistic vector.
+
+use crate::objective::Objective;
+use lml_data::Dataset;
+use lml_linalg::dense::softmax_inplace;
+use lml_sim::Pcg64;
+
+/// Fully-connected ReLU network with softmax cross-entropy output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layer sizes, e.g. `[1024, 256, 10]`.
+    sizes: Vec<usize>,
+    /// Flat parameter buffer, layer-major `W₀ (out×in), b₀ (out), …`.
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// He-initialized network. `sizes` = `[input, hidden…, classes]`.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layers");
+        assert!(sizes.iter().all(|&s| s > 0));
+        let mut rng = Pcg64::new(seed ^ 0x4d4c_5000);
+        let mut params = Vec::with_capacity(Self::param_count(sizes));
+        for l in 0..sizes.len() - 1 {
+            let (fan_in, fan_out) = (sizes[l], sizes[l + 1]);
+            let std = (2.0 / fan_in as f64).sqrt();
+            for _ in 0..fan_in * fan_out {
+                params.push(rng.normal() * std);
+            }
+            params.extend(std::iter::repeat(0.0).take(fan_out)); // biases
+        }
+        Mlp { sizes: sizes.to_vec(), params }
+    }
+
+    /// Total parameter count for an architecture.
+    pub fn param_count(sizes: &[usize]) -> usize {
+        sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    pub fn classes(&self) -> usize {
+        *self.sizes.last().expect("at least two layers")
+    }
+
+    /// Offset of layer `l`'s weight block in the flat buffer.
+    fn layer_offset(&self, l: usize) -> usize {
+        self.sizes[..l]
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum::<usize>()
+            + if l > 0 {
+                // windows over prefix misses the (l-1, l) pair
+                self.sizes[l - 1] * self.sizes[l] + self.sizes[l]
+            } else {
+                0
+            }
+    }
+
+    /// Forward pass for one example; fills `acts` with every layer's
+    /// post-activation output (acts[0] = input copy) and returns logits in
+    /// the final slot.
+    fn forward(&self, x: &[f64], acts: &mut Vec<Vec<f64>>) {
+        acts.clear();
+        acts.push(x.to_vec());
+        let mut offset = 0;
+        for l in 0..self.sizes.len() - 1 {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let w = &self.params[offset..offset + n_in * n_out];
+            let b = &self.params[offset + n_in * n_out..offset + n_in * n_out + n_out];
+            offset += n_in * n_out + n_out;
+            let prev = &acts[acts.len() - 1];
+            let mut out = vec![0.0; n_out];
+            for o in 0..n_out {
+                let row = &w[o * n_in..(o + 1) * n_in];
+                let mut z = b[o];
+                for i in 0..n_in {
+                    z += row[i] * prev[i];
+                }
+                // ReLU on hidden layers, identity on the output (softmax is
+                // applied in the loss).
+                out[o] = if l + 2 < self.sizes.len() { z.max(0.0) } else { z };
+            }
+            acts.push(out);
+        }
+    }
+
+    /// Class probabilities for one example.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut acts = Vec::new();
+        self.forward(x, &mut acts);
+        let mut logits = acts.pop().expect("forward fills acts");
+        softmax_inplace(&mut logits);
+        logits
+    }
+
+    /// Predicted class for one example.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        lml_linalg::dense::argmax(&self.predict_proba(x))
+    }
+}
+
+impl Objective for Mlp {
+    fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn grad(&self, data: &Dataset, rows: &[usize], grad_out: &mut [f64]) -> f64 {
+        assert!(!rows.is_empty());
+        assert_eq!(grad_out.len(), self.params.len());
+        let inv_n = 1.0 / rows.len() as f64;
+        let layers = self.sizes.len() - 1;
+        let mut acts: Vec<Vec<f64>> = Vec::new();
+        let mut total_loss = 0.0;
+
+        for &r in rows {
+            let x: Vec<f64> = match data.row(r) {
+                lml_data::Row::Dense(v) => v.to_vec(),
+                lml_data::Row::Sparse(sv) => sv.to_dense(self.sizes[0]),
+            };
+            let label = data.label(r) as usize;
+            debug_assert!(label < self.classes(), "label out of range");
+            self.forward(&x, &mut acts);
+
+            // Softmax cross-entropy at the output.
+            let mut probs = acts[layers].clone();
+            softmax_inplace(&mut probs);
+            total_loss += -(probs[label].max(1e-300)).ln();
+            // delta at output = probs - onehot(label)
+            let mut delta: Vec<f64> = probs;
+            delta[label] -= 1.0;
+
+            // Backward through the layers.
+            for l in (0..layers).rev() {
+                let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+                let offset = self.layer_offset(l);
+                let (w_block, b_block) = {
+                    let g = &mut grad_out[offset..offset + n_in * n_out + n_out];
+                    g.split_at_mut(n_in * n_out)
+                };
+                let prev = &acts[l];
+                // dW += delta ⊗ prev ; db += delta (scaled by 1/n)
+                for o in 0..n_out {
+                    let d = delta[o] * inv_n;
+                    if d != 0.0 {
+                        let row = &mut w_block[o * n_in..(o + 1) * n_in];
+                        for i in 0..n_in {
+                            row[i] += d * prev[i];
+                        }
+                        b_block[o] += d;
+                    }
+                }
+                if l > 0 {
+                    // delta_prev = Wᵀ delta, gated by ReLU'(prev)
+                    let w = &self.params[offset..offset + n_in * n_out];
+                    let mut new_delta = vec![0.0; n_in];
+                    for o in 0..n_out {
+                        let d = delta[o];
+                        if d != 0.0 {
+                            let row = &w[o * n_in..(o + 1) * n_in];
+                            for i in 0..n_in {
+                                new_delta[i] += d * row[i];
+                            }
+                        }
+                    }
+                    for i in 0..n_in {
+                        if prev[i] <= 0.0 {
+                            new_delta[i] = 0.0; // ReLU gate
+                        }
+                    }
+                    delta = new_delta;
+                }
+            }
+        }
+        total_loss * inv_n
+    }
+
+    fn loss(&self, data: &Dataset, rows: &[usize]) -> f64 {
+        assert!(!rows.is_empty());
+        let mut acts = Vec::new();
+        let mut total = 0.0;
+        for &r in rows {
+            let x: Vec<f64> = match data.row(r) {
+                lml_data::Row::Dense(v) => v.to_vec(),
+                lml_data::Row::Sparse(sv) => sv.to_dense(self.sizes[0]),
+            };
+            self.forward(&x, &mut acts);
+            let mut probs = acts.last().expect("non-empty acts").clone();
+            softmax_inplace(&mut probs);
+            let label = data.label(r) as usize;
+            total += -(probs[label].max(1e-300)).ln();
+        }
+        total / rows.len() as f64
+    }
+
+    fn is_convex(&self) -> bool {
+        false
+    }
+
+    fn accuracy(&self, data: &Dataset, rows: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 1.0;
+        }
+        let correct = rows
+            .iter()
+            .filter(|&&r| {
+                let x: Vec<f64> = match data.row(r) {
+                    lml_data::Row::Dense(v) => v.to_vec(),
+                    lml_data::Row::Sparse(sv) => sv.to_dense(self.sizes[0]),
+                };
+                self.predict(&x) == data.label(r) as usize
+            })
+            .count();
+        correct as f64 / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::grad_check;
+    use lml_data::dataset::DenseDataset;
+    use lml_linalg::Matrix;
+
+    fn xor_data() -> Dataset {
+        // XOR: the canonical non-linearly-separable problem.
+        let m = Matrix::from_flat(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        Dataset::Dense(DenseDataset::new(m, vec![0.0, 1.0, 1.0, 0.0]))
+    }
+
+    #[test]
+    fn param_count_formula() {
+        assert_eq!(Mlp::param_count(&[2, 3, 2]), 2 * 3 + 3 + 3 * 2 + 2);
+        let mlp = Mlp::new(&[1024, 256, 10], 1);
+        assert_eq!(mlp.dim(), 1024 * 256 + 256 + 256 * 10 + 10);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        // Random (kink-free) inputs: at XOR's (0,0) corner with zero biases
+        // the ReLU sits exactly on its kink and central differences disagree
+        // with any subgradient choice, so we grad-check on smooth data.
+        let mut rng = Pcg64::new(17);
+        let flat: Vec<f64> = (0..8 * 3).map(|_| rng.normal() + 0.1).collect();
+        let m = Matrix::from_flat(8, 3, flat);
+        let labels: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let data = Dataset::Dense(DenseDataset::new(m, labels));
+        let mut mlp = Mlp::new(&[3, 5, 2], 3);
+        let rows: Vec<usize> = (0..8).collect();
+        let err = grad_check(&mut mlp, &data, &rows, 1e-5);
+        assert!(err < 1e-6, "backprop gradient error {err}");
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = xor_data();
+        let mut mlp = Mlp::new(&[2, 8, 2], 5);
+        let rows = [0usize, 1, 2, 3];
+        let mut grad = vec![0.0; mlp.dim()];
+        for _ in 0..2000 {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            mlp.grad(&data, &rows, &mut grad);
+            for (p, g) in mlp.params_mut().iter_mut().zip(&grad) {
+                *p -= 0.5 * g;
+            }
+        }
+        assert!(mlp.loss(&data, &rows) < 0.05, "loss {}", mlp.loss(&data, &rows));
+        assert_eq!(mlp.accuracy(&data, &rows), 1.0, "XOR solved exactly");
+    }
+
+    #[test]
+    fn predict_proba_sums_to_one() {
+        let mlp = Mlp::new(&[3, 5, 4], 7);
+        let p = mlp.predict_proba(&[0.5, -1.0, 2.0]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_loss_near_uniform() {
+        // He init with zero biases: expected CE ≈ ln(classes).
+        let data = lml_data::generators::DatasetId::Cifar10.generate_rows(100, 1).data;
+        let mlp = Mlp::new(&[1024, 64, 10], 11);
+        let rows: Vec<usize> = (0..100).collect();
+        let l = mlp.loss(&data, &rows);
+        assert!((l - (10.0f64).ln()).abs() < 0.8, "initial loss {l}");
+    }
+
+    #[test]
+    fn learns_cifar_surrogate_beyond_linear() {
+        // A small MLP must fit the class structure of the Cifar10 generator.
+        let data = lml_data::generators::DatasetId::Cifar10.generate_rows(400, 2).data;
+        let rows: Vec<usize> = (0..400).collect();
+        let mut mlp = Mlp::new(&[1024, 32, 10], 13);
+        let mut grad = vec![0.0; mlp.dim()];
+        let mut rng = Pcg64::new(99);
+        for _ in 0..150 {
+            let batch = rng.sample_indices(400, 64);
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            mlp.grad(&data, &batch, &mut grad);
+            for (p, g) in mlp.params_mut().iter_mut().zip(&grad) {
+                *p -= 0.1 * g;
+            }
+        }
+        let acc = mlp.accuracy(&data, &rows);
+        assert!(acc > 0.5, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn not_convex() {
+        assert!(!Mlp::new(&[2, 2, 2], 1).is_convex());
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_layer_rejected() {
+        Mlp::new(&[10], 1);
+    }
+}

@@ -1,0 +1,463 @@
+//! Distributed optimization algorithms (§3.2.1 of the paper).
+//!
+//! Every algorithm fits one mold, mirroring LambdaML's five-step job loop:
+//! each round a worker **produces a statistic** (`Vec<f64>`), the
+//! communication layer **sums** statistics across workers, and each worker
+//! **consumes the aggregate** to update its local model replica:
+//!
+//! | Algorithm | statistic | consume |
+//! |---|---|---|
+//! | GA-SGD | mini-batch gradient | `w ← w − lr·(Σg)/n` |
+//! | MA-SGD | local model after `local_iters` steps | `w ← (Σw)/n` |
+//! | ADMM | `w_i + u_i` after local sub-solve | `z ← Σ(w+u)/n; u += w−z` |
+//! | EM (k-means) | per-cluster sums & counts | M-step on Σstats |
+//!
+//! Summation is the only operation the channel performs, so AllReduce and
+//! ScatterReduce apply uniformly.
+
+use crate::sgd::{apply_gradient, BatchCursor};
+use lml_data::Dataset;
+use lml_models::AnyModel;
+
+/// The paper's distributed optimization algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// SGD with gradient averaging: one communication round per mini-batch
+    /// iteration.
+    GaSgd { batch: usize },
+    /// SGD with model averaging: `local_iters` local mini-batch steps
+    /// between communication rounds (the paper syncs once per epoch).
+    MaSgd { batch: usize, local_iters: usize },
+    /// Consensus ADMM: each round solves a proximal local subproblem with
+    /// `local_scans` passes over the partition (the paper uses 10), then
+    /// exchanges `w + u`.
+    Admm { rho: f64, local_scans: usize, batch: usize },
+    /// Expectation-maximization for k-means: one statistics exchange per
+    /// epoch.
+    Em,
+}
+
+impl Algorithm {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::GaSgd { .. } => "GA-SGD",
+            Algorithm::MaSgd { .. } => "MA-SGD",
+            Algorithm::Admm { .. } => "ADMM",
+            Algorithm::Em => "EM",
+        }
+    }
+
+    /// Communication rounds per full pass over the data. Fractional for
+    /// ADMM (one round covers `local_scans` epochs).
+    pub fn rounds_per_epoch(&self, partition_len: usize) -> f64 {
+        match *self {
+            Algorithm::GaSgd { batch } => {
+                (partition_len as f64 / batch.min(partition_len) as f64).ceil()
+            }
+            Algorithm::MaSgd { batch, local_iters } => {
+                let iters = (partition_len as f64 / batch.min(partition_len) as f64).ceil();
+                (iters / local_iters as f64).max(1.0 / local_iters as f64)
+            }
+            Algorithm::Admm { local_scans, .. } => 1.0 / local_scans as f64,
+            Algorithm::Em => 1.0,
+        }
+    }
+
+    /// Mini-batch size a worker's cursor should use, clamped to the
+    /// partition (EM scans the whole partition each round).
+    pub fn batch_size(&self, partition_len: usize) -> usize {
+        let b = match *self {
+            Algorithm::GaSgd { batch }
+            | Algorithm::MaSgd { batch, .. }
+            | Algorithm::Admm { batch, .. } => batch,
+            Algorithm::Em => partition_len,
+        };
+        b.min(partition_len).max(1)
+    }
+
+    /// Whether this algorithm is applicable to the model (§4.2: ADMM needs
+    /// convexity; EM is k-means-only; SGD needs a gradient).
+    pub fn applicable(&self, model: &AnyModel) -> bool {
+        match self {
+            Algorithm::Admm { .. } => model.is_convex(),
+            Algorithm::Em => matches!(model, AnyModel::KMeans(_)),
+            _ => !matches!(model, AnyModel::KMeans(_)),
+        }
+    }
+}
+
+/// Per-worker training state: a local model replica plus algorithm scratch.
+#[derive(Debug, Clone)]
+pub struct WorkerState {
+    pub id: usize,
+    pub model: AnyModel,
+    cursor: BatchCursor,
+    grad_buf: Vec<f64>,
+    /// ADMM dual variable `u_i`.
+    dual: Vec<f64>,
+    /// ADMM consensus model `z` after the last round.
+    consensus: Vec<f64>,
+}
+
+impl WorkerState {
+    /// Build worker `id` owning `rows` of `data`, with a replica of `model`.
+    pub fn new(id: usize, model: AnyModel, rows: Vec<usize>, batch: usize) -> Self {
+        let p = model.param_len();
+        WorkerState {
+            id,
+            cursor: BatchCursor::new(rows, batch),
+            grad_buf: vec![0.0; p],
+            dual: vec![0.0; p],
+            consensus: vec![0.0; p],
+            model,
+        }
+    }
+
+    /// Rows of this worker's partition.
+    pub fn partition(&self) -> &[usize] {
+        self.cursor.rows()
+    }
+
+    pub fn partition_len(&self) -> usize {
+        self.cursor.partition_len()
+    }
+
+    /// The model whose loss the experiment reports: the consensus `z` for
+    /// ADMM, the local replica otherwise.
+    pub fn eval_model(&self, algo: &Algorithm) -> AnyModel {
+        let mut m = self.model.clone();
+        if matches!(algo, Algorithm::Admm { .. }) {
+            m.params_mut().copy_from_slice(&self.consensus);
+        }
+        m
+    }
+
+    /// Produce this round's statistic. Returns `(statistic, examples)` where
+    /// `examples` is the number of training examples touched (the compute
+    /// cost driver for the simulator).
+    pub fn produce(&mut self, algo: &Algorithm, data: &Dataset, lr: f64) -> (Vec<f64>, u64) {
+        match *algo {
+            Algorithm::GaSgd { .. } => {
+                let batch = self.cursor.next_batch();
+                self.grad_buf.iter_mut().for_each(|g| *g = 0.0);
+                self.model.grad(data, &batch, &mut self.grad_buf);
+                (self.grad_buf.clone(), batch.len() as u64)
+            }
+            Algorithm::MaSgd { local_iters, .. } => {
+                let mut examples = 0u64;
+                for _ in 0..local_iters {
+                    let batch = self.cursor.next_batch();
+                    examples += batch.len() as u64;
+                    crate::sgd::sgd_step(&mut self.model, data, &batch, lr, &mut self.grad_buf);
+                }
+                (self.model.params().to_vec(), examples)
+            }
+            Algorithm::Admm { rho, local_scans, .. } => {
+                // Local subproblem: minimize f_i(w) + (ρ/2)‖w − z + u‖² by
+                // `local_scans` mini-batch passes over the partition.
+                let batches = self.cursor.batches_per_epoch();
+                let mut examples = 0u64;
+                for _ in 0..local_scans {
+                    for _ in 0..batches {
+                        let batch = self.cursor.next_batch();
+                        examples += batch.len() as u64;
+                        self.grad_buf.iter_mut().for_each(|g| *g = 0.0);
+                        self.model.grad(data, &batch, &mut self.grad_buf);
+                        // + ρ(w − z + u)
+                        {
+                            let w = self.model.params();
+                            for j in 0..w.len() {
+                                self.grad_buf[j] += rho * (w[j] - self.consensus[j] + self.dual[j]);
+                            }
+                        }
+                        let w = self.model.params_mut();
+                        for (p, g) in w.iter_mut().zip(&self.grad_buf) {
+                            *p -= lr * g;
+                        }
+                    }
+                }
+                let msg: Vec<f64> =
+                    self.model.params().iter().zip(&self.dual).map(|(w, u)| w + u).collect();
+                (msg, examples)
+            }
+            Algorithm::Em => {
+                let rows = self.cursor.rows().to_vec();
+                let n = rows.len() as u64;
+                let stats = self.model.em_stats(data, &rows);
+                (stats, n)
+            }
+        }
+    }
+
+    /// Consume the cross-worker **sum** of statistics.
+    pub fn consume(&mut self, algo: &Algorithm, agg_sum: &[f64], workers: usize, lr: f64) {
+        let inv_n = 1.0 / workers as f64;
+        match *algo {
+            Algorithm::GaSgd { .. } => {
+                let mean: Vec<f64> = agg_sum.iter().map(|g| g * inv_n).collect();
+                apply_gradient(&mut self.model, &mean, lr);
+            }
+            Algorithm::MaSgd { .. } => {
+                let params = self.model.params_mut();
+                for (p, s) in params.iter_mut().zip(agg_sum) {
+                    *p = s * inv_n;
+                }
+            }
+            Algorithm::Admm { .. } => {
+                for (z, s) in self.consensus.iter_mut().zip(agg_sum) {
+                    *z = s * inv_n;
+                }
+                let w = self.model.params();
+                for j in 0..w.len() {
+                    self.dual[j] += w[j] - self.consensus[j];
+                }
+            }
+            Algorithm::Em => {
+                self.model.apply_em_stats(agg_sum);
+            }
+        }
+    }
+}
+
+/// Element-wise sum of worker statistics — the reference aggregation the
+/// communication patterns must reproduce bit-for-bit.
+pub fn sum_statistics(stats: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!stats.is_empty());
+    let len = stats[0].len();
+    let mut out = vec![0.0; len];
+    for s in stats {
+        assert_eq!(s.len(), len, "statistic length mismatch across workers");
+        for (o, v) in out.iter_mut().zip(s) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lml_data::generators::DatasetId;
+    use lml_data::partition::partition_rows;
+    use lml_models::ModelId;
+
+    /// Drive `rounds` synchronous rounds of an algorithm over `n` workers,
+    /// returning the final global-model loss on the data.
+    fn run_rounds(
+        algo: Algorithm,
+        model_id: ModelId,
+        data: &Dataset,
+        n: usize,
+        batch: usize,
+        lr: f64,
+        rounds: usize,
+    ) -> f64 {
+        let model = model_id.build(data, 7);
+        let parts = partition_rows(data.len(), n);
+        let mut workers: Vec<WorkerState> = parts
+            .iter()
+            .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), batch))
+            .collect();
+        for _ in 0..rounds {
+            let stats: Vec<Vec<f64>> =
+                workers.iter_mut().map(|w| w.produce(&algo, data, lr).0).collect();
+            let agg = sum_statistics(&stats);
+            for w in workers.iter_mut() {
+                w.consume(&algo, &agg, n, lr);
+            }
+        }
+        workers[0].eval_model(&algo).full_loss(data)
+    }
+
+    use lml_data::Dataset;
+
+    #[test]
+    fn ga_sgd_converges_on_higgs() {
+        let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
+        let loss = run_rounds(Algorithm::GaSgd { batch: 100 }, ModelId::Lr { l2: 0.0 }, &data, 4, 100, 0.5, 100);
+        assert!(loss < 0.67, "GA-SGD loss {loss}");
+    }
+
+    #[test]
+    fn ma_sgd_converges_on_higgs() {
+        let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
+        let loss = run_rounds(
+            Algorithm::MaSgd { batch: 100, local_iters: 5 },
+            ModelId::Lr { l2: 0.0 },
+            &data,
+            4,
+            100,
+            0.5,
+            20,
+        );
+        assert!(loss < 0.67, "MA-SGD loss {loss}");
+    }
+
+    #[test]
+    fn admm_converges_in_few_rounds() {
+        let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
+        let loss = run_rounds(
+            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 },
+            ModelId::Lr { l2: 0.0 },
+            &data,
+            4,
+            100,
+            0.3,
+            5,
+        );
+        assert!(loss < 0.67, "ADMM loss after 5 rounds {loss}");
+    }
+
+    #[test]
+    fn admm_beats_ga_sgd_per_round_figure7_shape() {
+        // Figure 7a: at equal communication-round budgets, ADMM reaches a
+        // lower loss than GA-SGD — the paper's headline algorithm insight.
+        let data = DatasetId::Higgs.generate_rows(2_000, 1).data;
+        let rounds = 5;
+        let ga = run_rounds(Algorithm::GaSgd { batch: 100 }, ModelId::Lr { l2: 0.0 }, &data, 4, 100, 0.5, rounds);
+        let admm = run_rounds(
+            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 },
+            ModelId::Lr { l2: 0.0 },
+            &data,
+            4,
+            100,
+            0.3,
+            rounds,
+        );
+        assert!(admm < ga, "ADMM {admm} should beat GA-SGD {ga} at {rounds} rounds");
+    }
+
+    #[test]
+    fn em_distributed_equals_single_machine() {
+        // Summed sufficient statistics make distributed EM bit-identical to
+        // single-machine EM.
+        let data = DatasetId::Higgs.generate_rows(600, 3).data;
+        let km_id = ModelId::KMeans { k: 5 };
+
+        // distributed: 3 workers, 4 rounds
+        let model = km_id.build(&data, 7);
+        let parts = partition_rows(data.len(), 3);
+        let mut workers: Vec<WorkerState> = parts
+            .iter()
+            .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), 64))
+            .collect();
+        let algo = Algorithm::Em;
+        for _ in 0..4 {
+            let stats: Vec<Vec<f64>> =
+                workers.iter_mut().map(|w| w.produce(&algo, &data, 0.0).0).collect();
+            let agg = sum_statistics(&stats);
+            for w in workers.iter_mut() {
+                w.consume(&algo, &agg, 3, 0.0);
+            }
+        }
+        let dist_loss = workers[0].eval_model(&algo).full_loss(&data);
+
+        // single machine: same init, 4 EM epochs
+        let mut single = km_id.build(&data, 7);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..4 {
+            let stats = single.em_stats(&data, &rows);
+            single.apply_em_stats(&stats);
+        }
+        let single_loss = single.full_loss(&data);
+        assert!((dist_loss - single_loss).abs() < 1e-9, "{dist_loss} vs {single_loss}");
+    }
+
+    #[test]
+    fn ga_sgd_equals_full_batch_gd_when_batch_is_partition() {
+        // With batch = partition size and equal partitions, GA-SGD's mean of
+        // per-partition gradients equals the full-dataset gradient.
+        let data = DatasetId::Higgs.generate_rows(400, 5).data;
+        let algo = Algorithm::GaSgd { batch: 100 };
+        let model = ModelId::Lr { l2: 0.0 }.build(&data, 1);
+        let parts = partition_rows(400, 4);
+        let mut workers: Vec<WorkerState> = parts
+            .iter()
+            .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), 100))
+            .collect();
+        let lr = 0.5;
+        for _ in 0..3 {
+            let stats: Vec<Vec<f64>> =
+                workers.iter_mut().map(|w| w.produce(&algo, &data, lr).0).collect();
+            let agg = sum_statistics(&stats);
+            for w in workers.iter_mut() {
+                w.consume(&algo, &agg, 4, lr);
+            }
+        }
+
+        let mut single = ModelId::Lr { l2: 0.0 }.build(&data, 1);
+        let rows: Vec<usize> = (0..400).collect();
+        let mut grad = vec![0.0; single.param_len()];
+        for _ in 0..3 {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            single.grad(&data, &rows, &mut grad);
+            let w = single.params_mut();
+            for (p, g) in w.iter_mut().zip(&grad) {
+                *p -= lr * g;
+            }
+        }
+        for (a, b) in workers[0].model.params().iter().zip(single.params()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn workers_stay_in_sync_under_bsp() {
+        // After any number of synchronous rounds all replicas are identical.
+        let data = DatasetId::Higgs.generate_rows(300, 9).data;
+        let algo = Algorithm::MaSgd { batch: 30, local_iters: 3 };
+        let model = ModelId::Lr { l2: 0.0 }.build(&data, 2);
+        let parts = partition_rows(300, 3);
+        let mut workers: Vec<WorkerState> = parts
+            .iter()
+            .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), 30))
+            .collect();
+        for _ in 0..4 {
+            let stats: Vec<Vec<f64>> =
+                workers.iter_mut().map(|w| w.produce(&algo, &data, 0.3).0).collect();
+            let agg = sum_statistics(&stats);
+            for w in workers.iter_mut() {
+                w.consume(&algo, &agg, 3, 0.3);
+            }
+        }
+        for w in &workers[1..] {
+            assert_eq!(w.model.params(), workers[0].model.params());
+        }
+    }
+
+    #[test]
+    fn rounds_per_epoch_accounting() {
+        assert_eq!(Algorithm::GaSgd { batch: 100 }.rounds_per_epoch(1000), 10.0);
+        assert_eq!(
+            Algorithm::MaSgd { batch: 100, local_iters: 10 }.rounds_per_epoch(1000),
+            1.0
+        );
+        assert_eq!(Algorithm::Admm { rho: 1.0, local_scans: 10, batch: 100 }.rounds_per_epoch(1000), 0.1);
+        assert_eq!(Algorithm::Em.rounds_per_epoch(12345), 1.0);
+    }
+
+    #[test]
+    fn applicability_rules() {
+        let higgs = DatasetId::Higgs.generate_rows(100, 1).data;
+        let cifar = DatasetId::Cifar10.generate_rows(100, 1).data;
+        let lr = ModelId::Lr { l2: 0.0 }.build(&higgs, 1);
+        let mn = ModelId::MobileNet.build(&cifar, 1);
+        let km = ModelId::KMeans { k: 3 }.build(&higgs, 1);
+        let admm = Algorithm::Admm { rho: 1.0, local_scans: 10, batch: 100 };
+        assert!(admm.applicable(&lr));
+        assert!(!admm.applicable(&mn), "§4.2: ADMM is convex-only");
+        assert!(Algorithm::Em.applicable(&km));
+        assert!(!Algorithm::Em.applicable(&lr));
+        assert!(!Algorithm::GaSgd { batch: 1 }.applicable(&km));
+    }
+
+    #[test]
+    fn statistic_lengths_are_consistent() {
+        let data = DatasetId::Higgs.generate_rows(200, 1).data;
+        let km = ModelId::KMeans { k: 4 }.build(&data, 1);
+        let mut w = WorkerState::new(0, km, (0..200).collect(), 200);
+        let (stats, examples) = w.produce(&Algorithm::Em, &data, 0.0);
+        assert_eq!(stats.len(), 4 * 29);
+        assert_eq!(examples, 200);
+    }
+}

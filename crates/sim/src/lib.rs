@@ -1,0 +1,36 @@
+//! # lml-sim — simulation substrate for LambdaML-rs
+//!
+//! Foundation crate for the LambdaML reproduction: a deterministic
+//! discrete-event toolkit that every other crate builds on.
+//!
+//! * [`rng`] — a self-contained PCG64 generator (uniform, normal, Zipf,
+//!   shuffling) so that every experiment is bit-reproducible from a seed.
+//! * [`time`] — virtual time ([`SimTime`]) and durations in f64 seconds.
+//! * [`money`] — dollar accounting ([`Cost`]).
+//! * [`bytes`] — byte quantities with MB/GB helpers.
+//! * [`link`] — latency + bandwidth transfer-time model.
+//! * [`table`] — piecewise-linear lookup tables (e.g. cluster start-up time
+//!   as a function of worker count, Table 6 of the paper).
+//! * [`resource`] — a FIFO bandwidth resource used to model contention on a
+//!   shared service (storage channel, parameter server).
+//! * [`events`] — a tiny event queue for asynchronous-protocol simulation.
+//! * [`stats`] — summary statistics used by the calibration harness.
+
+pub mod bytes;
+pub mod events;
+pub mod link;
+pub mod money;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use bytes::ByteSize;
+pub use events::EventQueue;
+pub use link::Link;
+pub use money::Cost;
+pub use resource::FifoResource;
+pub use rng::Pcg64;
+pub use table::PiecewiseLinear;
+pub use time::SimTime;

@@ -1,0 +1,172 @@
+//! Virtual time.
+//!
+//! The simulator measures everything in f64 seconds of *virtual* time.
+//! [`SimTime`] is a transparent newtype that keeps virtual seconds from being
+//! accidentally mixed with real (host) seconds, while still supporting
+//! ordinary arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from milliseconds.
+    pub fn millis(ms: f64) -> Self {
+        SimTime(ms / 1_000.0)
+    }
+
+    /// Construct from minutes.
+    pub fn minutes(m: f64) -> Self {
+        SimTime(m * 60.0)
+    }
+
+    /// Construct from hours.
+    pub fn hours(h: f64) -> Self {
+        SimTime(h * 3_600.0)
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Value in hours (used by per-hour billing).
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3_600.0
+    }
+
+    /// Element-wise maximum — the synchronization-barrier operator.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// True when non-negative and finite — used by debug assertions.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, k: f64) -> SimTime {
+        SimTime(self.0 * k)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, k: f64) -> SimTime {
+        SimTime(self.0 / k)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 3_600.0 {
+            write!(f, "{:.2}h", self.0 / 3_600.0)
+        } else if self.0 >= 60.0 {
+            write!(f, "{:.1}m", self.0 / 60.0)
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.2}s", self.0)
+        } else {
+            write!(f, "{:.1}ms", self.0 * 1_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::minutes(2.0), SimTime::secs(120.0));
+        assert_eq!(SimTime::hours(1.0), SimTime::secs(3600.0));
+        assert_eq!(SimTime::millis(500.0), SimTime::secs(0.5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::secs(10.0) + SimTime::secs(5.0) - SimTime::secs(1.0);
+        assert_eq!(t, SimTime::secs(14.0));
+        assert_eq!(t * 2.0, SimTime::secs(28.0));
+        assert_eq!(t / 2.0, SimTime::secs(7.0));
+    }
+
+    #[test]
+    fn barrier_max() {
+        let a = SimTime::secs(3.0);
+        let b = SimTime::secs(5.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4).map(|i| SimTime::secs(i as f64)).sum();
+        assert_eq!(total, SimTime::secs(10.0));
+    }
+
+    #[test]
+    fn display_chooses_unit() {
+        assert_eq!(SimTime::secs(0.05).to_string(), "50.0ms");
+        assert_eq!(SimTime::secs(5.0).to_string(), "5.00s");
+        assert_eq!(SimTime::secs(90.0).to_string(), "1.5m");
+        assert_eq!(SimTime::hours(2.0).to_string(), "2.00h");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(SimTime::secs(1.0).is_valid());
+        assert!(!SimTime::secs(-1.0).is_valid());
+        assert!(!SimTime::secs(f64::NAN).is_valid());
+    }
+}

@@ -1,0 +1,107 @@
+//! Storage payloads.
+//!
+//! A [`Blob`] carries real `f64` data (so aggregation results are
+//! bit-exact) together with its *logical* wire size. The two can differ: the
+//! MobileNet surrogate trains a small MLP but ships the paper's 12 MB
+//! payload, and a deep model's chunk in ScatterReduce ships `wire/n` bytes.
+
+use lml_sim::ByteSize;
+use std::sync::Arc;
+
+/// An immutable payload stored in (and moved through) a storage service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    data: Arc<Vec<f64>>,
+    wire: ByteSize,
+}
+
+impl Blob {
+    /// Wrap a statistic vector; wire size defaults to `8 × len` (f64 encoding).
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        let wire = ByteSize::of_f64s(data.len());
+        Blob { data: Arc::new(data), wire }
+    }
+
+    /// Override the logical wire size (deep-model surrogates).
+    pub fn with_wire(mut self, wire: ByteSize) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// An empty marker blob (checkpoint flags, trigger messages) with an
+    /// explicit wire size.
+    pub fn marker(wire: ByteSize) -> Self {
+        Blob { data: Arc::new(Vec::new()), wire }
+    }
+
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn wire_bytes(&self) -> ByteSize {
+        self.wire
+    }
+
+    /// Sum another blob's data into a mutable accumulator vector.
+    pub fn add_into(&self, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.data.len(), "blob length mismatch in aggregation");
+        for (a, v) in acc.iter_mut().zip(self.data.iter()) {
+            *a += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_defaults_to_f64_encoding() {
+        let b = Blob::from_vec(vec![1.0; 28]);
+        assert_eq!(b.wire_bytes(), ByteSize::bytes(224));
+        assert_eq!(b.len(), 28);
+    }
+
+    #[test]
+    fn wire_override_keeps_data() {
+        let b = Blob::from_vec(vec![1.0; 10]).with_wire(ByteSize::mb(12.0));
+        assert_eq!(b.wire_bytes(), ByteSize::mb(12.0));
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn marker_is_empty() {
+        let m = Blob::marker(ByteSize::bytes(64));
+        assert!(m.is_empty());
+        assert_eq!(m.wire_bytes(), ByteSize::bytes(64));
+    }
+
+    #[test]
+    fn add_into_accumulates() {
+        let b = Blob::from_vec(vec![1.0, 2.0]);
+        let mut acc = vec![0.5, 0.5];
+        b.add_into(&mut acc);
+        assert_eq!(acc, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn clone_shares_data() {
+        let b = Blob::from_vec(vec![1.0; 1000]);
+        let c = b.clone();
+        assert_eq!(b.data().as_ptr(), c.data().as_ptr(), "Arc-shared, no copy");
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_into_length_mismatch_panics() {
+        Blob::from_vec(vec![1.0]).add_into(&mut [0.0, 0.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The in-memory object store.
+//!
+//! One store instance plays every storage service; the per-service
+//! differences (latency, bandwidth, caps, billing) live in
+//! [`crate::profile`] and [`crate::channel`]. Keys are flat strings using
+//! the paper's naming scheme (`ep3_it7_p12` — epoch, iteration, partition),
+//! and prefix listing is atomic, the property the merging phase's
+//! completion check relies on (§3.2.4).
+
+use crate::blob::Blob;
+use std::collections::BTreeMap;
+
+/// In-memory key→blob store with sorted, atomic prefix listing.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<String, Blob>,
+}
+
+impl ObjectStore {
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&mut self, key: impl Into<String>, blob: Blob) {
+        self.objects.insert(key.into(), blob);
+    }
+
+    /// Fetch a blob (cheap Arc clone).
+    pub fn get(&self, key: &str) -> Option<Blob> {
+        self.objects.get(key).cloned()
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.objects.remove(key).is_some()
+    }
+
+    /// All keys with the given prefix, in sorted order (atomic snapshot).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of keys with the given prefix.
+    pub fn count(&self, prefix: &str) -> usize {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .count()
+    }
+
+    /// Remove all keys with the given prefix; returns how many were removed.
+    pub fn clear_prefix(&mut self, prefix: &str) -> usize {
+        let keys = self.list(prefix);
+        for k in &keys {
+            self.objects.remove(k);
+        }
+        keys.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total logical bytes stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.objects.values().map(|b| b.wire_bytes().as_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(v: f64) -> Blob {
+        Blob::from_vec(vec![v])
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ObjectStore::new();
+        s.put("a", blob(1.0));
+        assert_eq!(s.get("a").unwrap().data(), &[1.0]);
+        assert!(s.get("b").is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = ObjectStore::new();
+        s.put("k", blob(1.0));
+        s.put("k", blob(2.0));
+        assert_eq!(s.get("k").unwrap().data(), &[2.0]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn list_is_prefix_filtered_and_sorted() {
+        let mut s = ObjectStore::new();
+        s.put("ep1_it2_p1", blob(1.0));
+        s.put("ep1_it2_p0", blob(0.0));
+        s.put("ep1_it3_p0", blob(0.0));
+        s.put("merged_ep1_it2", blob(9.0));
+        let keys = s.list("ep1_it2_");
+        assert_eq!(keys, vec!["ep1_it2_p0", "ep1_it2_p1"]);
+        assert_eq!(s.count("ep1_"), 3);
+    }
+
+    #[test]
+    fn clear_prefix_removes_only_matches() {
+        let mut s = ObjectStore::new();
+        s.put("ep1_p0", blob(1.0));
+        s.put("ep1_p1", blob(1.0));
+        s.put("ep2_p0", blob(1.0));
+        assert_eq!(s.clear_prefix("ep1_"), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("ep2_p0"));
+    }
+
+    #[test]
+    fn delete_returns_presence() {
+        let mut s = ObjectStore::new();
+        s.put("x", blob(1.0));
+        assert!(s.delete("x"));
+        assert!(!s.delete("x"));
+    }
+
+    #[test]
+    fn stored_bytes_sums_wire_sizes() {
+        let mut s = ObjectStore::new();
+        s.put("a", Blob::from_vec(vec![0.0; 10]));
+        s.put("b", Blob::from_vec(vec![0.0; 5]).with_wire(lml_sim::ByteSize::mb(1.0)));
+        assert_eq!(s.stored_bytes(), 80 + 1_000_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! Channel showdown: train k-means on Higgs over every communication
+//! channel the paper compares (§4.3, Table 1) — S3, ElastiCache for
+//! Memcached, ElastiCache for Redis, DynamoDB, and the hybrid VM parameter
+//! server — and print the cost/performance tradeoff.
+//!
+//! Run with: `cargo run --release --example channel_showdown`
+
+use lambdaml::prelude::*;
+
+fn main() {
+    let bundle = DatasetId::Higgs.generate_rows(10_000, 42);
+    let workload = Workload::from_generated(&bundle, 42);
+
+    // Fixed work budget (10 EM epochs) so channels compare identical jobs.
+    let base = JobConfig::new(50, Algorithm::Em, 0.0, StopSpec::new(0.0, 10));
+
+    let channels: Vec<(&str, Backend)> = vec![
+        ("S3", Backend::faas_default()),
+        (
+            "Memcached",
+            Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel: ChannelKind::Memcached(CacheNode::T3Medium),
+                pattern: Pattern::AllReduce,
+                protocol: Protocol::Sync,
+            },
+        ),
+        (
+            "Redis",
+            Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel: ChannelKind::Redis(CacheNode::T3Medium),
+                pattern: Pattern::AllReduce,
+                protocol: Protocol::Sync,
+            },
+        ),
+        (
+            "DynamoDB",
+            Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel: ChannelKind::DynamoDb,
+                pattern: Pattern::AllReduce,
+                protocol: Protocol::Sync,
+            },
+        ),
+        ("VM-PS (gRPC)", Backend::hybrid_default()),
+    ];
+
+    println!("KMeans (k=10) on Higgs, 50 workers, 10 epochs:\n");
+    println!("{:<14} {:>10} {:>10} {:>10} {:>12}", "channel", "total", "comm", "startup", "cost");
+    for (name, backend) in channels {
+        match TrainingJob::new(&workload, ModelId::KMeans { k: 10 }, base.with_backend(backend))
+            .run()
+        {
+            Ok(r) => println!(
+                "{:<14} {:>9.1}s {:>9.2}s {:>9.1}s {:>12}",
+                name,
+                r.runtime().as_secs(),
+                r.breakdown.comm.as_secs(),
+                r.breakdown.startup.as_secs(),
+                r.dollars().to_string(),
+            ),
+            Err(e) => println!("{name:<14} N/A ({e})"),
+        }
+    }
+    println!(
+        "\nNote the paper's §4.3 insight: Memcached's rounds are ~7x faster than S3's,\n\
+         but its ~2-minute node start-up makes it *slower end-to-end* for jobs that\n\
+         converge quickly — 'always-on' S3 wins short jobs."
+    );
+}

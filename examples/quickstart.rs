@@ -1,0 +1,61 @@
+//! Quickstart: train logistic regression on a Higgs-like dataset with
+//! LambdaML's serverless backend, then compare against an EC2 cluster.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lambdaml::prelude::*;
+
+fn main() {
+    // 1. Generate a (scaled) Higgs-like dataset and split 90/10.
+    //    The spec keeps the paper-scale byte counts, so simulated time and
+    //    cost reflect the real 8 GB dataset.
+    let bundle = DatasetId::Higgs.generate_rows(10_000, 42);
+    let workload = Workload::from_generated(&bundle, 42);
+    println!(
+        "dataset: {} ({} paper-scale instances, {} sample rows)",
+        workload.spec.name,
+        workload.spec.paper_instances,
+        workload.train.len() + workload.valid.len()
+    );
+
+    // 2. Configure the job: 10 workers, distributed ADMM (the paper's most
+    //    communication-efficient algorithm for convex models), stop at
+    //    validation loss 0.68.
+    let config = JobConfig::new(
+        10,
+        Algorithm::Admm { rho: 0.1, local_scans: 10, batch: 9 },
+        0.3,
+        StopSpec::new(0.68, 30),
+    );
+
+    // 3. Run on the default FaaS backend (3 GB Lambdas, S3 channel,
+    //    AllReduce, synchronous).
+    let faas = TrainingJob::new(&workload, ModelId::Lr { l2: 0.0 }, config)
+        .run()
+        .expect("FaaS job runs");
+    println!("\nFaaS : {}", faas.summary());
+    println!(
+        "       startup {} | load {} | compute {} | comm {}",
+        faas.breakdown.startup, faas.breakdown.load, faas.breakdown.compute, faas.breakdown.comm
+    );
+
+    // 4. Same job on a serverful cluster (distributed PyTorch, t2.medium).
+    let iaas = TrainingJob::new(
+        &workload,
+        ModelId::Lr { l2: 0.0 },
+        config.with_backend(Backend::iaas_default()),
+    )
+    .run()
+    .expect("IaaS job runs");
+    println!("\nIaaS : {}", iaas.summary());
+    println!(
+        "       startup {} | load {} | compute {} | comm {}",
+        iaas.breakdown.startup, iaas.breakdown.load, iaas.breakdown.compute, iaas.breakdown.comm
+    );
+
+    // 5. The paper's two insights, live:
+    let speedup = iaas.runtime().as_secs() / faas.runtime().as_secs();
+    let cost_ratio = faas.dollars().as_usd() / iaas.dollars().as_usd();
+    println!("\nFaaS is {speedup:.1}x faster end-to-end (start-up dominates this fast job),");
+    println!("but costs {cost_ratio:.1}x as much — faster, not cheaper (§1 of the paper).");
+}

@@ -1,0 +1,73 @@
+//! # lambdaml — serverless vs serverful distributed ML training
+//!
+//! A Rust reproduction of **"Towards Demystifying Serverless Machine
+//! Learning Training"** (Jiang et al., SIGMOD 2021): the LambdaML system,
+//! every substrate it runs on (simulated AWS Lambda, EC2, S3, ElastiCache,
+//! DynamoDB, VM parameter servers), the serverful baselines it compares
+//! against, and the analytical cost/performance model of §5.3.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lambdaml::prelude::*;
+//!
+//! // Generate a (scaled) Higgs-like dataset and split 90/10.
+//! let bundle = DatasetId::Higgs.generate_rows(2_000, 42);
+//! let workload = Workload::from_generated(&bundle, 42);
+//!
+//! // Train logistic regression with ADMM on 10 Lambda workers over S3.
+//! let config = JobConfig::new(
+//!     10,
+//!     Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 50 },
+//!     0.3,
+//!     StopSpec::new(0.68, 10),
+//! );
+//! let result = TrainingJob::new(&workload, ModelId::Lr { l2: 0.0 }, config)
+//!     .run()
+//!     .expect("job runs");
+//! assert!(result.converged);
+//! println!("{}", result.summary());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | role |
+//! |---|---|---|
+//! | [`sim`] | lml-sim | virtual clock, RNG, links, billing units |
+//! | [`linalg`] | lml-linalg | dense/sparse kernels |
+//! | [`data`] | lml-data | dataset generators (Higgs, RCV1, Cifar10, YFCC100M, Criteo) |
+//! | [`models`] | lml-models | LR, SVM, k-means, MLP + MobileNet/ResNet50 profiles |
+//! | [`optim`] | lml-optim | GA-SGD, MA-SGD, ADMM, EM |
+//! | [`storage`] | lml-storage | S3 / Memcached / Redis / DynamoDB simulation |
+//! | [`faas`] | lml-faas | Lambda runtime (3 GB / 15 min / GB-s billing) |
+//! | [`iaas`] | lml-iaas | EC2 catalogue, ring AllReduce, VM parameter server |
+//! | [`comm`] | lml-comm | AllReduce/ScatterReduce over storage, BSP/ASP |
+//! | [`core`] | lml-core | training jobs, executors, pipelines |
+//! | [`analytic`] | lml-analytic | the §5.3 analytical model and what-ifs |
+
+pub use lml_analytic as analytic;
+pub use lml_comm as comm;
+pub use lml_core as core;
+pub use lml_data as data;
+pub use lml_faas as faas;
+pub use lml_iaas as iaas;
+pub use lml_linalg as linalg;
+pub use lml_models as models;
+pub use lml_optim as optim;
+pub use lml_sim as sim;
+pub use lml_storage as storage;
+
+/// Everything a typical training script needs.
+pub mod prelude {
+    pub use lml_comm::Pattern;
+    pub use lml_core::job::Workload;
+    pub use lml_core::pipeline::{run_pipeline, PipelineResult};
+    pub use lml_core::{Backend, ChannelKind, JobConfig, JobError, Protocol, RunResult, TrainingJob};
+    pub use lml_data::generators::DatasetId;
+    pub use lml_faas::LambdaSpec;
+    pub use lml_iaas::{InstanceType, RpcKind, SystemProfile};
+    pub use lml_models::ModelId;
+    pub use lml_optim::{Algorithm, LrSchedule, StopSpec};
+    pub use lml_sim::{ByteSize, Cost, SimTime};
+    pub use lml_storage::CacheNode;
+}

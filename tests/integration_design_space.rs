@@ -1,0 +1,155 @@
+//! Cross-product smoke test of the §3 design space: every (algorithm ×
+//! channel × pattern × protocol) combination either trains successfully or
+//! fails with a *principled* error (convexity, item caps, memory).
+
+use lambdaml::prelude::*;
+
+fn workload() -> Workload {
+    let bundle = DatasetId::Higgs.generate_rows(2_000, 7);
+    Workload::from_generated(&bundle, 7)
+}
+
+#[test]
+fn full_design_space_smoke() {
+    let wl = workload();
+    let algorithms = [
+        Algorithm::GaSgd { batch: 50 },
+        Algorithm::MaSgd { batch: 50, local_iters: 3 },
+        Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 50 },
+    ];
+    let channels = [
+        ChannelKind::S3,
+        ChannelKind::Memcached(CacheNode::T3Medium),
+        ChannelKind::Redis(CacheNode::T3Medium),
+        ChannelKind::DynamoDb,
+    ];
+    let patterns = [Pattern::AllReduce, Pattern::ScatterReduce];
+    let protocols = [Protocol::Sync, Protocol::Async];
+
+    let mut ran = 0;
+    let mut principled_rejections = 0;
+    for algo in algorithms {
+        for channel in channels {
+            for pattern in patterns {
+                for protocol in protocols {
+                    let cfg = JobConfig::new(4, algo, 0.3, StopSpec::new(0.0, 1))
+                        .with_backend(Backend::Faas {
+                            spec: LambdaSpec::gb3(),
+                            channel,
+                            pattern,
+                            protocol,
+                        });
+                    match TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run() {
+                        Ok(r) => {
+                            assert!(r.rounds > 0, "{algo:?}/{channel:?}/{pattern:?}/{protocol:?}");
+                            assert!(r.final_loss.is_finite());
+                            assert!(r.dollars().as_usd() >= 0.0);
+                            ran += 1;
+                        }
+                        Err(JobError::NotApplicable(_)) => principled_rejections += 1,
+                        Err(e) => panic!("unprincipled failure for {algo:?}/{channel:?}/{pattern:?}/{protocol:?}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    // Async+ADMM is the only rejected combination: 3×4×2×2 = 48 total,
+    // 1 (algo) × 4 × 2 × 1 (async) = 8 rejections.
+    assert_eq!(principled_rejections, 8);
+    assert_eq!(ran, 40);
+}
+
+#[test]
+fn em_runs_on_every_channel() {
+    let wl = workload();
+    for channel in [
+        ChannelKind::S3,
+        ChannelKind::Memcached(CacheNode::T3Medium),
+        ChannelKind::DynamoDb,
+    ] {
+        let cfg = JobConfig::new(4, Algorithm::Em, 0.0, StopSpec::new(0.0, 3)).with_backend(
+            Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel,
+                pattern: Pattern::AllReduce,
+                protocol: Protocol::Sync,
+            },
+        );
+        let r = TrainingJob::new(&wl, ModelId::KMeans { k: 5 }, cfg).run().unwrap();
+        assert!(r.final_loss.is_finite());
+        assert!(r.rounds >= 3);
+    }
+}
+
+#[test]
+fn patterns_give_identical_statistics() {
+    // Same job, different pattern: learning outcome must be bit-identical
+    // (only time/cost differ) because both compute the exact sum.
+    let wl = workload();
+    let mk = |pattern| {
+        let cfg = JobConfig::new(5, Algorithm::GaSgd { batch: 40 }, 0.4, StopSpec::new(0.0, 2))
+            .with_backend(Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel: ChannelKind::S3,
+                pattern,
+                protocol: Protocol::Sync,
+            });
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+    };
+    let a = mk(Pattern::AllReduce);
+    let b = mk(Pattern::ScatterReduce);
+    assert_eq!(a.final_loss, b.final_loss, "same statistics, same model");
+    assert_eq!(a.rounds, b.rounds);
+    assert_ne!(
+        a.breakdown.comm.as_secs(),
+        b.breakdown.comm.as_secs(),
+        "but different communication time"
+    );
+}
+
+#[test]
+fn async_differs_from_sync_statistically() {
+    let wl = workload();
+    let mk = |protocol| {
+        let cfg = JobConfig::new(6, Algorithm::GaSgd { batch: 40 }, 0.4, StopSpec::new(0.0, 3))
+            .with_backend(Backend::Faas {
+                spec: LambdaSpec::gb3(),
+                channel: ChannelKind::S3,
+                pattern: Pattern::AllReduce,
+                protocol,
+            });
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+    };
+    let sync = mk(Protocol::Sync);
+    let asyn = mk(Protocol::Async);
+    assert_ne!(sync.final_loss, asyn.final_loss, "stale reads change the trajectory");
+    // both still make progress from ln(2)
+    assert!(sync.final_loss < 0.69);
+    assert!(asyn.final_loss < 0.69);
+}
+
+#[test]
+fn memcached_startup_dominates_short_jobs() {
+    // §4.3: Memcached is faster per round but its node boot loses short
+    // jobs; S3 wins end-to-end on quick-converging LR.
+    let wl = workload();
+    let mk = |channel| {
+        let cfg = JobConfig::new(
+            4,
+            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 50 },
+            0.3,
+            StopSpec::new(0.68, 10),
+        )
+        .with_backend(Backend::Faas {
+            spec: LambdaSpec::gb3(),
+            channel,
+            pattern: Pattern::AllReduce,
+            protocol: Protocol::Sync,
+        });
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+    };
+    let s3 = mk(ChannelKind::S3);
+    let mc = mk(ChannelKind::Memcached(CacheNode::T3Medium));
+    assert!(mc.breakdown.comm < s3.breakdown.comm, "Memcached rounds are faster");
+    assert!(mc.runtime() > s3.runtime(), "but the node boot loses the job");
+}

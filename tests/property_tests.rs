@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the core invariants: communication
+//! patterns must aggregate exactly, the simulator's accounting must be
+//! conservative, and serialization must round-trip.
+
+use lambdaml::comm::patterns::{chunk_ranges, reduce, Pattern};
+use lambdaml::data::libsvm;
+use lambdaml::faas::LifetimeManager;
+use lambdaml::linalg::SparseVec;
+use lambdaml::sim::{ByteSize, FifoResource, PiecewiseLinear, SimTime};
+use lambdaml::storage::{ServiceProfile, StorageChannel};
+use proptest::prelude::*;
+
+fn reference_sum(stats: &[Vec<f64>]) -> Vec<f64> {
+    let mut out = vec![0.0; stats[0].len()];
+    for s in stats {
+        for (o, v) in out.iter_mut().zip(s) {
+            *o += v;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both patterns compute the exact element-wise sum for any worker
+    /// count, vector length and values.
+    #[test]
+    fn patterns_aggregate_exactly(
+        w in 1usize..12,
+        len in 1usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = lambdaml::sim::Pcg64::new(seed);
+        let stats: Vec<Vec<f64>> =
+            (0..w).map(|_| (0..len).map(|_| rng.normal()).collect()).collect();
+        let expect = reference_sum(&stats);
+        for pattern in [Pattern::AllReduce, Pattern::ScatterReduce] {
+            let mut ch = StorageChannel::new(ServiceProfile::s3());
+            let out = reduce(&mut ch, pattern, "p", &stats, ByteSize::of_f64s(len)).unwrap();
+            for (a, b) in out.aggregate.iter().zip(&expect) {
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "{pattern:?}: {a} vs {b}");
+            }
+            prop_assert!(out.duration.as_secs() > 0.0);
+        }
+    }
+
+    /// Chunk ranges always partition [0, len) into w contiguous pieces
+    /// whose sizes differ by at most one.
+    #[test]
+    fn chunk_ranges_partition(len in 0usize..10_000, w in 1usize..64) {
+        let r = chunk_ranges(len, w);
+        prop_assert_eq!(r.len(), w);
+        prop_assert_eq!(r[0].0, 0);
+        prop_assert_eq!(r[w - 1].1, len);
+        let mut min_size = usize::MAX;
+        let mut max_size = 0;
+        for (i, &(lo, hi)) in r.iter().enumerate() {
+            prop_assert!(lo <= hi);
+            if i + 1 < w {
+                prop_assert_eq!(hi, r[i + 1].0);
+            }
+            min_size = min_size.min(hi - lo);
+            max_size = max_size.max(hi - lo);
+        }
+        prop_assert!(max_size - min_size <= 1);
+    }
+
+    /// LIBSVM serialization round-trips arbitrary sparse datasets.
+    #[test]
+    fn libsvm_roundtrip(
+        rows in prop::collection::vec(
+            (prop::collection::btree_map(0u32..500, -100i32..100, 1..20), -1i32..=1),
+            1..20,
+        )
+    ) {
+        let mut svs = Vec::new();
+        let mut labels = Vec::new();
+        for (m, y) in &rows {
+            let pairs: Vec<(u32, f64)> =
+                m.iter().map(|(&i, &v)| (i, f64::from(v) / 4.0)).collect();
+            svs.push(SparseVec::from_pairs(pairs));
+            labels.push(f64::from(*y));
+        }
+        let ds = lambdaml::data::Dataset::Sparse(
+            lambdaml::data::SparseDataset::new(svs, labels, 500));
+        let text = libsvm::write(&ds);
+        let back = libsvm::parse_sparse(&text, 500).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            prop_assert_eq!(back.label(i), ds.label(i));
+            if let lambdaml::data::Row::Sparse(orig) = ds.row(i) {
+                prop_assert_eq!(back.row(i).indices(), orig.indices());
+                for (a, b) in back.row(i).values().iter().zip(orig.values()) {
+                    prop_assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Piecewise-linear interpolation is exact at knots and bounded by the
+    /// knot values inside each segment.
+    #[test]
+    fn piecewise_linear_interpolates(
+        mut ys in prop::collection::vec(0.0f64..1_000.0, 2..8),
+        t in 0.0f64..1.0,
+    ) {
+        let knots: Vec<(f64, f64)> =
+            ys.drain(..).enumerate().map(|(i, y)| (i as f64, y)).collect();
+        let pl = PiecewiseLinear::new(knots.clone());
+        for &(x, y) in &knots {
+            prop_assert!((pl.eval(x) - y).abs() < 1e-9);
+        }
+        // inside segment [0, 1]
+        let v = pl.eval(t);
+        let (lo, hi) = (knots[0].1.min(knots[1].1), knots[0].1.max(knots[1].1));
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// A FIFO resource never finishes an op before `arrival + service` and
+    /// total throughput never exceeds aggregate bandwidth.
+    #[test]
+    fn fifo_resource_is_conservative(
+        ops in prop::collection::vec((0.0f64..100.0, 1u64..50_000_000), 1..30),
+        parallelism in 1usize..8,
+    ) {
+        let bw = 100e6;
+        let mut r = FifoResource::new(bw, 0.0, parallelism);
+        let mut total_bytes = 0u64;
+        let mut max_finish: f64 = 0.0;
+        let mut min_arrival = f64::INFINITY;
+        for &(arrival, bytes) in &ops {
+            let done = r.submit(SimTime::secs(arrival), ByteSize::bytes(bytes));
+            let service = bytes as f64 / (bw / parallelism as f64);
+            prop_assert!(done.as_secs() >= arrival + service - 1e-9);
+            total_bytes += bytes;
+            max_finish = max_finish.max(done.as_secs());
+            min_arrival = min_arrival.min(arrival);
+        }
+        // Conservation: you cannot move N bytes faster than N/bandwidth.
+        prop_assert!(max_finish - min_arrival >= total_bytes as f64 / bw - 1e-6);
+    }
+
+    /// The lifetime manager's wall time always covers the work charged, and
+    /// re-invocations match the number of 870 s boundaries crossed.
+    #[test]
+    fn lifetime_wall_covers_work(work_segments in prop::collection::vec(0.1f64..400.0, 1..60)) {
+        let mut lm = LifetimeManager::with_overhead(SimTime::secs(3.0));
+        let mut wall = 0.0;
+        let mut work = 0.0;
+        for &seg in &work_segments {
+            wall += lm.charge(SimTime::secs(seg)).as_secs();
+            work += seg;
+        }
+        prop_assert!(wall >= work - 1e-9);
+        let expected_rollovers = (work / 870.0).floor() as u32;
+        prop_assert!(lm.reinvocations() >= expected_rollovers);
+        prop_assert!(lm.reinvocations() <= expected_rollovers + 1);
+    }
+
+    /// KMeans sufficient statistics are additive across any split of the
+    /// rows — the invariant that makes EM distributable.
+    #[test]
+    fn kmeans_stats_additive(split in 1usize..199, seed in 0u64..100) {
+        let data = lambdaml::data::generators::DatasetId::Higgs
+            .generate_rows(200, seed).data;
+        let km = lambdaml::models::KMeans::init_from_data(&data, 4, seed);
+        let rows: Vec<usize> = (0..200).collect();
+        let full = km.sufficient_stats(&data, &rows);
+        let a = km.sufficient_stats(&data, &rows[..split]);
+        let b = km.sufficient_stats(&data, &rows[split..]);
+        for i in 0..full.len() {
+            prop_assert!((full[i] - (a[i] + b[i])).abs() < 1e-9);
+        }
+    }
+}
