@@ -55,25 +55,139 @@ pub const L_EC: f64 = 1e-2;
 /// The full Table 6, row by row (paper means and spreads).
 pub fn table6() -> Vec<Constant> {
     vec![
-        Constant { symbol: "t_F(w)", config: "w=10", mean: 1.2, spread: 0.1, unit: "s" },
-        Constant { symbol: "t_F(w)", config: "w=50", mean: 11.0, spread: 1.0, unit: "s" },
-        Constant { symbol: "t_F(w)", config: "w=100", mean: 18.0, spread: 1.0, unit: "s" },
-        Constant { symbol: "t_F(w)", config: "w=200", mean: 35.0, spread: 3.0, unit: "s" },
-        Constant { symbol: "t_I(w)", config: "w=10", mean: 132.0, spread: 6.0, unit: "s" },
-        Constant { symbol: "t_I(w)", config: "w=50", mean: 160.0, spread: 5.0, unit: "s" },
-        Constant { symbol: "t_I(w)", config: "w=100", mean: 292.0, spread: 8.0, unit: "s" },
-        Constant { symbol: "t_I(w)", config: "w=200", mean: 606.0, spread: 12.0, unit: "s" },
-        Constant { symbol: "B_S3", config: "Amazon S3", mean: 65.0, spread: 7.0, unit: "MB/s" },
-        Constant { symbol: "B_EBS", config: "gp2", mean: 1950.0, spread: 50.0, unit: "MB/s" },
-        Constant { symbol: "B_n", config: "t2.medium-t2.medium", mean: 120.0, spread: 6.0, unit: "MB/s" },
-        Constant { symbol: "B_n", config: "c5.large-c5.large", mean: 225.0, spread: 8.0, unit: "MB/s" },
-        Constant { symbol: "B_EC", config: "cache.t3.medium", mean: 630.0, spread: 25.0, unit: "MB/s" },
-        Constant { symbol: "B_EC", config: "cache.m5.large", mean: 1260.0, spread: 35.0, unit: "MB/s" },
-        Constant { symbol: "L_S3", config: "Amazon S3", mean: 8e-2, spread: 2e-2, unit: "s" },
-        Constant { symbol: "L_EBS", config: "gp2", mean: 3e-5, spread: 0.5e-5, unit: "s" },
-        Constant { symbol: "L_n", config: "t2.medium-t2.medium", mean: 5e-4, spread: 1e-4, unit: "s" },
-        Constant { symbol: "L_n", config: "c5.large-c5.large", mean: 1.5e-4, spread: 0.2e-4, unit: "s" },
-        Constant { symbol: "L_EC", config: "cache.t3.medium", mean: 1e-2, spread: 0.2e-2, unit: "s" },
+        Constant {
+            symbol: "t_F(w)",
+            config: "w=10",
+            mean: 1.2,
+            spread: 0.1,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_F(w)",
+            config: "w=50",
+            mean: 11.0,
+            spread: 1.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_F(w)",
+            config: "w=100",
+            mean: 18.0,
+            spread: 1.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_F(w)",
+            config: "w=200",
+            mean: 35.0,
+            spread: 3.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_I(w)",
+            config: "w=10",
+            mean: 132.0,
+            spread: 6.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_I(w)",
+            config: "w=50",
+            mean: 160.0,
+            spread: 5.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_I(w)",
+            config: "w=100",
+            mean: 292.0,
+            spread: 8.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "t_I(w)",
+            config: "w=200",
+            mean: 606.0,
+            spread: 12.0,
+            unit: "s",
+        },
+        Constant {
+            symbol: "B_S3",
+            config: "Amazon S3",
+            mean: 65.0,
+            spread: 7.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "B_EBS",
+            config: "gp2",
+            mean: 1950.0,
+            spread: 50.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "B_n",
+            config: "t2.medium-t2.medium",
+            mean: 120.0,
+            spread: 6.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "B_n",
+            config: "c5.large-c5.large",
+            mean: 225.0,
+            spread: 8.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "B_EC",
+            config: "cache.t3.medium",
+            mean: 630.0,
+            spread: 25.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "B_EC",
+            config: "cache.m5.large",
+            mean: 1260.0,
+            spread: 35.0,
+            unit: "MB/s",
+        },
+        Constant {
+            symbol: "L_S3",
+            config: "Amazon S3",
+            mean: 8e-2,
+            spread: 2e-2,
+            unit: "s",
+        },
+        Constant {
+            symbol: "L_EBS",
+            config: "gp2",
+            mean: 3e-5,
+            spread: 0.5e-5,
+            unit: "s",
+        },
+        Constant {
+            symbol: "L_n",
+            config: "t2.medium-t2.medium",
+            mean: 5e-4,
+            spread: 1e-4,
+            unit: "s",
+        },
+        Constant {
+            symbol: "L_n",
+            config: "c5.large-c5.large",
+            mean: 1.5e-4,
+            spread: 0.2e-4,
+            unit: "s",
+        },
+        Constant {
+            symbol: "L_EC",
+            config: "cache.t3.medium",
+            mean: 1e-2,
+            spread: 0.2e-2,
+            unit: "s",
+        },
     ]
 }
 

@@ -46,13 +46,22 @@ pub fn estimate_epochs(
     // only transfer between scales when the round structure matches).
     let scale_batch = |b: usize| ((b as f64 * sample_frac).round() as usize).max(1);
     let algo = match algo {
-        Algorithm::GaSgd { batch } => Algorithm::GaSgd { batch: scale_batch(batch) },
-        Algorithm::MaSgd { batch, local_iters } => {
-            Algorithm::MaSgd { batch: scale_batch(batch), local_iters }
-        }
-        Algorithm::Admm { rho, local_scans, batch } => {
-            Algorithm::Admm { rho, local_scans, batch: scale_batch(batch) }
-        }
+        Algorithm::GaSgd { batch } => Algorithm::GaSgd {
+            batch: scale_batch(batch),
+        },
+        Algorithm::MaSgd { batch, local_iters } => Algorithm::MaSgd {
+            batch: scale_batch(batch),
+            local_iters,
+        },
+        Algorithm::Admm {
+            rho,
+            local_scans,
+            batch,
+        } => Algorithm::Admm {
+            rho,
+            local_scans,
+            batch: scale_batch(batch),
+        },
         Algorithm::Em => Algorithm::Em,
     };
 
@@ -83,10 +92,18 @@ pub fn estimate_epochs(
         epochs += ex0 as f64 / part_len;
         loss = workers[0].eval_model(&algo).full_loss(&valid);
         if loss <= threshold {
-            return EpochEstimate { epochs, reached: true, final_loss: loss };
+            return EpochEstimate {
+                epochs,
+                reached: true,
+                final_loss: loss,
+            };
         }
     }
-    EpochEstimate { epochs, reached: false, final_loss: loss }
+    EpochEstimate {
+        epochs,
+        reached: false,
+        final_loss: loss,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +115,11 @@ mod tests {
         let est = estimate_epochs(
             DatasetId::Higgs,
             ModelId::Lr { l2: 0.0 },
-            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 },
+            Algorithm::Admm {
+                rho: 0.1,
+                local_scans: 2,
+                batch: 100,
+            },
             0.3,
             0.68,
             0.1,
@@ -129,7 +150,12 @@ mod tests {
         let full = run(1.0);
         assert!(sample.reached && full.reached);
         let ratio = sample.epochs / full.epochs;
-        assert!((0.4..2.5).contains(&ratio), "sample {} vs full {}", sample.epochs, full.epochs);
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "sample {} vs full {}",
+            sample.epochs,
+            full.epochs
+        );
     }
 
     #[test]

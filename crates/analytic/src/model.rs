@@ -43,7 +43,11 @@ impl AnalyticCase {
 
     /// FaaS over ElastiCache (cache.t3.medium).
     pub fn faas_elasticache() -> Self {
-        AnalyticCase { bandwidth: constants::B_EC_T3, latency: constants::L_EC, ..Self::faas_s3() }
+        AnalyticCase {
+            bandwidth: constants::B_EC_T3,
+            latency: constants::L_EC,
+            ..Self::faas_s3()
+        }
     }
 
     /// IaaS on t2.medium.
@@ -72,7 +76,9 @@ impl AnalyticCase {
 pub enum Scaling {
     Perfect,
     /// `f(w) = w^alpha` — statistical-efficiency loss with more workers.
-    Power { alpha: f64 },
+    Power {
+        alpha: f64,
+    },
 }
 
 impl Scaling {

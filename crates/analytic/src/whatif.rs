@@ -61,13 +61,23 @@ impl Scenario {
     pub fn with_10gbps(&self, wire_share: f64) -> Scenario {
         assert!((0.0..=1.0).contains(&wire_share));
         let speedup = 1_250e6 / LAMBDA_TO_VM_BW;
-        let new_round = self.comm_round * (1.0 - wire_share) + self.comm_round * wire_share / speedup;
-        Scenario { name: format!("{}-10Gbps", self.name), comm_round: new_round, ..self.clone() }
+        let new_round =
+            self.comm_round * (1.0 - wire_share) + self.comm_round * wire_share / speedup;
+        Scenario {
+            name: format!("{}-10Gbps", self.name),
+            comm_round: new_round,
+            ..self.clone()
+        }
     }
 
     /// Q2: the data is hot inside one powerful VM; loading happens over
     /// that VM's NIC (shared by all readers) instead of S3.
-    pub fn with_hot_data(&self, partition_bytes: f64, host_nic_bps: f64, reader_bps: f64) -> Scenario {
+    pub fn with_hot_data(
+        &self,
+        partition_bytes: f64,
+        host_nic_bps: f64,
+        reader_bps: f64,
+    ) -> Scenario {
         let per_reader = reader_bps.min(host_nic_bps / self.workers as f64);
         Scenario {
             name: format!("{}-hot", self.name),
@@ -123,14 +133,27 @@ mod tests {
         let partition = 655e6; // YFCC100M / 100 workers
         let faas = hybrid_mn().with_hot_data(partition, 1_250e6, LAMBDA_TO_VM_BW);
         let iaas = hybrid_mn().with_hot_data(partition, 1_250e6, 120e6);
-        assert!(faas.load > iaas.load, "faas {} vs iaas {}", faas.load, iaas.load);
+        assert!(
+            faas.load > iaas.load,
+            "faas {} vs iaas {}",
+            faas.load,
+            iaas.load
+        );
     }
 
     #[test]
     fn host_nic_caps_parallel_readers() {
         let partition = 100e6;
-        let few = Scenario { workers: 2, ..hybrid_mn() }.with_hot_data(partition, 1_250e6, 120e6);
-        let many = Scenario { workers: 100, ..hybrid_mn() }.with_hot_data(partition, 1_250e6, 120e6);
+        let few = Scenario {
+            workers: 2,
+            ..hybrid_mn()
+        }
+        .with_hot_data(partition, 1_250e6, 120e6);
+        let many = Scenario {
+            workers: 100,
+            ..hybrid_mn()
+        }
+        .with_hot_data(partition, 1_250e6, 120e6);
         assert!(many.load > few.load, "100 readers share the NIC");
     }
 

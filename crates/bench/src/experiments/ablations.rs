@@ -27,8 +27,13 @@ fn polling_interval(_h: &Harness) -> String {
     for ms in [0.0, 10.0, 100.0, 500.0, 2_000.0] {
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         let bsp = Bsp::new(Pattern::AllReduce).with_poll_interval(SimTime::millis(ms));
-        let o = bsp.run_round(&mut ch, 0, 0, &stats, ByteSize::bytes(224)).expect("round");
-        rows.push(vec![format!("{ms}ms"), format!("{:.2}s", o.duration.as_secs())]);
+        let o = bsp
+            .run_round(&mut ch, 0, 0, &stats, ByteSize::bytes(224))
+            .expect("round");
+        rows.push(vec![
+            format!("{ms}ms"),
+            format!("{:.2}s", o.duration.as_secs()),
+        ]);
     }
     table(
         "Ablation: BSP polling interval (LR/Higgs round, W=10, S3)",
@@ -44,9 +49,16 @@ fn admm_local_scans(h: &Harness) -> String {
     let batch = scaled_batch(&wl, wid.paper_batch());
     let mut rows = Vec::new();
     for scans in [1usize, 2, 5, 10, 20] {
-        let algo = Algorithm::Admm { rho: 0.1, local_scans: scans, batch };
-        let cfg = JobConfig::new(10, algo, 0.1, StopSpec::new(wid.threshold(), 40)).with_seed(h.seed);
-        let r = TrainingJob::new(&wl, wid.model(), cfg).run().expect("admm runs");
+        let algo = Algorithm::Admm {
+            rho: 0.1,
+            local_scans: scans,
+            batch,
+        };
+        let cfg =
+            JobConfig::new(10, algo, 0.1, StopSpec::new(wid.threshold(), 40)).with_seed(h.seed);
+        let r = TrainingJob::new(&wl, wid.model(), cfg)
+            .run()
+            .expect("admm runs");
         rows.push(vec![
             scans.to_string(),
             r.rounds.to_string(),

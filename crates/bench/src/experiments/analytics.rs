@@ -29,14 +29,17 @@ pub fn table6_constants(_h: &Harness) -> String {
             }
             ("B_S3", _) => Some(measure_bandwidth(ServiceProfile::s3()) / 1e6),
             ("B_EC", "cache.t3.medium") => Some(
-                measure_bandwidth(ServiceProfile::memcached(lml_storage::CacheNode::T3Medium)) / 1e6,
+                measure_bandwidth(ServiceProfile::memcached(lml_storage::CacheNode::T3Medium))
+                    / 1e6,
             ),
             ("B_EC", "cache.m5.large") => Some(
                 measure_bandwidth(ServiceProfile::memcached(lml_storage::CacheNode::M5Large)) / 1e6,
             ),
             ("L_S3", _) => Some(ServiceProfile::s3().latency.as_secs()),
             ("L_EC", _) => Some(
-                ServiceProfile::memcached(lml_storage::CacheNode::T3Medium).latency.as_secs(),
+                ServiceProfile::memcached(lml_storage::CacheNode::T3Medium)
+                    .latency
+                    .as_secs(),
             ),
             _ => None,
         };
@@ -89,10 +92,17 @@ pub fn fig13_model(h: &Harness) -> String {
     {
         let wid = WorkloadId::LrHiggs;
         let named = wid.build(h);
-        let epoch_grid: &[usize] = if h.fast { &[1, 5, 10, 30] } else { &[1, 2, 5, 10, 20, 50, 100] };
+        let epoch_grid: &[usize] = if h.fast {
+            &[1, 5, 10, 30]
+        } else {
+            &[1, 2, 5, 10, 20, 50, 100]
+        };
         let mut rows = Vec::new();
         for &e in epoch_grid {
-            let cfg = JobConfig { stop: StopSpec::new(0.0, e), ..named.config };
+            let cfg = JobConfig {
+                stop: StopSpec::new(0.0, e),
+                ..named.config
+            };
             let sim_faas = TrainingJob::new(&named.workload, named.model, cfg)
                 .run()
                 .expect("faas run");
@@ -116,7 +126,13 @@ pub fn fig13_model(h: &Harness) -> String {
         }
         out.push_str(&table(
             "Figure 13a: analytical model vs simulated runtime (LR, Higgs, W=10)",
-            &["epochs", "LambdaML actual", "predicted", "PyTorch actual", "predicted"],
+            &[
+                "epochs",
+                "LambdaML actual",
+                "predicted",
+                "PyTorch actual",
+                "predicted",
+            ],
             &rows,
         ));
     }
@@ -124,7 +140,12 @@ pub fn fig13_model(h: &Harness) -> String {
     // (b) sampling-based epoch estimation on 10% of the data.
     {
         let mut rows = Vec::new();
-        for wid in [WorkloadId::LrHiggs, WorkloadId::SvmHiggs, WorkloadId::LrYfcc, WorkloadId::SvmYfcc] {
+        for wid in [
+            WorkloadId::LrHiggs,
+            WorkloadId::SvmHiggs,
+            WorkloadId::LrYfcc,
+            WorkloadId::SvmYfcc,
+        ] {
             let wl = workload(wid.dataset(), h);
             let algo = wid.best_algorithm(&wl);
             let est = estimate_epochs(
@@ -149,8 +170,16 @@ pub fn fig13_model(h: &Harness) -> String {
             );
             rows.push(vec![
                 wid.name().into(),
-                format!("{:.2}{}", est.epochs, if est.reached { "" } else { " (cap)" }),
-                format!("{:.2}{}", actual.epochs, if actual.reached { "" } else { " (cap)" }),
+                format!(
+                    "{:.2}{}",
+                    est.epochs,
+                    if est.reached { "" } else { " (cap)" }
+                ),
+                format!(
+                    "{:.2}{}",
+                    actual.epochs,
+                    if actual.reached { "" } else { " (cap)" }
+                ),
             ]);
         }
         out.push_str(&table(
@@ -164,7 +193,13 @@ pub fn fig13_model(h: &Harness) -> String {
 }
 
 /// Convert one simulated run into a closed-form scenario for what-ifs.
-fn scenario_of(name: &str, r: &RunResult, workers: usize, rate_per_s: f64, bills_startup: bool) -> Scenario {
+fn scenario_of(
+    name: &str,
+    r: &RunResult,
+    workers: usize,
+    rate_per_s: f64,
+    bills_startup: bool,
+) -> Scenario {
     let epochs = r.epochs.max(1e-9);
     Scenario {
         name: name.to_string(),
@@ -188,15 +223,23 @@ fn base_scenarios(h: &Harness, wid: WorkloadId, max_ep: usize) -> Vec<Scenario> 
     let lambda_rate = w as f64 * 3.008 * lml_faas::lambda::PRICE_PER_GB_SECOND;
     let mut v = Vec::new();
 
-    let faas = TrainingJob::new(&named.workload, named.model, named.config).run().expect("faas");
+    let faas = TrainingJob::new(&named.workload, named.model, named.config)
+        .run()
+        .expect("faas");
     v.push(scenario_of("FaaS", &faas, w, lambda_rate, false));
 
-    let iaas_inst =
-        if wid == WorkloadId::MnCifar { InstanceType::G3sXLarge } else { InstanceType::T2Medium };
-    let iaas_cfg = named
-        .config
-        .with_backend(Backend::Iaas { instance: iaas_inst, system: SystemProfile::PyTorch });
-    let iaas = TrainingJob::new(&named.workload, named.model, iaas_cfg).run().expect("iaas");
+    let iaas_inst = if wid == WorkloadId::MnCifar {
+        InstanceType::G3sXLarge
+    } else {
+        InstanceType::T2Medium
+    };
+    let iaas_cfg = named.config.with_backend(Backend::Iaas {
+        instance: iaas_inst,
+        system: SystemProfile::PyTorch,
+    });
+    let iaas = TrainingJob::new(&named.workload, named.model, iaas_cfg)
+        .run()
+        .expect("iaas");
     v.push(scenario_of(
         &format!("IaaS({})", iaas_inst.name()),
         &iaas,
@@ -206,7 +249,9 @@ fn base_scenarios(h: &Harness, wid: WorkloadId, max_ep: usize) -> Vec<Scenario> 
     ));
 
     let hybrid_cfg = named.config.with_backend(Backend::hybrid_default());
-    let hybrid = TrainingJob::new(&named.workload, named.model, hybrid_cfg).run().expect("hybrid");
+    let hybrid = TrainingJob::new(&named.workload, named.model, hybrid_cfg)
+        .run()
+        .expect("hybrid");
     v.push(scenario_of(
         "HybridPS",
         &hybrid,
@@ -232,7 +277,8 @@ pub fn fig14_fast_hybrid(h: &Harness) -> String {
             // GPU-FaaS at g3s pricing: compute shrinks by the calibrated
             // GPU/Lambda throughput ratio; billing at $0.75/h per worker.
             let faas = scenarios[0].clone();
-            let gpu_speedup = lml_iaas::GpuKind::M60.effective_flops() / lml_core::engine::NN_FLOPS_LAMBDA;
+            let gpu_speedup =
+                lml_iaas::GpuKind::M60.effective_flops() / lml_core::engine::NN_FLOPS_LAMBDA;
             let mut gpu_faas = Scenario {
                 name: "FaaS-GPU@g3s-price".into(),
                 compute_per_epoch: faas.compute_per_epoch / gpu_speedup,

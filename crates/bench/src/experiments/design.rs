@@ -34,7 +34,15 @@ pub fn fig6_datasets(h: &Harness) -> String {
     }
     let out = table(
         "Figure 6: datasets (paper scale + generated sample)",
-        &["dataset", "size", "#ins(paper)", "#feat", "layout", "#ins(sample)", "avg nnz"],
+        &[
+            "dataset",
+            "size",
+            "#ins(paper)",
+            "#feat",
+            "layout",
+            "#ins(sample)",
+            "avg nnz",
+        ],
         &rows,
     );
     println!("{out}");
@@ -50,8 +58,21 @@ pub fn fig7_optimizers(h: &Harness) -> String {
         let wl = workload(DatasetId::Higgs, h);
         let batch = scaled_batch(&wl, wid.paper_batch());
         let algos = [
-            ("ADMM", Algorithm::Admm { rho: 0.1, local_scans: ADMM_LOCAL_SCANS, batch }),
-            ("MA-SGD", Algorithm::MaSgd { batch, local_iters: (wl.train.len() / 10 / batch).max(1) }),
+            (
+                "ADMM",
+                Algorithm::Admm {
+                    rho: 0.1,
+                    local_scans: ADMM_LOCAL_SCANS,
+                    batch,
+                },
+            ),
+            (
+                "MA-SGD",
+                Algorithm::MaSgd {
+                    batch,
+                    local_iters: (wl.train.len() / 10 / batch).max(1),
+                },
+            ),
             ("GA-SGD", Algorithm::GaSgd { batch }),
         ];
         let mut rows = Vec::new();
@@ -59,15 +80,22 @@ pub fn fig7_optimizers(h: &Harness) -> String {
         for (name, algo) in algos {
             let mut per_w = Vec::new();
             for w in [10usize, big_w] {
-                let cfg = JobConfig::new(w, algo, wid.lr(), StopSpec::new(wid.threshold(), wid.max_epochs(h)))
-                    .with_backend(Backend::Faas {
-                        spec: LambdaSpec::gb3(),
-                        channel: ChannelKind::Memcached(CacheNode::T3Medium),
-                        pattern: Pattern::AllReduce,
-                        protocol: Protocol::Sync,
-                    })
-                    .with_seed(h.seed);
-                let r = TrainingJob::new(&wl, wid.model(), cfg).run().expect("job runs");
+                let cfg = JobConfig::new(
+                    w,
+                    algo,
+                    wid.lr(),
+                    StopSpec::new(wid.threshold(), wid.max_epochs(h)),
+                )
+                .with_backend(Backend::Faas {
+                    spec: LambdaSpec::gb3(),
+                    channel: ChannelKind::Memcached(CacheNode::T3Medium),
+                    pattern: Pattern::AllReduce,
+                    protocol: Protocol::Sync,
+                })
+                .with_seed(h.seed);
+                let r = TrainingJob::new(&wl, wid.model(), cfg)
+                    .run()
+                    .expect("job runs");
                 per_w.push(r);
             }
             let t10 = per_w[0].breakdown.total_without_startup().as_secs();
@@ -84,8 +112,19 @@ pub fn fig7_optimizers(h: &Harness) -> String {
             ]);
         }
         out.push_str(&table(
-            &format!("Figure 7: {} (Memcached channel; speedup = t(10w)/t({big_w}w))", wid.name()),
-            &["algorithm", "t(10w)", "rounds", "loss", &format!("t({big_w}w)"), "rounds'", "speedup"],
+            &format!(
+                "Figure 7: {} (Memcached channel; speedup = t(10w)/t({big_w}w))",
+                wid.name()
+            ),
+            &[
+                "algorithm",
+                "t(10w)",
+                "rounds",
+                "loss",
+                &format!("t({big_w}w)"),
+                "rounds'",
+                "speedup",
+            ],
             &rows,
         ));
     }
@@ -99,11 +138,19 @@ pub fn fig7_optimizers(h: &Harness) -> String {
         let mut rows = Vec::new();
         for (name, algo) in [
             ("GA-SGD", Algorithm::GaSgd { batch }),
-            ("MA-SGD", Algorithm::MaSgd { batch, local_iters: (wl.train.len() / 10 / batch).max(1) }),
+            (
+                "MA-SGD",
+                Algorithm::MaSgd {
+                    batch,
+                    local_iters: (wl.train.len() / 10 / batch).max(1),
+                },
+            ),
         ] {
             let cfg = JobConfig::new(10, algo, wid.lr(), StopSpec::new(wid.threshold(), max_ep))
                 .with_seed(h.seed);
-            let r = TrainingJob::new(&wl, wid.model(), cfg).run().expect("job runs");
+            let r = TrainingJob::new(&wl, wid.model(), cfg)
+                .run()
+                .expect("job runs");
             rows.push(vec![
                 name.to_string(),
                 format!("{:.1}s", r.breakdown.total_without_startup().as_secs()),
@@ -114,7 +161,13 @@ pub fn fig7_optimizers(h: &Harness) -> String {
         }
         out.push_str(&table(
             "Figure 7c: MobileNet/Cifar10 (ADMM not applicable to non-convex models)",
-            &["algorithm", "time", "rounds", "final loss", "tail oscillation"],
+            &[
+                "algorithm",
+                "time",
+                "rounds",
+                "final loss",
+                "tail oscillation",
+            ],
             &rows,
         ));
     }
@@ -133,17 +186,56 @@ pub fn table1_channels(h: &Harness) -> String {
         epochs: usize,
     }
     let cases = [
-        Case { label: "LR,Higgs,W=10", wid: WorkloadId::LrHiggs, workers: 10, k_override: None, epochs: 10 },
-        Case { label: "LR,Higgs,W=50", wid: WorkloadId::LrHiggs, workers: 50, k_override: None, epochs: 10 },
-        Case { label: "KMeans,Higgs,W=50,k=10", wid: WorkloadId::KmHiggs, workers: 50, k_override: Some(10), epochs: 10 },
-        Case { label: "KMeans,Higgs,W=50,k=1K", wid: WorkloadId::KmHiggs, workers: 50, k_override: Some(1_000), epochs: 10 },
-        Case { label: "MobileNet,Cifar10,W=10", wid: WorkloadId::MnCifar, workers: 10, k_override: None, epochs: if h.fast { 2 } else { 5 } },
-        Case { label: "MobileNet,Cifar10,W=50", wid: WorkloadId::MnCifar, workers: 50, k_override: None, epochs: if h.fast { 2 } else { 5 } },
+        Case {
+            label: "LR,Higgs,W=10",
+            wid: WorkloadId::LrHiggs,
+            workers: 10,
+            k_override: None,
+            epochs: 10,
+        },
+        Case {
+            label: "LR,Higgs,W=50",
+            wid: WorkloadId::LrHiggs,
+            workers: 50,
+            k_override: None,
+            epochs: 10,
+        },
+        Case {
+            label: "KMeans,Higgs,W=50,k=10",
+            wid: WorkloadId::KmHiggs,
+            workers: 50,
+            k_override: Some(10),
+            epochs: 10,
+        },
+        Case {
+            label: "KMeans,Higgs,W=50,k=1K",
+            wid: WorkloadId::KmHiggs,
+            workers: 50,
+            k_override: Some(1_000),
+            epochs: 10,
+        },
+        Case {
+            label: "MobileNet,Cifar10,W=10",
+            wid: WorkloadId::MnCifar,
+            workers: 10,
+            k_override: None,
+            epochs: if h.fast { 2 } else { 5 },
+        },
+        Case {
+            label: "MobileNet,Cifar10,W=50",
+            wid: WorkloadId::MnCifar,
+            workers: 50,
+            k_override: None,
+            epochs: if h.fast { 2 } else { 5 },
+        },
     ];
 
     let channels: [(&str, Option<ChannelKind>); 4] = [
         ("S3", Some(ChannelKind::S3)),
-        ("Memcached", Some(ChannelKind::Memcached(CacheNode::T3Medium))),
+        (
+            "Memcached",
+            Some(ChannelKind::Memcached(CacheNode::T3Medium)),
+        ),
         ("DynamoDB", Some(ChannelKind::DynamoDb)),
         ("VM-PS", None), // hybrid backend
     ];
@@ -159,8 +251,13 @@ pub fn table1_channels(h: &Harness) -> String {
             ModelId::KMeans { .. } => Algorithm::Em,
             _ => case.wid.best_algorithm(&wl),
         };
-        let base = JobConfig::new(case.workers, algo, case.wid.lr(), StopSpec::new(0.0, case.epochs))
-            .with_seed(h.seed);
+        let base = JobConfig::new(
+            case.workers,
+            algo,
+            case.wid.lr(),
+            StopSpec::new(0.0, case.epochs),
+        )
+        .with_seed(h.seed);
 
         let mut cells = vec![case.label.to_string()];
         let mut s3_time = 0.0;
@@ -206,8 +303,12 @@ pub fn table1_channels(h: &Harness) -> String {
 pub fn table2_hybrid_rpc(_h: &Harness) -> String {
     let m75 = ByteSize::mb(75.0);
     let mut rows = Vec::new();
-    for (n, vcpus, lam) in [(1usize, 1.8, "Lambda-3GB"), (1, 0.6, "Lambda-1GB"),
-                            (10, 1.8, "Lambda-3GB"), (10, 0.6, "Lambda-1GB")] {
+    for (n, vcpus, lam) in [
+        (1usize, 1.8, "Lambda-3GB"),
+        (1, 0.6, "Lambda-1GB"),
+        (10, 1.8, "Lambda-3GB"),
+        (10, 0.6, "Lambda-1GB"),
+    ] {
         for ec2 in [InstanceType::T2XLarge2, InstanceType::C5XLarge4] {
             let grpc = PsModel::new(RpcKind::Grpc, ec2, vcpus);
             let thrift = PsModel::new(RpcKind::Thrift, ec2, vcpus);
@@ -263,7 +364,12 @@ pub fn table3_patterns(h: &Harness) -> String {
     let _ = h;
     let out = table(
         "Table 3: communication patterns on S3",
-        &["model & dataset", "model size", "AllReduce", "ScatterReduce"],
+        &[
+            "model & dataset",
+            "model size",
+            "AllReduce",
+            "ScatterReduce",
+        ],
         &rows,
     );
     println!("{out}");
@@ -295,10 +401,16 @@ pub fn fig8_sync_async(h: &Harness) -> String {
                     protocol: proto,
                 })
                 .with_seed(h.seed);
-            let r = TrainingJob::new(&wl, wid.model(), cfg).run().expect("job runs");
+            let r = TrainingJob::new(&wl, wid.model(), cfg)
+                .run()
+                .expect("job runs");
             rows.push(vec![
                 format!("{} W={w}", wid.name()),
-                if proto == Protocol::Sync { "BSP".into() } else { "S-ASP".into() },
+                if proto == Protocol::Sync {
+                    "BSP".into()
+                } else {
+                    "S-ASP".into()
+                },
                 format!("{:.1}s", r.breakdown.total_without_startup().as_secs()),
                 format!("{:.4}", r.final_loss),
                 format!("{:.4}", r.curve.best_loss()),
@@ -308,7 +420,14 @@ pub fn fig8_sync_async(h: &Harness) -> String {
     }
     let out = table(
         "Figure 8: synchronous vs asynchronous (S-ASP is faster per epoch but oscillates)",
-        &["workload", "protocol", "time", "final loss", "best loss", "oscillation"],
+        &[
+            "workload",
+            "protocol",
+            "time",
+            "final loss",
+            "best loss",
+            "oscillation",
+        ],
         &rows,
     );
     println!("{out}");

@@ -16,28 +16,43 @@ fn systems(wid: WorkloadId) -> Vec<(&'static str, Backend, SystemChoice)> {
         ("LambdaML", Backend::faas_default(), SystemChoice::Best),
         (
             "PyTorch-SGD",
-            Backend::Iaas { instance: InstanceType::C5XLarge2, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::C5XLarge2,
+                system: SystemProfile::PyTorch,
+            },
             SystemChoice::GaSgd,
         ),
     ];
     // ADMM applies only to convex models.
-    if !matches!(wid.model(), ModelId::MobileNet | ModelId::ResNet50 | ModelId::KMeans { .. }) {
+    if !matches!(
+        wid.model(),
+        ModelId::MobileNet | ModelId::ResNet50 | ModelId::KMeans { .. }
+    ) {
         v.push((
             "PyTorch-ADMM",
-            Backend::Iaas { instance: InstanceType::C5XLarge2, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::C5XLarge2,
+                system: SystemProfile::PyTorch,
+            },
             SystemChoice::Best,
         ));
     }
     v.push((
         "Angel",
-        Backend::Iaas { instance: InstanceType::C5XLarge2, system: SystemProfile::Angel },
+        Backend::Iaas {
+            instance: InstanceType::C5XLarge2,
+            system: SystemProfile::Angel,
+        },
         SystemChoice::GaSgd,
     ));
     v.push(("HybridPS", Backend::hybrid_default(), SystemChoice::GaSgd));
     if matches!(wid.model(), ModelId::MobileNet | ModelId::ResNet50) {
         v.push((
             "PyTorch-GPU",
-            Backend::Iaas { instance: InstanceType::G3sXLarge, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::G3sXLarge,
+                system: SystemProfile::PyTorch,
+            },
             SystemChoice::GaSgd,
         ));
     }
@@ -71,14 +86,25 @@ pub fn fig9_end_to_end(h: &Harness) -> String {
                     _ => wid.ga_sgd(&named.workload),
                 },
             };
-            let cfg = JobConfig { algorithm: algo, ..named.config }.with_backend(backend);
+            let cfg = JobConfig {
+                algorithm: algo,
+                ..named.config
+            }
+            .with_backend(backend);
             let r = TrainingJob::new(&named.workload, named.model, cfg).run();
             let cells = outcome_cells(&r);
             let (epochs, rounds) = match &r {
                 Ok(r) => (format!("{:.1}", r.epochs), r.rounds.to_string()),
                 Err(_) => ("-".into(), "-".into()),
             };
-            rows.push(vec![name.to_string(), cells[0].clone(), cells[1].clone(), epochs, rounds, cells[2].clone()]);
+            rows.push(vec![
+                name.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                epochs,
+                rounds,
+                cells[2].clone(),
+            ]);
         }
         out.push_str(&table(
             &format!("Figure 9: {} (target loss {})", wid.name(), wid.threshold()),
@@ -100,8 +126,20 @@ pub fn fig10_breakdown(h: &Harness) -> String {
         ..named.config
     };
     let systems: Vec<(&str, Backend)> = vec![
-        ("PyTorch", Backend::Iaas { instance: InstanceType::T2Medium, system: SystemProfile::PyTorch }),
-        ("Angel", Backend::Iaas { instance: InstanceType::T2Medium, system: SystemProfile::Angel }),
+        (
+            "PyTorch",
+            Backend::Iaas {
+                instance: InstanceType::T2Medium,
+                system: SystemProfile::PyTorch,
+            },
+        ),
+        (
+            "Angel",
+            Backend::Iaas {
+                instance: InstanceType::T2Medium,
+                system: SystemProfile::Angel,
+            },
+        ),
         ("HybridPS", Backend::hybrid_default()),
         ("LambdaML", Backend::faas_default()),
     ];
@@ -123,7 +161,15 @@ pub fn fig10_breakdown(h: &Harness) -> String {
     }
     let out = table(
         "Figure 10: time breakdown (LR, Higgs, W=10, 10 epochs; seconds)",
-        &["system", "startup", "load", "compute", "comm", "total", "w/o startup"],
+        &[
+            "system",
+            "startup",
+            "load",
+            "compute",
+            "comm",
+            "total",
+            "w/o startup",
+        ],
         &rows,
     );
     println!("{out}");
@@ -138,8 +184,16 @@ pub fn fig11_workers(h: &Harness) -> String {
     {
         let wid = WorkloadId::LrHiggs;
         let named = wid.build(h);
-        let faas_ws: &[usize] = if h.fast { &[10, 30, 50] } else { &[10, 30, 50, 100, 150] };
-        let t2_ws: &[usize] = if h.fast { &[1, 5, 10, 30] } else { &[1, 2, 5, 10, 20, 30] };
+        let faas_ws: &[usize] = if h.fast {
+            &[10, 30, 50]
+        } else {
+            &[10, 30, 50, 100, 150]
+        };
+        let t2_ws: &[usize] = if h.fast {
+            &[1, 5, 10, 30]
+        } else {
+            &[1, 2, 5, 10, 20, 30]
+        };
         let c5_ws: &[usize] = &[2, 5, 10];
         let mut rows = Vec::new();
         let push = |label: &str, backend: Backend, w: usize, rows: &mut Vec<Vec<String>>| {
@@ -147,18 +201,38 @@ pub fn fig11_workers(h: &Harness) -> String {
             cfg.workers = w;
             let r = TrainingJob::new(&named.workload, named.model, cfg).run();
             let cells = outcome_cells(&r);
-            rows.push(vec![label.to_string(), w.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            rows.push(vec![
+                label.to_string(),
+                w.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         };
         for &w in faas_ws {
             push("FaaS", Backend::faas_default(), w, &mut rows);
         }
         for &w in t2_ws {
-            push("IaaS(t2.medium)",
-                 Backend::Iaas { instance: InstanceType::T2Medium, system: SystemProfile::PyTorch }, w, &mut rows);
+            push(
+                "IaaS(t2.medium)",
+                Backend::Iaas {
+                    instance: InstanceType::T2Medium,
+                    system: SystemProfile::PyTorch,
+                },
+                w,
+                &mut rows,
+            );
         }
         for &w in c5_ws {
-            push("IaaS(c5.4xlarge)",
-                 Backend::Iaas { instance: InstanceType::C5XLarge4, system: SystemProfile::PyTorch }, w, &mut rows);
+            push(
+                "IaaS(c5.4xlarge)",
+                Backend::Iaas {
+                    instance: InstanceType::C5XLarge4,
+                    system: SystemProfile::PyTorch,
+                },
+                w,
+                &mut rows,
+            );
         }
         out.push_str(&table(
             "Figure 11 (left): LR/Higgs — runtime vs cost vs #workers",
@@ -174,7 +248,11 @@ pub fn fig11_workers(h: &Harness) -> String {
         if h.fast {
             named.config.stop = StopSpec::new(wid.threshold(), 4);
         }
-        let faas_ws: &[usize] = if h.fast { &[10, 20] } else { &[1, 2, 5, 10, 20, 50] };
+        let faas_ws: &[usize] = if h.fast {
+            &[10, 20]
+        } else {
+            &[1, 2, 5, 10, 20, 50]
+        };
         let gpu_ws: &[usize] = if h.fast { &[10] } else { &[10, 20, 50] };
         let mut rows = Vec::new();
         for &w in faas_ws {
@@ -182,7 +260,13 @@ pub fn fig11_workers(h: &Harness) -> String {
             cfg.workers = w;
             let r = TrainingJob::new(&named.workload, named.model, cfg).run();
             let cells = outcome_cells(&r);
-            rows.push(vec!["FaaS".into(), w.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            rows.push(vec![
+                "FaaS".into(),
+                w.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
         for &w in gpu_ws {
             let mut cfg = named.config.with_backend(Backend::Iaas {
@@ -192,7 +276,13 @@ pub fn fig11_workers(h: &Harness) -> String {
             cfg.workers = w;
             let r = TrainingJob::new(&named.workload, named.model, cfg).run();
             let cells = outcome_cells(&r);
-            rows.push(vec!["IaaS(g3s.xlarge)".into(), w.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            rows.push(vec![
+                "IaaS(g3s.xlarge)".into(),
+                w.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
         out.push_str(&table(
             "Figure 11 (right): MobileNet/Cifar10 — runtime vs cost vs #workers",
@@ -223,21 +313,42 @@ pub fn fig12_frontier(h: &Harness) -> String {
         {
             let r = TrainingJob::new(&named.workload, named.model, named.config).run();
             let cells = outcome_cells(&r);
-            rows.push(vec!["FaaS".into(), "-".into(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            rows.push(vec![
+                "FaaS".into(),
+                "-".into(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
         // IaaS points across instance types
         let instances: Vec<InstanceType> = if wid == WorkloadId::MnCifar {
-            vec![InstanceType::C5XLarge2, InstanceType::G3sXLarge, InstanceType::G4dnXLarge]
+            vec![
+                InstanceType::C5XLarge2,
+                InstanceType::G3sXLarge,
+                InstanceType::G4dnXLarge,
+            ]
         } else {
-            vec![InstanceType::T2Medium, InstanceType::C5Large, InstanceType::C5XLarge4]
+            vec![
+                InstanceType::T2Medium,
+                InstanceType::C5Large,
+                InstanceType::C5XLarge4,
+            ]
         };
         for inst in instances {
-            let cfg = named
-                .config
-                .with_backend(Backend::Iaas { instance: inst, system: SystemProfile::PyTorch });
+            let cfg = named.config.with_backend(Backend::Iaas {
+                instance: inst,
+                system: SystemProfile::PyTorch,
+            });
             let r = TrainingJob::new(&named.workload, named.model, cfg).run();
             let cells = outcome_cells(&r);
-            rows.push(vec!["IaaS".into(), inst.name().into(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            rows.push(vec![
+                "IaaS".into(),
+                inst.name().into(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
         out.push_str(&table(
             &format!("Figure 12: {} — runtime vs cost frontier", wid.name()),
@@ -257,10 +368,16 @@ pub fn table5_pipeline(h: &Harness) -> String {
         (WorkloadId::MnCifar, if h.fast { 2 } else { 10 }),
     ] {
         let named = wid.build(h);
-        let base = JobConfig { stop: StopSpec::new(0.0, epochs), ..named.config };
+        let base = JobConfig {
+            stop: StopSpec::new(0.0, epochs),
+            ..named.config
+        };
         for backend in [
             Backend::faas_default(),
-            Backend::Iaas { instance: InstanceType::T2Medium, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::T2Medium,
+                system: SystemProfile::PyTorch,
+            },
         ] {
             // MobileNet partitions don't fit t2.medium-style memory issues
             // here; the paper used ten t2.medium workers for both.
@@ -273,7 +390,13 @@ pub fn table5_pipeline(h: &Harness) -> String {
                     format!("{}", p.cost),
                     format!("lr*={:.2}", p.best_lr),
                 ]),
-                Err(e) => rows.push(vec![wid.name().into(), "N/A".into(), "-".into(), "-".into(), e.to_string()]),
+                Err(e) => rows.push(vec![
+                    wid.name().into(),
+                    "N/A".into(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]),
             }
         }
     }
@@ -300,8 +423,13 @@ pub fn cost_sanity(h: &Harness) -> String {
         if h.fast && wid == WorkloadId::MnCifar {
             named.config.stop = StopSpec::new(wid.threshold(), 4);
         }
-        let single_cfg = JobConfig { workers: 1, ..named.config }
-            .with_backend(Backend::Single { instance: InstanceType::T2XLarge2 });
+        let single_cfg = JobConfig {
+            workers: 1,
+            ..named.config
+        }
+        .with_backend(Backend::Single {
+            instance: InstanceType::T2XLarge2,
+        });
         let single = TrainingJob::new(&named.workload, named.model, single_cfg)
             .run()
             .expect("single-machine baseline runs");
@@ -312,18 +440,31 @@ pub fn cost_sanity(h: &Harness) -> String {
             instance: InstanceType::T2XLarge2,
             system: SystemProfile::PyTorch,
         });
-        let iaas = TrainingJob::new(&named.workload, named.model, iaas_cfg).run().expect("iaas runs");
+        let iaas = TrainingJob::new(&named.workload, named.model, iaas_cfg)
+            .run()
+            .expect("iaas runs");
         let base = single.breakdown.total_without_startup().as_secs();
         rows.push(vec![
             wid.name().into(),
             format!("{:.0}s", base),
-            format!("{:.1}x", base / faas.breakdown.total_without_startup().as_secs()),
-            format!("{:.1}x", base / iaas.breakdown.total_without_startup().as_secs()),
+            format!(
+                "{:.1}x",
+                base / faas.breakdown.total_without_startup().as_secs()
+            ),
+            format!(
+                "{:.1}x",
+                base / iaas.breakdown.total_without_startup().as_secs()
+            ),
         ]);
     }
     let out = table(
         "COST sanity check (§5.1.1): speedup of 10 workers over 1 machine (startup excluded)",
-        &["workload", "single(t2.2xlarge)", "FaaS speedup", "IaaS speedup"],
+        &[
+            "workload",
+            "single(t2.2xlarge)",
+            "FaaS speedup",
+            "IaaS speedup",
+        ],
         &rows,
     );
     println!("{out}");

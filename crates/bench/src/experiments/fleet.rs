@@ -1,0 +1,138 @@
+//! The fleet-scale experiment: the FaaS/IaaS trade-off under multi-tenant
+//! load, swept over arrival rate × scheduler policy.
+//!
+//! This is the first experiment beyond the paper's own figures: it measures
+//! the *fleet-level* consequences of the paper's single-job findings —
+//! warm pools amortizing cold starts, reserved clusters queueing, and the
+//! hybrid router buying tail latency with Lambda only when it pays.
+//!
+//! Besides the printed table, every (rate, policy) run writes its full
+//! metrics rollup as one JSON file under `target/fleet_scale/` (override
+//! with `LML_FLEET_OUT`), so future changes can be tracked as a perf/cost
+//! trajectory across commits.
+
+use crate::tablefmt::{f, table};
+use crate::Harness;
+use lml_fleet::{
+    simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, FleetConfig, FleetMetrics, JobMix,
+    Scheduler, Trace,
+};
+use std::path::PathBuf;
+
+/// A policy row of the sweep: display name + fresh-scheduler factory (each
+/// cell gets its own scheduler so no routing state leaks between runs; the
+/// factory sees the fleet config so cost-aware routing prices the same
+/// substrates the simulator charges).
+type PolicyRow = (
+    &'static str,
+    Box<dyn Fn(&FleetConfig) -> Box<dyn Scheduler>>,
+);
+
+/// Where the per-run JSON files go.
+fn out_dir() -> PathBuf {
+    std::env::var_os("LML_FLEET_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet_scale"))
+}
+
+/// One (arrival rate, policy) cell of the sweep.
+fn run_cell(
+    rate: f64,
+    n_jobs: usize,
+    seed: u64,
+    make_sched: &dyn Fn(&FleetConfig) -> Box<dyn Scheduler>,
+) -> FleetMetrics {
+    let trace = Trace::generate(
+        ArrivalProcess::Poisson { rate },
+        &JobMix::default_mix(),
+        n_jobs,
+        seed,
+    );
+    let cfg = FleetConfig::default();
+    let mut sched = make_sched(&cfg);
+    simulate(&trace, &cfg, sched.as_mut(), seed)
+}
+
+/// `fleet_scale`: arrival-rate × policy sweep with JSON emission.
+pub fn fleet_scale(h: &Harness) -> String {
+    let n_jobs = if h.fast { 400 } else { 2_000 };
+    let rates: &[f64] = if h.fast {
+        &[0.05, 0.2, 0.8]
+    } else {
+        &[0.05, 0.2, 0.8, 2.0]
+    };
+    let policies: Vec<PolicyRow> = vec![
+        (
+            "all-faas",
+            Box::new(|_: &FleetConfig| Box::new(AllFaas) as Box<dyn Scheduler>),
+        ),
+        (
+            "all-iaas",
+            Box::new(|_: &FleetConfig| Box::new(AllIaas) as Box<dyn Scheduler>),
+        ),
+        (
+            "cost-aware",
+            Box::new(|cfg: &FleetConfig| {
+                Box::new(CostAware::for_config(cfg)) as Box<dyn Scheduler>
+            }),
+        ),
+    ];
+
+    let dir = out_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut rows = Vec::new();
+    for &rate in rates {
+        for (name, make) in &policies {
+            let m = run_cell(rate, n_jobs, h.seed, make.as_ref());
+            let file = dir.join(format!("fleet-seed{}-rate{}-{}.json", h.seed, rate, name));
+            if let Err(e) = std::fs::write(&file, m.to_json()) {
+                eprintln!("warning: could not write {}: {e}", file.display());
+            }
+            rows.push(vec![
+                format!("{rate}"),
+                name.to_string(),
+                f(m.latency.p50),
+                f(m.latency.p95),
+                f(m.latency.p99),
+                f(m.queue.p99),
+                format!("{}", m.total_cost()),
+                format!("{:.0}%", m.warm_hit_rate * 100.0),
+                format!("{:.0}%", m.iaas_utilization * 100.0),
+                format!("{}", m.jobs_on_faas),
+            ]);
+        }
+    }
+    let out = table(
+        &format!("fleet_scale: {n_jobs}-job Poisson fleets, arrival rate x policy"),
+        &[
+            "rate/s", "policy", "p50 s", "p95 s", "p99 s", "q-p99 s", "cost", "warm", "util",
+            "on-faas",
+        ],
+        &rows,
+    );
+    println!("{out}");
+    println!("per-run JSON written to {}", dir.display());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_scale_runs_and_emits_json() {
+        let tmp = std::env::temp_dir().join("lml_fleet_scale_test");
+        std::env::set_var("LML_FLEET_OUT", &tmp);
+        let h = Harness {
+            seed: 9,
+            fast: true,
+        };
+        let out = fleet_scale(&h);
+        std::env::remove_var("LML_FLEET_OUT");
+        assert!(out.contains("cost-aware"));
+        let one = tmp.join("fleet-seed9-rate0.2-all-faas.json");
+        let text = std::fs::read_to_string(&one).expect("JSON file written");
+        assert!(text.starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

@@ -5,11 +5,13 @@
 //!   COST sanity check).
 //! * [`analytics`] — §5.3's analytical model (Table 6, Figures 13–15).
 //! * [`ablations`] — design-choice sweeps called out in DESIGN.md §4.
+//! * [`fleet`] — the fleet-scale multi-tenant sweep (beyond the paper).
 
 pub mod ablations;
 pub mod analytics;
 pub mod design;
 pub mod endtoend;
+pub mod fleet;
 
 use lml_core::{JobError, RunResult};
 
@@ -19,7 +21,11 @@ pub(crate) fn outcome_cells(r: &Result<RunResult, JobError>) -> [String; 3] {
         Ok(r) => [
             format!("{:.1}s", r.runtime().as_secs()),
             format!("{}", r.dollars()),
-            if r.converged { String::new() } else { format!("loss {:.3}", r.final_loss) },
+            if r.converged {
+                String::new()
+            } else {
+                format!("loss {:.3}", r.final_loss)
+            },
         ],
         Err(e) => ["N/A".into(), "N/A".into(), e.to_string()],
     }

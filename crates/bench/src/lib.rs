@@ -22,7 +22,10 @@ pub struct Harness {
 
 impl Default for Harness {
     fn default() -> Self {
-        Harness { seed: 42, fast: true }
+        Harness {
+            seed: 42,
+            fast: true,
+        }
     }
 }
 
@@ -72,12 +75,13 @@ pub fn run_experiment(name: &str, h: &Harness) -> String {
         "fig14_fast_hybrid" => analytics::fig14_fast_hybrid(h),
         "fig15_hot_data" => analytics::fig15_hot_data(h),
         "ablations" => ablations::run_all(h),
+        "fleet_scale" => fleet::fleet_scale(h),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
-/// All experiment names, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+/// All experiment names, in paper order (fleet_scale goes beyond the paper).
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig6_datasets",
     "fig7_optimizers",
     "table1_channels",
@@ -95,6 +99,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "fig14_fast_hybrid",
     "fig15_hot_data",
     "ablations",
+    "fleet_scale",
 ];
 
 #[cfg(test)]

@@ -245,13 +245,19 @@ impl WorkloadId {
         match self.model() {
             ModelId::KMeans { .. } => Algorithm::Em,
             ModelId::MobileNet | ModelId::ResNet50 => Algorithm::GaSgd { batch },
-            _ => Algorithm::Admm { rho: 0.1, local_scans: ADMM_LOCAL_SCANS, batch },
+            _ => Algorithm::Admm {
+                rho: 0.1,
+                local_scans: ADMM_LOCAL_SCANS,
+                batch,
+            },
         }
     }
 
     /// Plain GA-SGD at the scaled batch (the baseline algorithm).
     pub fn ga_sgd(self, wl: &Workload) -> Algorithm {
-        Algorithm::GaSgd { batch: scaled_batch(wl, self.paper_batch()) }
+        Algorithm::GaSgd {
+            batch: scaled_batch(wl, self.paper_batch()),
+        }
     }
 
     /// Build the full named workload with its default (best-algorithm,
@@ -266,7 +272,12 @@ impl WorkloadId {
             StopSpec::new(self.threshold(), self.max_epochs(h)),
         )
         .with_seed(h.seed);
-        Named { name: self.name(), workload: wl, model: self.model(), config }
+        Named {
+            name: self.name(),
+            workload: wl,
+            model: self.model(),
+            config,
+        }
     }
 }
 
@@ -289,7 +300,11 @@ mod tests {
     #[test]
     fn best_algorithms_respect_applicability() {
         let h = Harness::default();
-        for id in [WorkloadId::LrHiggs, WorkloadId::KmHiggs, WorkloadId::MnCifar] {
+        for id in [
+            WorkloadId::LrHiggs,
+            WorkloadId::KmHiggs,
+            WorkloadId::MnCifar,
+        ] {
             let n = id.build(&h);
             let model = n.model.build(&n.workload.train, 1);
             assert!(n.config.algorithm.applicable(&model), "{}", id.name());

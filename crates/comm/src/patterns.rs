@@ -97,7 +97,10 @@ fn reduce_allreduce(
 
     // (1) every worker writes its local statistic — concurrent clients.
     for (i, s) in stats.iter().enumerate() {
-        channel.put(format!("{round_key}_p{i}"), Blob::from_vec(s.clone()).with_wire(wire_total))?;
+        channel.put(
+            format!("{round_key}_p{i}"),
+            Blob::from_vec(s.clone()).with_wire(wire_total),
+        )?;
     }
     let put_phase = channel.parallel_leg(w, wire_total);
 
@@ -168,8 +171,9 @@ fn reduce_scatter(
         merged_chunks.push(acc);
     }
     let gather_wire = ByteSize::bytes((chunk_wire.as_f64() * (w as f64 - 1.0)) as u64);
-    let gather_phase =
-        channel.client_leg((w - 1) as u64, chunk_wire).max(channel.parallel_leg(w, gather_wire));
+    let gather_phase = channel
+        .client_leg((w - 1) as u64, chunk_wire)
+        .max(channel.parallel_leg(w, gather_wire));
 
     // (3) each worker writes its merged chunk.
     for (c, chunk) in merged_chunks.iter().enumerate() {
@@ -178,15 +182,18 @@ fn reduce_scatter(
             Blob::from_vec(chunk.clone()).with_wire(chunk_wire),
         )?;
     }
-    let merged_put_phase = channel.op_time(chunk_wire).max(channel.parallel_leg(w, chunk_wire));
+    let merged_put_phase = channel
+        .op_time(chunk_wire)
+        .max(channel.parallel_leg(w, chunk_wire));
 
     // (4) each worker reads the other w−1 merged chunks to assemble the
     //     full aggregate (every worker does this; we materialize it once).
     for c in 0..w {
         let (_t, _b) = channel.get(&format!("{round_key}_merged_c{c}"))?;
     }
-    let fan_back =
-        channel.client_leg((w - 1) as u64, chunk_wire).max(channel.parallel_leg(w, gather_wire));
+    let fan_back = channel
+        .client_leg((w - 1) as u64, chunk_wire)
+        .max(channel.parallel_leg(w, gather_wire));
 
     let mut aggregate = Vec::with_capacity(len);
     for chunk in merged_chunks {
@@ -205,7 +212,9 @@ mod tests {
     use lml_storage::{CacheNode, ServiceProfile};
 
     fn stats(w: usize, len: usize) -> Vec<Vec<f64>> {
-        (0..w).map(|i| (0..len).map(|j| (i * len + j) as f64).collect()).collect()
+        (0..w)
+            .map(|i| (0..len).map(|j| (i * len + j) as f64).collect())
+            .collect()
     }
 
     fn expected_sum(stats: &[Vec<f64>]) -> Vec<f64> {
@@ -222,7 +231,14 @@ mod tests {
     fn allreduce_sums_exactly() {
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         let s = stats(5, 17);
-        let out = reduce(&mut ch, Pattern::AllReduce, "ep0_it0", &s, ByteSize::of_f64s(17)).unwrap();
+        let out = reduce(
+            &mut ch,
+            Pattern::AllReduce,
+            "ep0_it0",
+            &s,
+            ByteSize::of_f64s(17),
+        )
+        .unwrap();
         assert_eq!(out.aggregate, expected_sum(&s));
         assert!(out.duration.as_secs() > 0.0);
     }
@@ -232,8 +248,14 @@ mod tests {
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         // len=17 not divisible by w=5: chunk sizes 4,4,3,3,3
         let s = stats(5, 17);
-        let out =
-            reduce(&mut ch, Pattern::ScatterReduce, "ep0_it0", &s, ByteSize::of_f64s(17)).unwrap();
+        let out = reduce(
+            &mut ch,
+            Pattern::ScatterReduce,
+            "ep0_it0",
+            &s,
+            ByteSize::of_f64s(17),
+        )
+        .unwrap();
         assert_eq!(out.aggregate, expected_sum(&s));
     }
 
@@ -261,8 +283,16 @@ mod tests {
         let ratio = ra.duration.as_secs() / rb.duration.as_secs();
         assert!(ratio > 1.5, "AllReduce/ScatterReduce = {ratio}, want ≈2");
         // absolute numbers in the right ballpark
-        assert!((10.0..30.0).contains(&ra.duration.as_secs()), "{}", ra.duration);
-        assert!((4.0..15.0).contains(&rb.duration.as_secs()), "{}", rb.duration);
+        assert!(
+            (10.0..30.0).contains(&ra.duration.as_secs()),
+            "{}",
+            ra.duration
+        );
+        assert!(
+            (4.0..15.0).contains(&rb.duration.as_secs()),
+            "{}",
+            rb.duration
+        );
     }
 
     #[test]
@@ -276,7 +306,11 @@ mod tests {
         let ra = reduce(&mut a, Pattern::AllReduce, "r", &s, wire).unwrap();
         let rb = reduce(&mut b, Pattern::ScatterReduce, "r", &s, wire).unwrap();
         assert!(ra.duration < rb.duration);
-        assert!((4.0..15.0).contains(&ra.duration.as_secs()), "{}", ra.duration);
+        assert!(
+            (4.0..15.0).contains(&ra.duration.as_secs()),
+            "{}",
+            ra.duration
+        );
     }
 
     #[test]
@@ -286,8 +320,14 @@ mod tests {
         let err = reduce(&mut ch, Pattern::AllReduce, "r", &s, ByteSize::mb(12.0)).unwrap_err();
         assert!(matches!(err, StorageError::ItemTooLarge { .. }));
         // ...but ScatterReduce chunks of 3MB still exceed 400KB
-        let err2 =
-            reduce(&mut ch, Pattern::ScatterReduce, "r2", &s, ByteSize::mb(12.0)).unwrap_err();
+        let err2 = reduce(
+            &mut ch,
+            Pattern::ScatterReduce,
+            "r2",
+            &s,
+            ByteSize::mb(12.0),
+        )
+        .unwrap_err();
         assert!(matches!(err2, StorageError::ItemTooLarge { .. }));
     }
 
@@ -295,7 +335,14 @@ mod tests {
     fn single_worker_round_is_trivial() {
         let mut ch = StorageChannel::new(ServiceProfile::memcached(CacheNode::T3Medium));
         let s = stats(1, 8);
-        let out = reduce(&mut ch, Pattern::ScatterReduce, "r", &s, ByteSize::of_f64s(8)).unwrap();
+        let out = reduce(
+            &mut ch,
+            Pattern::ScatterReduce,
+            "r",
+            &s,
+            ByteSize::of_f64s(8),
+        )
+        .unwrap();
         assert_eq!(out.aggregate, s[0]);
     }
 
@@ -318,8 +365,12 @@ mod tests {
         let mut mc = StorageChannel::new(ServiceProfile::memcached(CacheNode::T3Medium));
         let s = stats(10, 28);
         let wire = ByteSize::bytes(224);
-        let t_s3 = reduce(&mut s3, Pattern::AllReduce, "r", &s, wire).unwrap().duration;
-        let t_mc = reduce(&mut mc, Pattern::AllReduce, "r", &s, wire).unwrap().duration;
+        let t_s3 = reduce(&mut s3, Pattern::AllReduce, "r", &s, wire)
+            .unwrap()
+            .duration;
+        let t_mc = reduce(&mut mc, Pattern::AllReduce, "r", &s, wire)
+            .unwrap()
+            .duration;
         assert!(t_mc.as_secs() * 3.0 < t_s3.as_secs(), "{t_mc} vs {t_s3}");
     }
 }

@@ -34,7 +34,10 @@ pub struct Bsp {
 
 impl Bsp {
     pub fn new(pattern: Pattern) -> Self {
-        Bsp { pattern, poll_interval: SimTime::millis(100.0) }
+        Bsp {
+            pattern,
+            poll_interval: SimTime::millis(100.0),
+        }
     }
 
     pub fn with_poll_interval(mut self, t: SimTime) -> Self {
@@ -86,7 +89,10 @@ impl Asp {
         wire: ByteSize,
     ) -> Result<SimTime, StorageError> {
         self.versions = 0;
-        channel.put(ASP_MODEL_KEY, Blob::from_vec(params.to_vec()).with_wire(wire))
+        channel.put(
+            ASP_MODEL_KEY,
+            Blob::from_vec(params.to_vec()).with_wire(wire),
+        )
     }
 
     /// A worker reads the current global model (whatever was last written —
@@ -108,7 +114,10 @@ impl Asp {
         wire: ByteSize,
     ) -> Result<SimTime, StorageError> {
         self.versions += 1;
-        channel.put(ASP_MODEL_KEY, Blob::from_vec(params.to_vec()).with_wire(wire))
+        channel.put(
+            ASP_MODEL_KEY,
+            Blob::from_vec(params.to_vec()).with_wire(wire),
+        )
     }
 }
 
@@ -127,7 +136,9 @@ mod tests {
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         let bsp = Bsp::new(Pattern::AllReduce);
         let stats = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let out = bsp.run_round(&mut ch, 0, 0, &stats, ByteSize::of_f64s(2)).unwrap();
+        let out = bsp
+            .run_round(&mut ch, 0, 0, &stats, ByteSize::of_f64s(2))
+            .unwrap();
         assert_eq!(out.aggregate, vec![4.0, 6.0]);
         // intermediates cleared
         assert_eq!(ch.store().count("ep0_it0"), 0);
@@ -150,10 +161,12 @@ mod tests {
     fn asp_reads_see_latest_write() {
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         let mut asp = Asp::new();
-        asp.init_model(&mut ch, &[0.0, 0.0], ByteSize::of_f64s(2)).unwrap();
+        asp.init_model(&mut ch, &[0.0, 0.0], ByteSize::of_f64s(2))
+            .unwrap();
         let (_, m0) = asp.read_model(&mut ch).unwrap();
         assert_eq!(m0, vec![0.0, 0.0]);
-        asp.write_model(&mut ch, &[1.0, 5.0], ByteSize::of_f64s(2)).unwrap();
+        asp.write_model(&mut ch, &[1.0, 5.0], ByteSize::of_f64s(2))
+            .unwrap();
         let (_, m1) = asp.read_model(&mut ch).unwrap();
         assert_eq!(m1, vec![1.0, 5.0]);
         assert_eq!(asp.versions, 1);
@@ -165,12 +178,15 @@ mod tests {
         // first — the inconsistency that destabilizes Figure 8's async runs.
         let mut ch = StorageChannel::new(ServiceProfile::s3());
         let mut asp = Asp::new();
-        asp.init_model(&mut ch, &[0.0], ByteSize::of_f64s(1)).unwrap();
+        asp.init_model(&mut ch, &[0.0], ByteSize::of_f64s(1))
+            .unwrap();
         let (_, a) = asp.read_model(&mut ch).unwrap();
         let (_, b) = asp.read_model(&mut ch).unwrap();
         assert_eq!(a, b);
-        asp.write_model(&mut ch, &[a[0] + 1.0], ByteSize::of_f64s(1)).unwrap();
-        asp.write_model(&mut ch, &[b[0] + 2.0], ByteSize::of_f64s(1)).unwrap();
+        asp.write_model(&mut ch, &[a[0] + 1.0], ByteSize::of_f64s(1))
+            .unwrap();
+        asp.write_model(&mut ch, &[b[0] + 2.0], ByteSize::of_f64s(1))
+            .unwrap();
         let (_, m) = asp.read_model(&mut ch).unwrap();
         assert_eq!(m, vec![2.0], "first increment lost");
     }

@@ -52,11 +52,23 @@ pub enum Protocol {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Backend {
     /// Pure FaaS (LambdaML): Lambda workers + storage channel.
-    Faas { spec: LambdaSpec, channel: ChannelKind, pattern: Pattern, protocol: Protocol },
+    Faas {
+        spec: LambdaSpec,
+        channel: ChannelKind,
+        pattern: Pattern,
+        protocol: Protocol,
+    },
     /// IaaS: an EC2 cluster running a serverful system (PyTorch or Angel).
-    Iaas { instance: InstanceType, system: SystemProfile },
+    Iaas {
+        instance: InstanceType,
+        system: SystemProfile,
+    },
     /// Hybrid (Cirrus-style): Lambda workers + a VM parameter server.
-    Hybrid { spec: LambdaSpec, ps: InstanceType, rpc: RpcKind },
+    Hybrid {
+        spec: LambdaSpec,
+        ps: InstanceType,
+        rpc: RpcKind,
+    },
     /// Single machine (the COST sanity check of §5.1.1).
     Single { instance: InstanceType },
 }
@@ -75,7 +87,10 @@ impl Backend {
 
     /// The paper's default IaaS setup: distributed PyTorch on t2.medium.
     pub fn iaas_default() -> Backend {
-        Backend::Iaas { instance: InstanceType::T2Medium, system: SystemProfile::PyTorch }
+        Backend::Iaas {
+            instance: InstanceType::T2Medium,
+            system: SystemProfile::PyTorch,
+        }
     }
 
     /// The hybrid baseline as evaluated: gRPC against a c5.4xlarge PS.

@@ -106,7 +106,16 @@ fn run_bsp(
     let wl = job.workload;
     let w = cfg.workers;
     let s = setup(job, &model, spec, channel_kind)?;
-    let Setup { mut channel, workers, startup, load, rollover, scale_inv, nnz, part_len } = s;
+    let Setup {
+        mut channel,
+        workers,
+        startup,
+        load,
+        rollover,
+        scale_inv,
+        nnz,
+        part_len,
+    } = s;
 
     let stat_wire = model.statistic_wire_bytes();
     let bsp = Bsp::new(pattern);
@@ -124,9 +133,8 @@ fn run_bsp(
         eval_every: cfg.resolved_eval_every(part_len),
         start_offset: startup + load,
     };
-    let compute_time_of = |ex: u64| {
-        engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
-    };
+    let compute_time_of =
+        |ex: u64| engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0);
     let cost_at = |elapsed: SimTime, rounds: u64| {
         let busy = (elapsed - startup).max(SimTime::ZERO);
         price_ps * (busy.as_secs() * w as f64)
@@ -189,14 +197,26 @@ fn run_asp(
     let cfg = &job.config;
     let wl = job.workload;
     let w = cfg.workers;
-    if !matches!(cfg.algorithm, Algorithm::GaSgd { .. } | Algorithm::MaSgd { .. }) {
+    if !matches!(
+        cfg.algorithm,
+        Algorithm::GaSgd { .. } | Algorithm::MaSgd { .. }
+    ) {
         return Err(JobError::NotApplicable(format!(
             "the asynchronous protocol supports SGD variants, not {}",
             cfg.algorithm.name()
         )));
     }
     let s = setup(job, &model, spec, channel_kind)?;
-    let Setup { mut channel, mut workers, startup, load, rollover, scale_inv, nnz, part_len } = s;
+    let Setup {
+        mut channel,
+        mut workers,
+        startup,
+        load,
+        rollover,
+        scale_inv,
+        nnz,
+        part_len,
+    } = s;
 
     let wire = model.wire_bytes();
     let mut asp = Asp::new();
@@ -206,13 +226,15 @@ fn run_asp(
     // read stale models (§4.5).
     let mut rng = Pcg64::new(cfg.seed ^ 0xA5F0);
     let jitter: Vec<f64> = (0..w).map(|_| 0.75 + 0.5 * rng.uniform()).collect();
-    let mut lifetimes: Vec<LifetimeManager> =
-        (0..w).map(|_| LifetimeManager::with_overhead(rollover)).collect();
+    let mut lifetimes: Vec<LifetimeManager> = (0..w)
+        .map(|_| LifetimeManager::with_overhead(rollover))
+        .collect();
 
     let eval_every = (cfg.resolved_eval_every(part_len) * w).max(1) as u64;
     let node_hourly = channel.profile().hourly;
     let price_ps = spec.price_per_second();
-    let req_per_iter = channel.profile().put_price.price(wire) + channel.profile().get_price.price(wire);
+    let req_per_iter =
+        channel.profile().put_price.price(wire) + channel.profile().get_price.price(wire);
 
     let mut queue: EventQueue<usize> = EventQueue::new();
     for wid in 0..w {
@@ -248,8 +270,9 @@ fn run_asp(
         // write the updated model back (blind overwrite, SIREN-style)
         let write_t = asp.write_model(&mut channel, workers[wid].model.params(), wire)?;
 
-        let compute_t = engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
-            * jitter[wid];
+        let compute_t =
+            engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
+                * jitter[wid];
         let busy = read_t + compute_t + write_t;
         let wall = lifetimes[wid].charge(busy);
         overhead_total += wall - busy;

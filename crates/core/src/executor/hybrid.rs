@@ -45,8 +45,16 @@ pub fn run_with_ps(
     let batch = cfg.algorithm.batch_size(part_len);
     let scale_inv = wl.scale_inv();
 
-    let ps_model = PsModel { lambda_vcpus: spec.vcpus(), ..ps };
-    spec.check_memory(memory_required(&model, &wl.spec, w, batch as f64 * scale_inv))?;
+    let ps_model = PsModel {
+        lambda_vcpus: spec.vcpus(),
+        ..ps
+    };
+    spec.check_memory(memory_required(
+        &model,
+        &wl.spec,
+        w,
+        batch as f64 * scale_inv,
+    ))?;
 
     // One VM boots (t_I(1)) while the Lambda fleet cold-starts after it —
     // Figure 10 measures ~123 s for the hybrid's start-up.
@@ -75,9 +83,8 @@ pub fn run_with_ps(
         eval_every: cfg.resolved_eval_every(part_len),
         start_offset: startup + load,
     };
-    let compute_time_of = |ex: u64| {
-        engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0)
-    };
+    let compute_time_of =
+        |ex: u64| engine::compute_time(&model, ex as f64 * scale_inv, nnz, spec.vcpus(), None, 1.0);
     let cost_at = |elapsed: SimTime, _rounds: u64| {
         let busy = (elapsed - startup).max(SimTime::ZERO);
         price_ps * (busy.as_secs() * w as f64) + ps_hourly * elapsed.as_hours()

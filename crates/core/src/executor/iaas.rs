@@ -9,8 +9,8 @@
 //! alike (§2.2).
 
 use crate::engine;
-use crate::executor::sync_driver::{run_sync, DriverCtx};
 use crate::executor::partition_load_time;
+use crate::executor::sync_driver::{run_sync, DriverCtx};
 use crate::job::{JobError, TrainingJob};
 use crate::result::{Breakdown, CostBreakdown, RunResult};
 use lml_faas::FaasError;
@@ -79,7 +79,14 @@ pub fn run(
         start_offset: startup + load,
     };
     let compute_time_of = |ex: u64| {
-        engine::compute_time(&model, ex as f64 * scale_inv, nnz, vcpus, gpu, compute_factor)
+        engine::compute_time(
+            &model,
+            ex as f64 * scale_inv,
+            nnz,
+            vcpus,
+            gpu,
+            compute_factor,
+        )
     };
     let cost_at = |elapsed: SimTime, _rounds: u64| cluster.cost(elapsed);
 
@@ -102,7 +109,12 @@ pub fn run(
     Ok(RunResult {
         system: format!("{}({})", system.name(), instance.name()),
         curve: out.curve,
-        breakdown: Breakdown { startup, load, compute: out.compute, comm: out.comm },
+        breakdown: Breakdown {
+            startup,
+            load,
+            compute: out.compute,
+            comm: out.comm,
+        },
         cost: CostBreakdown {
             compute: cluster.cost(elapsed),
             requests: Cost::ZERO,

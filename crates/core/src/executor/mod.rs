@@ -78,4 +78,3 @@ pub(crate) fn request_cost_per_round(
         + profile.get_price.price(op_bytes) * gets as f64
         + profile.put_price.per_request * lists as f64
 }
-

@@ -76,7 +76,12 @@ pub fn run(
     Ok(RunResult {
         system: format!("Single({})", instance.name()),
         curve: out.curve,
-        breakdown: Breakdown { startup, load, compute: out.compute, comm: SimTime::ZERO },
+        breakdown: Breakdown {
+            startup,
+            load,
+            compute: out.compute,
+            comm: SimTime::ZERO,
+        },
         cost: CostBreakdown {
             compute: hourly * elapsed.as_hours(),
             requests: Cost::ZERO,

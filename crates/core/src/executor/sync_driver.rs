@@ -209,7 +209,11 @@ mod tests {
         assert!(!out.converged);
         // 1000 rows / 4 workers / batch 100 (clamped to 250-row partition)
         // → epochs advance by batch/partition per round; cap at 3 epochs.
-        assert!(out.epochs >= 3.0 && out.epochs < 3.5, "epochs {}", out.epochs);
+        assert!(
+            out.epochs >= 3.0 && out.epochs < 3.5,
+            "epochs {}",
+            out.epochs
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl Workload {
     /// Split a generated dataset 90/10.
     pub fn from_generated(g: &Generated, seed: u64) -> Self {
         let (train, valid) = train_valid_split(&g.data, 0.9, seed);
-        Workload { train, valid, spec: g.spec.clone() }
+        Workload {
+            train,
+            valid,
+            spec: g.spec.clone(),
+        }
     }
 
     /// `paper_instances / sample_instances` — converts sample example
@@ -82,7 +86,11 @@ pub struct TrainingJob<'a> {
 
 impl<'a> TrainingJob<'a> {
     pub fn new(workload: &'a Workload, model_id: ModelId, config: JobConfig) -> Self {
-        TrainingJob { workload, model_id, config }
+        TrainingJob {
+            workload,
+            model_id,
+            config,
+        }
     }
 
     /// Build the model replica each worker starts from.
@@ -101,9 +109,12 @@ impl<'a> TrainingJob<'a> {
             )));
         }
         match self.config.backend {
-            Backend::Faas { spec, channel, pattern, protocol } => {
-                executor::faas::run(self, model, spec, channel, pattern, protocol)
-            }
+            Backend::Faas {
+                spec,
+                channel,
+                pattern,
+                protocol,
+            } => executor::faas::run(self, model, spec, channel, pattern, protocol),
             Backend::Iaas { instance, system } => {
                 executor::iaas::run(self, model, instance, system)
             }
@@ -134,7 +145,11 @@ mod tests {
         let wl = Workload::from_generated(&g, 1);
         let cfg = JobConfig::new(
             2,
-            Algorithm::Admm { rho: 1.0, local_scans: 10, batch: 32 },
+            Algorithm::Admm {
+                rho: 1.0,
+                local_scans: 10,
+                batch: 32,
+            },
             0.01,
             StopSpec::new(0.2, 1),
         );

@@ -78,7 +78,10 @@ pub fn run_pipeline(
     for lr in lr_grid() {
         let cfg = base.with_schedule(LrSchedule::Const(lr));
         // fixed-epoch budget: disable the loss target
-        let cfg = JobConfig { stop: StopSpec::new(0.0, cfg.stop.max_epochs), ..cfg };
+        let cfg = JobConfig {
+            stop: StopSpec::new(0.0, cfg.stop.max_epochs),
+            ..cfg
+        };
         let job = TrainingJob::new(&prepped, model_id, cfg);
         candidates.push(job.run()?);
     }
@@ -120,7 +123,11 @@ pub fn run_pipeline(
                 .sum::<SimTime>()
                 + prep_time;
             let total = startup + work;
-            (format!("IaaS({})", instance.name()), total, cluster.cost(total))
+            (
+                format!("IaaS({})", instance.name()),
+                total,
+                cluster.cost(total),
+            )
         }
         Backend::Hybrid { .. } => {
             return Err(JobError::NotApplicable(
@@ -129,7 +136,14 @@ pub fn run_pipeline(
         }
     };
 
-    Ok(PipelineResult { system, runtime, cost, best_accuracy: best_acc, best_lr, candidates })
+    Ok(PipelineResult {
+        system,
+        runtime,
+        cost,
+        best_accuracy: best_acc,
+        best_lr,
+        candidates,
+    })
 }
 
 #[cfg(test)]

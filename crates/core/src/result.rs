@@ -95,7 +95,11 @@ impl RunResult {
             self.epochs,
             self.rounds,
             self.final_loss,
-            if self.converged { "" } else { " (not converged)" },
+            if self.converged {
+                ""
+            } else {
+                " (not converged)"
+            },
         )
     }
 }

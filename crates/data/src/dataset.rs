@@ -50,7 +50,11 @@ pub struct DenseDataset {
 
 impl DenseDataset {
     pub fn new(features: Matrix, labels: Vec<f64>) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label count mismatch"
+        );
         DenseDataset { features, labels }
     }
 

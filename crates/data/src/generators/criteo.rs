@@ -122,7 +122,9 @@ mod tests {
     #[test]
     fn both_classes_present() {
         let g = generate_rows(3_000, 42);
-        let pos = (0..g.data.len()).filter(|&i| g.data.label(i) == 1.0).count();
+        let pos = (0..g.data.len())
+            .filter(|&i| g.data.label(i) == 1.0)
+            .count();
         let rate = pos as f64 / g.data.len() as f64;
         assert!(rate > 0.05 && rate < 0.6, "positive rate {rate}");
     }

@@ -33,8 +33,8 @@ pub fn generate(seed: u64) -> Generated {
 /// Generate `rows` examples.
 pub fn generate_rows(rows: usize, seed: u64) -> Generated {
     let mut rng = Pcg64::new(seed ^ 0x4869_6767_73_u64); // "Higgs"
-    // Fixed class-mean direction (same for every seed offset so the learning
-    // problem is stable across sample sizes).
+                                                         // Fixed class-mean direction (same for every seed offset so the learning
+                                                         // problem is stable across sample sizes).
     let mut dir_rng = Pcg64::new(0xD1CE_0001);
     let mut mu = [0.0f64; DIM];
     for m in mu.iter_mut() {
@@ -89,7 +89,9 @@ mod tests {
     #[test]
     fn roughly_balanced_classes() {
         let g = generate_rows(10_000, 42);
-        let pos = (0..g.data.len()).filter(|&i| g.data.label(i) == 1.0).count();
+        let pos = (0..g.data.len())
+            .filter(|&i| g.data.label(i) == 1.0)
+            .count();
         assert!((pos as f64 - 5_000.0).abs() < 400.0, "pos={pos}");
     }
 

@@ -40,8 +40,13 @@ pub enum DatasetId {
 }
 
 impl DatasetId {
-    pub const ALL: [DatasetId; 5] =
-        [DatasetId::Higgs, DatasetId::Rcv1, DatasetId::Cifar10, DatasetId::Yfcc100m, DatasetId::Criteo];
+    pub const ALL: [DatasetId; 5] = [
+        DatasetId::Higgs,
+        DatasetId::Rcv1,
+        DatasetId::Cifar10,
+        DatasetId::Yfcc100m,
+        DatasetId::Criteo,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -90,8 +95,10 @@ mod tests {
             assert_eq!(a.spec.name, id.name());
             // Deterministic: first row and label identical across runs.
             assert_eq!(a.data.label(0), b.data.label(0));
-            assert_eq!(a.data.row(0).dot(&vec![1.0; a.data.dim()]),
-                       b.data.row(0).dot(&vec![1.0; b.data.dim()]));
+            assert_eq!(
+                a.data.row(0).dot(&vec![1.0; a.data.dim()]),
+                b.data.row(0).dot(&vec![1.0; b.data.dim()])
+            );
         }
     }
 

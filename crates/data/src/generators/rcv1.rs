@@ -37,8 +37,8 @@ pub fn generate(seed: u64) -> Generated {
 
 pub fn generate_rows(rows: usize, seed: u64) -> Generated {
     let mut rng = Pcg64::new(seed ^ 0x5243_5631_u64); // "RCV1"
-    // Fixed ground-truth weights over the most frequent (low Zipf index)
-    // terms, independent of sample size.
+                                                      // Fixed ground-truth weights over the most frequent (low Zipf index)
+                                                      // terms, independent of sample size.
     let mut truth_rng = Pcg64::new(0xD1CE_0002);
     let mut truth = vec![0.0f64; TRUE_SUPPORT];
     for t in truth.iter_mut() {

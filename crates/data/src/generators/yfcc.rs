@@ -41,7 +41,7 @@ pub fn generate(seed: u64) -> Generated {
 
 pub fn generate_rows(rows: usize, seed: u64) -> Generated {
     let mut rng = Pcg64::new(seed ^ 0x5946_4343_u64); // "YFCC"
-    // Fixed signal direction over a subset of activations.
+                                                      // Fixed signal direction over a subset of activations.
     let mut dir_rng = Pcg64::new(0xD1CE_0004);
     let signal: Vec<bool> = (0..DIM).map(|_| dir_rng.coin(0.1)).collect();
 
@@ -49,7 +49,11 @@ pub fn generate_rows(rows: usize, seed: u64) -> Generated {
     let mut labels = Vec::with_capacity(rows);
     for r in 0..rows {
         let true_y = if rng.coin(POSITIVE_RATE) { 1.0 } else { -1.0 };
-        let y = if rng.coin(LABEL_NOISE) { -true_y } else { true_y };
+        let y = if rng.coin(LABEL_NOISE) {
+            -true_y
+        } else {
+            true_y
+        };
         let row = features.row_mut(r);
         for (j, cell) in row.iter_mut().enumerate() {
             if rng.coin(ZERO_RATE) {
@@ -95,11 +99,16 @@ mod tests {
     #[test]
     fn positive_rate_matches_animal_tags() {
         let g = generate_rows(8_000, 42);
-        let pos = (0..g.data.len()).filter(|&i| g.data.label(i) == 1.0).count();
+        let pos = (0..g.data.len())
+            .filter(|&i| g.data.label(i) == 1.0)
+            .count();
         let rate = pos as f64 / g.data.len() as f64;
         // positives + tag-noise-flipped negatives ≈ 7.5% + 3%·92.5% ≈ 10%
         let expected = POSITIVE_RATE * 0.97 + (1.0 - POSITIVE_RATE) * 0.03;
-        assert!((rate - expected).abs() < 0.02, "rate {rate} vs expected {expected}");
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "rate {rate} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -143,6 +152,9 @@ mod tests {
                 }
             }
         }
-        assert!(pos_mean / pos_n > neg_mean / neg_n * 1.2, "signal dims separate classes");
+        assert!(
+            pos_mean / pos_n > neg_mean / neg_n * 1.2,
+            "signal dims separate classes"
+        );
     }
 }

@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "libsvm parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "libsvm parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -40,7 +44,10 @@ pub fn parse_sparse(text: &str, dim: usize) -> Result<SparseDataset, ParseError>
             .next()
             .expect("non-empty line has a first token")
             .parse()
-            .map_err(|e| ParseError { line: lineno + 1, message: format!("bad label: {e}") })?;
+            .map_err(|e| ParseError {
+                line: lineno + 1,
+                message: format!("bad label: {e}"),
+            })?;
         let mut pairs = Vec::new();
         for tok in parts {
             let (i_str, v_str) = tok.split_once(':').ok_or_else(|| ParseError {

@@ -38,7 +38,11 @@ pub fn partition_rows(n: usize, workers: usize) -> Vec<Partition> {
     let mut start = 0;
     for w in 0..workers {
         let len = base + usize::from(w < extra);
-        parts.push(Partition { worker: w, start, end: start + len });
+        parts.push(Partition {
+            worker: w,
+            start,
+            end: start + len,
+        });
         start += len;
     }
     parts

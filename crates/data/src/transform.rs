@@ -56,7 +56,11 @@ impl MinMax {
             let row = data.row_mut(r);
             for (j, v) in row.iter_mut().enumerate() {
                 let range = self.maxs[j] - self.mins[j];
-                *v = if range > 0.0 { 2.0 * (*v - self.mins[j]) / range - 1.0 } else { 0.0 };
+                *v = if range > 0.0 {
+                    2.0 * (*v - self.mins[j]) / range - 1.0
+                } else {
+                    0.0
+                };
             }
         }
     }

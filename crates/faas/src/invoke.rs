@@ -29,7 +29,10 @@ impl InvocationPlan {
     pub fn fan_out(n: usize, prefix: &str) -> Self {
         assert!(n >= 1);
         let workers = (0..n)
-            .map(|w| WorkerInvocation { worker_id: w, partition_key: format!("{prefix}_p{w}") })
+            .map(|w| WorkerInvocation {
+                worker_id: w,
+                partition_key: format!("{prefix}_p{w}"),
+            })
             .collect();
         InvocationPlan { workers }
     }

@@ -46,7 +46,9 @@ impl LambdaSpec {
     /// A function with the given memory; errors above the service maximum.
     pub fn with_memory_mb(memory_mb: u32) -> Result<Self, FaasError> {
         if memory_mb < 128 || memory_mb > Self::MAX_MEMORY_MB {
-            return Err(FaasError::InvalidMemory { requested_mb: memory_mb });
+            return Err(FaasError::InvalidMemory {
+                requested_mb: memory_mb,
+            });
         }
         Ok(LambdaSpec { memory_mb })
     }
@@ -79,7 +81,10 @@ impl LambdaSpec {
     /// Verify a working set fits this function's memory.
     pub fn check_memory(&self, required: ByteSize) -> Result<(), FaasError> {
         if required > self.memory() {
-            Err(FaasError::OutOfMemory { required, limit: self.memory() })
+            Err(FaasError::OutOfMemory {
+                required,
+                limit: self.memory(),
+            })
         } else {
             Ok(())
         }

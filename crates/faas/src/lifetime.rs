@@ -35,7 +35,12 @@ impl LifetimeManager {
     pub fn new(margin: SimTime, rollover_overhead: SimTime) -> Self {
         let usable = LambdaSpec::LIFETIME.as_secs() - margin.as_secs();
         assert!(usable > 0.0, "margin consumes the whole lifetime");
-        LifetimeManager { usable, in_life: 0.0, rollover_overhead, reinvocations: 0 }
+        LifetimeManager {
+            usable,
+            in_life: 0.0,
+            rollover_overhead,
+            reinvocations: 0,
+        }
     }
 
     /// Default: 30 s safety margin.

@@ -14,7 +14,13 @@ pub const INVOKE_LATENCY: SimTime = SimTime(0.05);
 
 /// Table 6 knots for `t_F(w)`.
 pub fn startup_table() -> PiecewiseLinear {
-    PiecewiseLinear::new(vec![(1.0, 0.3), (10.0, 1.2), (50.0, 11.0), (100.0, 18.0), (200.0, 35.0)])
+    PiecewiseLinear::new(vec![
+        (1.0, 0.3),
+        (10.0, 1.2),
+        (50.0, 11.0),
+        (100.0, 18.0),
+        (200.0, 35.0),
+    ])
 }
 
 /// Time until all `workers` functions are running.

@@ -1,0 +1,139 @@
+//! Minimal deterministic JSON writer.
+//!
+//! The fleet metrics are exported as JSON so future PRs can track a
+//! perf/cost trajectory across runs. No external serialization crate is
+//! vendored in this offline build, so this is a tiny hand-rolled emitter:
+//! fields appear in insertion order, floats use Rust's shortest-roundtrip
+//! formatting, and nothing iterates a `HashMap` — two runs with the same
+//! inputs produce byte-identical output.
+
+use std::fmt::Write as _;
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        let _ = write!(self.buf, "{}:", quote(k));
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(&quote(v));
+        self
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{}", fmt_f64(v));
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Insert pre-rendered JSON (a nested object or array).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Format a finite f64 as a JSON number (shortest roundtrip form).
+pub fn fmt_f64(v: f64) -> String {
+    assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+    let s = format!("{v:?}");
+    // `{:?}` already yields `1.0`-style output that JSON accepts.
+    s
+}
+
+/// Quote and escape a JSON string.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_objects_in_insertion_order() {
+        let j = JsonObject::new()
+            .str("b", "x")
+            .u64("a", 3)
+            .f64("c", 1.5)
+            .finish();
+        assert_eq!(j, r#"{"b":"x","a":3,"c":1.5}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(quote("a\"b\\c\n"), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        let v = 123.456789012345;
+        let back: f64 = fmt_f64(v).parse().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn arrays_join_elements() {
+        assert_eq!(array(&["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(&[]), "[]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_rejected() {
+        fmt_f64(f64::NAN);
+    }
+}

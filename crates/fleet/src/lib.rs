@@ -1,0 +1,41 @@
+//! # lml-fleet — multi-tenant serverless training fleet simulator
+//!
+//! The paper evaluates one training job at a time; its central trade-off —
+//! FaaS elasticity vs. IaaS reservation (§5) — only fully materializes
+//! under *load*: cold starts amortize across a warm container pool, and
+//! reserved clusters queue jobs while Lambda fans out. This crate layers a
+//! multi-tenant fleet on top of the single-job simulation:
+//!
+//! * [`job`] — the tenant job zoo: Table 4 (model, dataset) pairs with
+//!   their paper-scale analytical profiles.
+//! * [`workload`] — Poisson and burst arrival processes, weighted job
+//!   mixes, and a replayable plain-text trace format, all seeded and
+//!   bit-reproducible.
+//! * [`platform`] — a FaaS region (account concurrency limit + warm pool
+//!   built from the `lml-faas` startup/lifetime constants, so cold-start
+//!   probability falls as traffic rises) and an IaaS pool (FIFO + backfill
+//!   queueing, Table 6 boot-time autoscaling, idle billing).
+//! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, and a
+//!   cost-aware hybrid priced by the `lml-analytic` model with optional
+//!   sampling-estimator calibration.
+//! * [`sim`] — the event-driven fleet loop on the shared
+//!   [`lml_sim::EventQueue`].
+//! * [`metrics`] — per-job queue/startup/run breakdowns rolled up into
+//!   p50/p95/p99 latency, dollars, warm-hit rate and utilization.
+//! * [`json`] — the deterministic JSON emitter behind
+//!   [`metrics::FleetMetrics::to_json`].
+
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod platform;
+pub mod scheduler;
+pub mod sim;
+pub mod workload;
+
+pub use job::{JobClass, JobRequest};
+pub use metrics::{FleetMetrics, JobRecord};
+pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool};
+pub use scheduler::{AllFaas, AllIaas, CostAware, FleetView, Route, Scheduler};
+pub use sim::{simulate, FleetConfig};
+pub use workload::{ArrivalProcess, JobMix, Trace};

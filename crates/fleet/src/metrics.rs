@@ -1,0 +1,307 @@
+//! Fleet metrics: per-job breakdowns rolled up into tail latencies, cost,
+//! warm-hit rate, and utilization, exported as deterministic JSON.
+
+use crate::job::JobClass;
+use crate::json::{array, JsonObject};
+use crate::scheduler::Route;
+use lml_sim::stats::Summary;
+use lml_sim::{Cost, SimTime};
+
+/// Everything the simulator learned about one job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobRecord {
+    pub id: u64,
+    pub class: JobClass,
+    pub route: Route,
+    pub workers: usize,
+    pub submit: SimTime,
+    /// Time spent waiting for admission (concurrency limit / busy pool).
+    pub queue: SimTime,
+    /// Fleet startup: cold/warm function start or cluster dispatch.
+    pub startup: SimTime,
+    /// Data loading + training time.
+    pub run: SimTime,
+    /// Workers served from the warm pool (FaaS only).
+    pub warm_hits: usize,
+    /// Attributed job cost: GB-seconds on FaaS, instance-time share on IaaS.
+    pub cost: Cost,
+}
+
+impl JobRecord {
+    /// Submission-to-completion latency.
+    pub fn latency(&self) -> SimTime {
+        self.queue + self.startup + self.run
+    }
+
+    pub fn finish(&self) -> SimTime {
+        self.submit + self.latency()
+    }
+}
+
+/// Percentile rollup of one latency component.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantiles {
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl Quantiles {
+    fn from_values(values: Vec<f64>) -> Quantiles {
+        if values.is_empty() {
+            return Quantiles {
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let s = Summary::from_values(values);
+        Quantiles {
+            mean: s.mean(),
+            p50: s.percentile(50.0),
+            p95: s.percentile(95.0),
+            p99: s.percentile(99.0),
+            max: s.max(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        JsonObject::new()
+            .f64("mean", self.mean)
+            .f64("p50", self.p50)
+            .f64("p95", self.p95)
+            .f64("p99", self.p99)
+            .f64("max", self.max)
+            .finish()
+    }
+}
+
+/// Fleet-level rollup of one simulation run.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    pub policy: String,
+    pub seed: u64,
+    pub n_jobs: usize,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+    pub latency: Quantiles,
+    pub queue: Quantiles,
+    pub startup: Quantiles,
+    /// Sum of attributed FaaS job costs (GB-second billing).
+    pub faas_cost: Cost,
+    /// IaaS pool bill (every booted instance-second, busy or idle).
+    pub iaas_cost: Cost,
+    pub jobs_on_faas: usize,
+    pub jobs_on_iaas: usize,
+    pub warm_hit_rate: f64,
+    pub cold_starts: u64,
+    pub iaas_utilization: f64,
+    pub iaas_peak_instances: usize,
+    pub faas_peak_concurrency: usize,
+    pub records: Vec<JobRecord>,
+}
+
+impl FleetMetrics {
+    /// Total dollars: FaaS execution + reserved-pool bill.
+    pub fn total_cost(&self) -> Cost {
+        self.faas_cost + self.iaas_cost
+    }
+
+    /// Mean sustained throughput over the makespan, jobs/second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.as_secs() == 0.0 {
+            0.0
+        } else {
+            self.n_jobs as f64 / self.makespan.as_secs()
+        }
+    }
+
+    /// Build the rollup from per-job records and platform counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_records(
+        policy: &str,
+        seed: u64,
+        records: Vec<JobRecord>,
+        iaas_cost: Cost,
+        warm_hit_rate: f64,
+        cold_starts: u64,
+        iaas_utilization: f64,
+        iaas_peak_instances: usize,
+        faas_peak_concurrency: usize,
+    ) -> FleetMetrics {
+        let latency =
+            Quantiles::from_values(records.iter().map(|r| r.latency().as_secs()).collect());
+        let queue = Quantiles::from_values(records.iter().map(|r| r.queue.as_secs()).collect());
+        let startup = Quantiles::from_values(records.iter().map(|r| r.startup.as_secs()).collect());
+        let faas_cost: Cost = records
+            .iter()
+            .filter(|r| r.route == Route::Faas)
+            .map(|r| r.cost)
+            .sum();
+        let makespan = records
+            .iter()
+            .map(|r| r.finish())
+            .fold(SimTime::ZERO, SimTime::max);
+        FleetMetrics {
+            policy: policy.to_string(),
+            seed,
+            n_jobs: records.len(),
+            makespan,
+            latency,
+            queue,
+            startup,
+            faas_cost,
+            iaas_cost,
+            jobs_on_faas: records.iter().filter(|r| r.route == Route::Faas).count(),
+            jobs_on_iaas: records.iter().filter(|r| r.route == Route::Iaas).count(),
+            warm_hit_rate,
+            cold_starts,
+            iaas_utilization,
+            iaas_peak_instances,
+            faas_peak_concurrency,
+            records,
+        }
+    }
+
+    /// Per-class (count, p99 latency, mean cost) breakdown, in class order.
+    pub fn per_class(&self) -> Vec<(JobClass, usize, f64, f64)> {
+        JobClass::ALL
+            .into_iter()
+            .filter_map(|c| {
+                let rs: Vec<&JobRecord> = self.records.iter().filter(|r| r.class == c).collect();
+                if rs.is_empty() {
+                    return None;
+                }
+                let lat =
+                    Quantiles::from_values(rs.iter().map(|r| r.latency().as_secs()).collect());
+                let mean_cost = rs.iter().map(|r| r.cost.as_usd()).sum::<f64>() / rs.len() as f64;
+                Some((c, rs.len(), lat.p99, mean_cost))
+            })
+            .collect()
+    }
+
+    /// Deterministic JSON export. Two runs with the same inputs produce
+    /// byte-identical output.
+    pub fn to_json(&self) -> String {
+        let per_class: Vec<String> = self
+            .per_class()
+            .into_iter()
+            .map(|(c, n, p99, mean_cost)| {
+                JsonObject::new()
+                    .str("class", c.name())
+                    .u64("jobs", n as u64)
+                    .f64("latency_p99_s", p99)
+                    .f64("mean_cost_usd", mean_cost)
+                    .finish()
+            })
+            .collect();
+        JsonObject::new()
+            .str("schema", "lml-fleet/metrics/v1")
+            .str("policy", &self.policy)
+            .u64("seed", self.seed)
+            .u64("jobs", self.n_jobs as u64)
+            .f64("makespan_s", self.makespan.as_secs())
+            .f64("throughput_jobs_per_s", self.throughput())
+            .raw("latency_s", &self.latency.to_json())
+            .raw("queue_s", &self.queue.to_json())
+            .raw("startup_s", &self.startup.to_json())
+            .f64("faas_cost_usd", self.faas_cost.as_usd())
+            .f64("iaas_cost_usd", self.iaas_cost.as_usd())
+            .f64("total_cost_usd", self.total_cost().as_usd())
+            .u64("jobs_on_faas", self.jobs_on_faas as u64)
+            .u64("jobs_on_iaas", self.jobs_on_iaas as u64)
+            .f64("warm_hit_rate", self.warm_hit_rate)
+            .u64("cold_starts", self.cold_starts)
+            .f64("iaas_utilization", self.iaas_utilization)
+            .u64("iaas_peak_instances", self.iaas_peak_instances as u64)
+            .u64("faas_peak_concurrency", self.faas_peak_concurrency as u64)
+            .raw("per_class", &array(&per_class))
+            .finish()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>10}: {} jobs | p50 {} p95 {} p99 {} | {} total ({} faas + {} iaas) | warm {:.0}% | util {:.0}%",
+            self.policy,
+            self.n_jobs,
+            SimTime::secs(self.latency.p50),
+            SimTime::secs(self.latency.p95),
+            SimTime::secs(self.latency.p99),
+            self.total_cost(),
+            self.faas_cost,
+            self.iaas_cost,
+            self.warm_hit_rate * 100.0,
+            self.iaas_utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, route: Route, queue: f64, run: f64, cost: f64) -> JobRecord {
+        JobRecord {
+            id,
+            class: JobClass::LrHiggs,
+            route,
+            workers: 10,
+            submit: SimTime::secs(id as f64),
+            queue: SimTime::secs(queue),
+            startup: SimTime::secs(1.0),
+            run: SimTime::secs(run),
+            warm_hits: 0,
+            cost: Cost::usd(cost),
+        }
+    }
+
+    fn metrics(records: Vec<JobRecord>) -> FleetMetrics {
+        FleetMetrics::from_records("test", 1, records, Cost::usd(2.0), 0.5, 3, 0.8, 20, 100)
+    }
+
+    #[test]
+    fn rollup_accounts_costs_by_route() {
+        let m = metrics(vec![
+            rec(0, Route::Faas, 0.0, 10.0, 0.5),
+            rec(1, Route::Iaas, 5.0, 10.0, 0.1),
+        ]);
+        // IaaS job cost is attributed but the pool bill is authoritative.
+        assert_eq!(m.faas_cost, Cost::usd(0.5));
+        assert_eq!(m.iaas_cost, Cost::usd(2.0));
+        assert_eq!(m.total_cost(), Cost::usd(2.5));
+        assert_eq!(m.jobs_on_faas, 1);
+        assert_eq!(m.jobs_on_iaas, 1);
+    }
+
+    #[test]
+    fn latency_quantiles_cover_queue_and_startup() {
+        let m = metrics(vec![rec(0, Route::Faas, 4.0, 10.0, 0.1)]);
+        assert!((m.latency.p50 - 15.0).abs() < 1e-9, "4 + 1 + 10");
+        assert!((m.queue.max - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_versioned() {
+        let m1 = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.5)]);
+        let m2 = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.5)]);
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert!(m1
+            .to_json()
+            .starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+    }
+
+    #[test]
+    fn makespan_is_last_finish() {
+        let m = metrics(vec![
+            rec(0, Route::Faas, 0.0, 10.0, 0.1),
+            rec(5, Route::Faas, 0.0, 3.0, 0.1),
+        ]);
+        // job 1: submit 5 + 1 startup + 3 run = 9; job 0 finishes at 11.
+        assert_eq!(m.makespan, SimTime::secs(11.0));
+    }
+}

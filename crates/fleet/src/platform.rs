@@ -1,0 +1,424 @@
+//! Platform models: a FaaS region with a warm-container pool and an IaaS
+//! cluster pool with FIFO + backfill queueing and autoscaling.
+//!
+//! Both reuse the calibrated single-job constants of `lml-faas` / `lml-iaas`
+//! (Table 6 start-up curves, GB-second and instance-hour billing) and layer
+//! the *fleet-level* effects the paper cannot see with one job at a time:
+//! cold-start probability falling as traffic rises, account concurrency
+//! limits, queueing on reserved clusters, and idle reserved capacity
+//! billing whether busy or not (§2.2).
+
+use lml_faas::startup::{faas_startup_time, INVOKE_LATENCY};
+use lml_iaas::cluster::iaas_startup_table;
+use lml_iaas::InstanceType;
+use lml_sim::{Cost, SimTime};
+
+/// FaaS region configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaasConfig {
+    /// Account-level concurrent-execution limit (AWS default: 1000).
+    pub concurrency_limit: usize,
+    /// How long a finished container stays warm before the platform
+    /// reclaims it.
+    pub keep_alive: SimTime,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        FaasConfig {
+            concurrency_limit: 1_000,
+            keep_alive: SimTime::minutes(10.0),
+        }
+    }
+}
+
+/// Runtime state of the FaaS region.
+#[derive(Debug, Clone)]
+pub struct FaasRegion {
+    pub cfg: FaasConfig,
+    /// Functions currently executing.
+    in_use: usize,
+    /// Expiry times of idle warm containers (unordered; pruned on access).
+    warm: Vec<f64>,
+    /// Highest concurrent execution count observed.
+    peak_in_use: usize,
+    /// Total workers started warm / cold, across all jobs.
+    warm_starts: u64,
+    cold_starts: u64,
+}
+
+impl FaasRegion {
+    pub fn new(cfg: FaasConfig) -> Self {
+        FaasRegion {
+            cfg,
+            in_use: 0,
+            warm: Vec::new(),
+            peak_in_use: 0,
+            warm_starts: 0,
+            cold_starts: 0,
+        }
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let t = now.as_secs();
+        self.warm.retain(|&e| e >= t);
+    }
+
+    /// Concurrency slack at `now`.
+    pub fn available(&self) -> usize {
+        self.cfg.concurrency_limit - self.in_use
+    }
+
+    /// Try to start a `workers`-wide job. On success returns the fleet-level
+    /// startup latency and how many workers were served from the warm pool:
+    /// warm workers re-attach with one Invoke round-trip, cold workers pay
+    /// the Table 6 cold-start curve for the *cold* count only.
+    pub fn try_start(&mut self, now: SimTime, workers: usize) -> Option<(SimTime, usize)> {
+        assert!(workers >= 1);
+        assert!(
+            workers <= self.cfg.concurrency_limit,
+            "job wider than the account concurrency limit"
+        );
+        if self.in_use + workers > self.cfg.concurrency_limit {
+            return None;
+        }
+        self.prune(now);
+        let warm_hits = workers.min(self.warm.len());
+        // Consume the freshest warm containers (the platform keeps the most
+        // recently used ones alive longest anyway; any choice is valid):
+        // one sort, then drop the tail — not a max-scan per container.
+        self.warm.sort_unstable_by(|a, b| a.total_cmp(b));
+        self.warm.truncate(self.warm.len() - warm_hits);
+        let cold = workers - warm_hits;
+        self.warm_starts += warm_hits as u64;
+        self.cold_starts += cold as u64;
+        self.in_use += workers;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        let startup = if cold > 0 {
+            faas_startup_time(cold)
+        } else {
+            INVOKE_LATENCY
+        };
+        Some((startup, warm_hits))
+    }
+
+    /// A job finished: its containers return to the warm pool.
+    pub fn release(&mut self, now: SimTime, workers: usize) {
+        assert!(self.in_use >= workers, "releasing more than in use");
+        self.in_use -= workers;
+        self.prune(now);
+        let expire = now.as_secs() + self.cfg.keep_alive.as_secs();
+        self.warm.extend(std::iter::repeat_n(expire, workers));
+    }
+
+    /// Fraction of all started workers served warm.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_starts + self.cold_starts;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_starts as f64 / total as f64
+        }
+    }
+
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts
+    }
+
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    pub fn peak_concurrency(&self) -> usize {
+        self.peak_in_use
+    }
+}
+
+/// IaaS pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IaasConfig {
+    pub instance: InstanceType,
+    /// Instances kept reserved at all times (bill from t = 0).
+    pub min_instances: usize,
+    /// Autoscaling ceiling.
+    pub max_instances: usize,
+    /// How long idle capacity above the floor survives before release.
+    pub idle_after: SimTime,
+    /// Dispatch latency of a job onto already-running instances (the master
+    /// dispensing scripts when the cluster is warm — vastly below the cold
+    /// t_I(w) boot).
+    pub dispatch_latency: SimTime,
+}
+
+impl Default for IaasConfig {
+    fn default() -> Self {
+        IaasConfig {
+            instance: InstanceType::T2Medium,
+            min_instances: 20,
+            max_instances: 400,
+            idle_after: SimTime::minutes(5.0),
+            dispatch_latency: SimTime::secs(2.0),
+        }
+    }
+}
+
+/// Runtime state of the reserved-cluster pool.
+#[derive(Debug, Clone)]
+pub struct IaasPool {
+    pub cfg: IaasConfig,
+    /// Instances currently booted (busy + idle).
+    capacity: usize,
+    /// Idle booted instances.
+    free: usize,
+    /// Instances being provisioned (not yet ready).
+    provisioning: usize,
+    /// Billing/utilization integrals.
+    last_t: f64,
+    instance_seconds: f64,
+    busy_instance_seconds: f64,
+    peak_capacity: usize,
+    scale_ups: u64,
+}
+
+impl IaasPool {
+    pub fn new(cfg: IaasConfig) -> Self {
+        assert!(cfg.min_instances <= cfg.max_instances);
+        IaasPool {
+            cfg,
+            capacity: cfg.min_instances,
+            free: cfg.min_instances,
+            provisioning: 0,
+            last_t: 0.0,
+            instance_seconds: 0.0,
+            busy_instance_seconds: 0.0,
+            peak_capacity: cfg.min_instances,
+            scale_ups: 0,
+        }
+    }
+
+    /// Advance the billing/utilization integrals to `now`. Must be called
+    /// (and is, by every mutator) before any state change.
+    fn tick(&mut self, now: SimTime) {
+        let t = now.as_secs();
+        debug_assert!(
+            t >= self.last_t - 1e-9,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
+        let dt = (t - self.last_t).max(0.0);
+        self.instance_seconds += self.capacity as f64 * dt;
+        self.busy_instance_seconds += (self.capacity - self.free) as f64 * dt;
+        self.last_t = t;
+    }
+
+    pub fn free(&self) -> usize {
+        self.free
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn provisioning(&self) -> usize {
+        self.provisioning
+    }
+
+    /// Try to start a `workers`-wide job on idle instances.
+    pub fn try_start(&mut self, now: SimTime, workers: usize) -> bool {
+        assert!(workers >= 1);
+        self.tick(now);
+        if self.free >= workers {
+            self.free -= workers;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A job finished; its instances become idle.
+    pub fn finish(&mut self, now: SimTime, workers: usize) {
+        self.tick(now);
+        self.free += workers;
+        assert!(self.free <= self.capacity, "more free than booted");
+    }
+
+    /// Request capacity for `deficit` more workers. Returns the number of
+    /// instances actually launched and their boot time (the Table 6
+    /// `t_I(k)` curve for the batch being booted).
+    pub fn scale_up(&mut self, now: SimTime, deficit: usize) -> Option<(usize, SimTime)> {
+        self.tick(now);
+        let headroom = self.cfg.max_instances - self.capacity - self.provisioning;
+        let k = deficit.min(headroom);
+        if k == 0 {
+            return None;
+        }
+        self.provisioning += k;
+        self.scale_ups += 1;
+        Some((k, SimTime::secs(iaas_startup_table().eval(k as f64))))
+    }
+
+    /// A batch of `k` provisioned instances is ready.
+    pub fn provisioned(&mut self, now: SimTime, k: usize) {
+        self.tick(now);
+        assert!(self.provisioning >= k);
+        self.provisioning -= k;
+        self.capacity += k;
+        self.free += k;
+        self.peak_capacity = self.peak_capacity.max(self.capacity);
+    }
+
+    /// Release idle capacity above the reserved floor. Returns instances
+    /// released.
+    pub fn scale_down_idle(&mut self, now: SimTime) -> usize {
+        self.tick(now);
+        let releasable = self
+            .free
+            .min(self.capacity - self.cfg.min_instances.min(self.capacity));
+        self.capacity -= releasable;
+        self.free -= releasable;
+        releasable
+    }
+
+    /// Close the books at the end of the simulation.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.tick(now);
+    }
+
+    /// Reserved-capacity bill so far: every booted instance-second, busy or
+    /// idle (§2.2: "reserved resources bill whether busy or idle").
+    pub fn cost(&self) -> Cost {
+        self.cfg.instance.hourly() * (self.instance_seconds / 3_600.0)
+    }
+
+    /// Busy fraction of all billed instance-seconds.
+    pub fn utilization(&self) -> f64 {
+        if self.instance_seconds == 0.0 {
+            0.0
+        } else {
+            self.busy_instance_seconds / self.instance_seconds
+        }
+    }
+
+    pub fn peak_capacity(&self) -> usize {
+        self.peak_capacity
+    }
+
+    pub fn scale_up_events(&self) -> u64 {
+        self.scale_ups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_limit_blocks_admission() {
+        let mut r = FaasRegion::new(FaasConfig {
+            concurrency_limit: 25,
+            ..Default::default()
+        });
+        assert!(r.try_start(SimTime::ZERO, 20).is_some());
+        assert!(r.try_start(SimTime::ZERO, 10).is_none(), "20 + 10 > 25");
+        assert!(r.try_start(SimTime::ZERO, 5).is_some());
+        assert_eq!(r.available(), 0);
+    }
+
+    #[test]
+    fn warm_pool_eliminates_cold_starts() {
+        let mut r = FaasRegion::new(FaasConfig::default());
+        let (cold_startup, hits) = r.try_start(SimTime::ZERO, 10).unwrap();
+        assert_eq!(hits, 0, "first job is all cold");
+        assert!(cold_startup >= faas_startup_time(10));
+        r.release(SimTime::secs(100.0), 10);
+        // Second job inside the keep-alive window: all warm.
+        let (warm_startup, hits) = r.try_start(SimTime::secs(150.0), 10).unwrap();
+        assert_eq!(hits, 10);
+        assert_eq!(warm_startup, INVOKE_LATENCY);
+        assert!(warm_startup < cold_startup);
+        assert!((r.warm_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_containers_expire() {
+        let mut r = FaasRegion::new(FaasConfig {
+            keep_alive: SimTime::secs(60.0),
+            ..Default::default()
+        });
+        r.try_start(SimTime::ZERO, 10).unwrap();
+        r.release(SimTime::secs(10.0), 10);
+        // 100 s later the pool is stale: all cold again.
+        let (_, hits) = r.try_start(SimTime::secs(200.0), 10).unwrap();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn partial_warm_pool_charges_cold_tail_only() {
+        let mut r = FaasRegion::new(FaasConfig::default());
+        r.try_start(SimTime::ZERO, 4).unwrap();
+        r.release(SimTime::secs(5.0), 4);
+        let (startup, hits) = r.try_start(SimTime::secs(10.0), 10).unwrap();
+        assert_eq!(hits, 4);
+        // Startup pays the cold curve of the 6 cold workers, not all 10.
+        assert_eq!(startup, faas_startup_time(6));
+    }
+
+    #[test]
+    fn iaas_pool_bills_idle_capacity() {
+        let cfg = IaasConfig {
+            min_instances: 10,
+            ..Default::default()
+        };
+        let mut p = IaasPool::new(cfg);
+        p.finalize(SimTime::hours(1.0));
+        // 10 × $0.0464 × 1 h, all idle.
+        assert!((p.cost().as_usd() - 0.464).abs() < 1e-9);
+        assert_eq!(p.utilization(), 0.0);
+    }
+
+    #[test]
+    fn iaas_queue_capacity_accounting() {
+        let mut p = IaasPool::new(IaasConfig {
+            min_instances: 10,
+            ..Default::default()
+        });
+        assert!(p.try_start(SimTime::ZERO, 8));
+        assert!(!p.try_start(SimTime::ZERO, 5), "only 2 free");
+        p.finish(SimTime::secs(50.0), 8);
+        assert!(p.try_start(SimTime::secs(50.0), 5));
+        p.finish(SimTime::secs(100.0), 5);
+        p.finalize(SimTime::secs(100.0));
+        // busy: 8 × 50 + 5 × 50 = 650 of 10 × 100 = 1000 instance-seconds.
+        assert!((p.utilization() - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iaas_scale_up_and_down() {
+        let mut p = IaasPool::new(IaasConfig {
+            min_instances: 5,
+            max_instances: 50,
+            ..Default::default()
+        });
+        let (k, boot) = p.scale_up(SimTime::ZERO, 20).unwrap();
+        assert_eq!(k, 20);
+        assert!(boot.as_secs() >= 120.0, "Table 6 boot time, got {boot}");
+        p.provisioned(boot, 20);
+        assert_eq!(p.capacity(), 25);
+        assert_eq!(p.free(), 25);
+        let released = p.scale_down_idle(boot + SimTime::minutes(10.0));
+        assert_eq!(released, 20, "shrinks back to the floor");
+        assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    fn iaas_scale_up_respects_ceiling() {
+        let mut p = IaasPool::new(IaasConfig {
+            min_instances: 5,
+            max_instances: 10,
+            ..Default::default()
+        });
+        let (k, _) = p.scale_up(SimTime::ZERO, 100).unwrap();
+        assert_eq!(k, 5, "ceiling of 10 minus 5 booted");
+        assert!(p.scale_up(SimTime::ZERO, 100).is_none(), "no headroom left");
+    }
+}

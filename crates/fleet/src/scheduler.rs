@@ -1,0 +1,292 @@
+//! Fleet scheduling policies.
+//!
+//! A [`Scheduler`] routes each arriving job to the FaaS region or the IaaS
+//! pool. The two degenerate policies reproduce the paper's single-backend
+//! world at fleet scale; [`CostAware`] prices both options per job with the
+//! §5.3 analytical model (optionally re-calibrating epoch counts with the
+//! sampling estimator) and adds a load-aware escape hatch: when the cheap
+//! option is saturated and the other side finishes comfortably sooner, pay
+//! the premium.
+
+use crate::job::{JobClass, JobRequest};
+use lml_analytic::estimator::estimate_epochs;
+use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
+use lml_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Where a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Faas,
+    Iaas,
+}
+
+impl Route {
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Faas => "faas",
+            Route::Iaas => "iaas",
+        }
+    }
+}
+
+/// Snapshot of platform load handed to the scheduler at decision time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetView {
+    /// FaaS executions currently running.
+    pub faas_in_use: usize,
+    /// Account concurrency limit.
+    pub faas_limit: usize,
+    /// Workers queued for the FaaS region.
+    pub faas_queued_workers: usize,
+    /// Idle booted IaaS instances.
+    pub iaas_free: usize,
+    /// Booted IaaS instances (busy + idle).
+    pub iaas_capacity: usize,
+    /// Instances being provisioned.
+    pub iaas_provisioning: usize,
+    /// Workers queued for the IaaS pool.
+    pub iaas_queued_workers: usize,
+}
+
+/// A fleet scheduling policy.
+pub trait Scheduler {
+    fn name(&self) -> &'static str;
+    /// Route one arriving job given the current platform load.
+    fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route;
+}
+
+/// Route everything to Lambda.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllFaas;
+
+impl Scheduler for AllFaas {
+    fn name(&self) -> &'static str {
+        "all-faas"
+    }
+    fn route(&mut self, _job: &JobRequest, _view: &FleetView) -> Route {
+        Route::Faas
+    }
+}
+
+/// Route everything to the reserved cluster.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllIaas;
+
+impl Scheduler for AllIaas {
+    fn name(&self) -> &'static str {
+        "all-iaas"
+    }
+    fn route(&mut self, _job: &JobRequest, _view: &FleetView) -> Route {
+        Route::Iaas
+    }
+}
+
+/// Cost-aware hybrid: per job, price both substrates with the analytical
+/// model and take the cheaper one — unless the cheaper side is saturated
+/// and the other side would finish the job sooner, in which case latency
+/// wins (the premium buys down the queue).
+#[derive(Debug, Clone)]
+pub struct CostAware {
+    faas_case: AnalyticCase,
+    iaas_case: AnalyticCase,
+    /// Per-class epoch overrides from estimator calibration.
+    epochs: BTreeMap<JobClass, f64>,
+    /// How much slower the cheaper option may be (vs the other side) before
+    /// the router abandons it while it is saturated.
+    pub patience: f64,
+}
+
+impl Default for CostAware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostAware {
+    /// Router priced with the default cases (S3-channel FaaS, t2.medium
+    /// IaaS) — matches [`crate::sim::FleetConfig::default`]. For any other
+    /// fleet configuration use [`CostAware::for_config`] so the routing
+    /// estimates price the same substrates the simulator charges.
+    pub fn new() -> Self {
+        CostAware {
+            faas_case: AnalyticCase::faas_s3(),
+            iaas_case: AnalyticCase::iaas_t2(),
+            epochs: BTreeMap::new(),
+            patience: 2.0,
+        }
+    }
+
+    /// Router priced with the fleet's own channel/pricing cases.
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        CostAware {
+            faas_case: cfg.faas_case,
+            iaas_case: cfg.iaas_case,
+            ..Self::new()
+        }
+    }
+
+    /// Re-estimate `R` (epochs to threshold) for `class` by training on a
+    /// `sample_frac` subsample — the paper's §5.3 estimator — and use the
+    /// result for all future routing decisions on that class.
+    pub fn calibrate(&mut self, class: JobClass, sample_frac: f64, max_epochs: usize, seed: u64) {
+        let est = estimate_epochs(
+            class.dataset(),
+            class.model(),
+            class.algorithm(),
+            class.lr(),
+            class.threshold(),
+            sample_frac,
+            max_epochs,
+            seed,
+        );
+        self.epochs.insert(class, est.epochs);
+    }
+
+    /// Directly pin the epoch estimate for a class (e.g. from an offline
+    /// estimator run).
+    pub fn with_epochs(mut self, class: JobClass, epochs: f64) -> Self {
+        self.epochs.insert(class, epochs);
+        self
+    }
+
+    /// Estimated (time, cost) of the job on FaaS, startup excluded (the
+    /// warm pool makes fleet startup load-dependent; the simulator charges
+    /// the real value).
+    fn estimate(&self, job: &JobRequest) -> (f64, f64, f64, f64) {
+        let mut p = job.class.profile();
+        if let Some(&e) = self.epochs.get(&job.class) {
+            p.epochs = e;
+        }
+        let w = job.workers;
+        let t_f = faas_time(&p, &self.faas_case, Scaling::Perfect, w).as_secs()
+            - lml_analytic::constants::t_f().eval(w as f64);
+        let c_f = faas_cost(&p, &self.faas_case, Scaling::Perfect, w).as_usd();
+        let t_i = iaas_time(&p, &self.iaas_case, Scaling::Perfect, w).as_secs()
+            - lml_analytic::constants::t_i().eval(w as f64);
+        // Warm-pool IaaS: bill the instances for the run, not the boot.
+        let c_i = w as f64 * self.iaas_case.worker_price_per_s * t_i;
+        (t_f, c_f, t_i, c_i)
+    }
+
+    /// Public view of the per-job estimate, for reporting.
+    pub fn estimated_run(&self, job: &JobRequest) -> (SimTime, SimTime) {
+        let (t_f, _, t_i, _) = self.estimate(job);
+        (SimTime::secs(t_f), SimTime::secs(t_i))
+    }
+}
+
+impl Scheduler for CostAware {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route {
+        let (t_f, c_f, t_i, c_i) = self.estimate(job);
+        let (cheap, t_cheap, t_other) = if c_i <= c_f {
+            (Route::Iaas, t_i, t_f)
+        } else {
+            (Route::Faas, t_f, t_i)
+        };
+        // Saturation check for the cheaper side.
+        let saturated = match cheap {
+            Route::Iaas => {
+                view.iaas_queued_workers + job.workers > view.iaas_free + view.iaas_provisioning
+            }
+            Route::Faas => {
+                view.faas_queued_workers + job.workers + view.faas_in_use > view.faas_limit
+            }
+        };
+        if saturated && t_other * self.patience < t_cheap + queue_penalty(cheap, view) {
+            // The queue on the cheap side costs more time than the premium
+            // side's whole run: buy latency.
+            return match cheap {
+                Route::Iaas => Route::Faas,
+                Route::Faas => Route::Iaas,
+            };
+        }
+        cheap
+    }
+}
+
+/// Crude queue-delay proxy: one average job run per queued-worker batch of
+/// the pool's capacity. Only used to compare against the other side's run
+/// time, so a rough scale is enough.
+fn queue_penalty(side: Route, view: &FleetView) -> f64 {
+    let (queued, capacity) = match side {
+        Route::Iaas => (view.iaas_queued_workers, view.iaas_capacity.max(1)),
+        Route::Faas => (view.faas_queued_workers, view.faas_limit.max(1)),
+    };
+    // Each "round" of the queue takes on the order of a minute of service.
+    60.0 * (queued as f64 / capacity as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lml_sim::SimTime;
+
+    fn job(class: JobClass) -> JobRequest {
+        JobRequest {
+            id: 0,
+            class,
+            submit: SimTime::ZERO,
+            workers: class.default_workers(),
+        }
+    }
+
+    #[test]
+    fn pure_policies_are_constant() {
+        let v = FleetView::default();
+        assert_eq!(AllFaas.route(&job(JobClass::LrHiggs), &v), Route::Faas);
+        assert_eq!(AllIaas.route(&job(JobClass::MnCifar), &v), Route::Iaas);
+    }
+
+    #[test]
+    fn cost_aware_sends_deep_jobs_to_iaas() {
+        // Communication-heavy deep jobs are both slower AND dearer on FaaS
+        // (the paper's §5.2 headline) — the router must keep them serverful.
+        let mut s = CostAware::new();
+        let v = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.route(&job(JobClass::MnCifar), &v), Route::Iaas);
+        assert_eq!(s.route(&job(JobClass::RnCifar), &v), Route::Iaas);
+    }
+
+    #[test]
+    fn cost_aware_escapes_a_saturated_pool() {
+        let mut s = CostAware::new();
+        // IaaS is cheaper for LR/Higgs but the pool is slammed: the FaaS
+        // run (≈1 min) beats the queue, so the router pays the premium.
+        let slammed = FleetView {
+            iaas_free: 0,
+            iaas_capacity: 20,
+            iaas_provisioning: 0,
+            iaas_queued_workers: 500,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(s.route(&job(JobClass::LrHiggs), &slammed), Route::Faas);
+        // Same job, idle pool: stay on the cheap side.
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(s.route(&job(JobClass::LrHiggs), &idle), Route::Iaas);
+    }
+
+    #[test]
+    fn epoch_override_changes_the_estimate() {
+        let base = CostAware::new();
+        let long = CostAware::new().with_epochs(JobClass::LrHiggs, 600.0);
+        let j = job(JobClass::LrHiggs);
+        let (t_base, _) = base.estimated_run(&j);
+        let (t_long, _) = long.estimated_run(&j);
+        assert!(t_long > t_base * 10.0, "{t_long} vs {t_base}");
+    }
+}

@@ -1,0 +1,427 @@
+//! The fleet simulator: an event-driven loop over the shared
+//! [`EventQueue`], driving arrivals through a [`Scheduler`] onto the two
+//! platform models until every job completes.
+//!
+//! Job service times come from the §5.3 analytical model (minus its
+//! single-job startup terms — the fleet charges the *actual* startup it
+//! simulates: warm/cold starts on FaaS, dispatch or queueing on IaaS), so a
+//! thousand-job fleet simulates in host milliseconds.
+
+use crate::job::JobRequest;
+use crate::metrics::{FleetMetrics, JobRecord};
+use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool};
+use crate::scheduler::{FleetView, Route, Scheduler};
+use crate::workload::Trace;
+use lml_analytic::constants;
+use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, AnalyticParams, Scaling};
+use lml_sim::{Cost, EventQueue, SimTime};
+use std::collections::VecDeque;
+
+/// Fleet-wide configuration: the two platforms and their channel cases.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    pub faas: FaasConfig,
+    pub iaas: IaasConfig,
+    /// Analytical channel/pricing case for FaaS jobs (default: S3, 3 GB).
+    pub faas_case: AnalyticCase,
+    /// Analytical case for IaaS jobs (default: t2.medium network).
+    pub iaas_case: AnalyticCase,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            faas: FaasConfig::default(),
+            iaas: IaasConfig::default(),
+            faas_case: AnalyticCase::faas_s3(),
+            iaas_case: AnalyticCase::iaas_t2(),
+        }
+    }
+}
+
+/// Single-job service time on FaaS once its functions are up: data loading
+/// plus training (the analytical FaaS(w) minus its t_F(w) startup term).
+pub fn faas_run(p: &AnalyticParams, case: &AnalyticCase, w: usize) -> SimTime {
+    faas_time(p, case, Scaling::Perfect, w) - SimTime::secs(constants::t_f().eval(w as f64))
+}
+
+/// Single-job service time on booted IaaS instances (IaaS(w) minus t_I(w)).
+pub fn iaas_run(p: &AnalyticParams, case: &AnalyticCase, w: usize) -> SimTime {
+    iaas_time(p, case, Scaling::Perfect, w) - SimTime::secs(constants::t_i().eval(w as f64))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Job `i` of the trace arrives.
+    Arrive(usize),
+    /// Job `i` finishes on FaaS.
+    FaasDone(usize),
+    /// Job `i` finishes on IaaS.
+    IaasDone(usize),
+    /// A batch of `k` IaaS instances finished booting.
+    Provisioned(usize),
+    /// Check whether idle IaaS capacity above the floor should be released.
+    IdleCheck,
+}
+
+/// Mutable per-job state built up during the run.
+#[derive(Debug, Clone, Copy)]
+struct JobState {
+    route: Route,
+    queue: SimTime,
+    startup: SimTime,
+    run: SimTime,
+    warm_hits: usize,
+    cost: Cost,
+    done: bool,
+}
+
+/// All simulator state, threaded through the event handlers.
+struct Fleet<'a> {
+    cfg: &'a FleetConfig,
+    jobs: &'a [JobRequest],
+    faas: FaasRegion,
+    iaas: IaasPool,
+    state: Vec<JobState>,
+    events: EventQueue<Event>,
+    faas_queue: VecDeque<usize>,
+    iaas_queue: VecDeque<usize>,
+}
+
+impl<'a> Fleet<'a> {
+    fn new(cfg: &'a FleetConfig, jobs: &'a [JobRequest]) -> Self {
+        let state = jobs
+            .iter()
+            .map(|_| JobState {
+                route: Route::Faas,
+                queue: SimTime::ZERO,
+                startup: SimTime::ZERO,
+                run: SimTime::ZERO,
+                warm_hits: 0,
+                cost: Cost::ZERO,
+                done: false,
+            })
+            .collect();
+        Fleet {
+            cfg,
+            jobs,
+            faas: FaasRegion::new(cfg.faas),
+            iaas: IaasPool::new(cfg.iaas),
+            state,
+            events: EventQueue::new(),
+            faas_queue: VecDeque::new(),
+            iaas_queue: VecDeque::new(),
+        }
+    }
+
+    fn queued_workers(q: &VecDeque<usize>, jobs: &[JobRequest]) -> usize {
+        q.iter().map(|&i| jobs[i].workers).sum()
+    }
+
+    fn view(&self) -> FleetView {
+        FleetView {
+            faas_in_use: self.cfg.faas.concurrency_limit - self.faas.available(),
+            faas_limit: self.cfg.faas.concurrency_limit,
+            faas_queued_workers: Self::queued_workers(&self.faas_queue, self.jobs),
+            iaas_free: self.iaas.free(),
+            iaas_capacity: self.iaas.capacity(),
+            iaas_provisioning: self.iaas.provisioning(),
+            iaas_queued_workers: Self::queued_workers(&self.iaas_queue, self.jobs),
+        }
+    }
+
+    /// Try to begin job `i` on FaaS at `now`; schedules its completion.
+    fn start_faas(&mut self, i: usize, now: SimTime) -> bool {
+        let job = &self.jobs[i];
+        match self.faas.try_start(now, job.workers) {
+            Some((startup, warm_hits)) => {
+                let p = job.class.profile();
+                let run = faas_run(&p, &self.cfg.faas_case, job.workers);
+                let s = &mut self.state[i];
+                s.queue = now - job.submit;
+                s.startup = startup;
+                s.run = run;
+                s.warm_hits = warm_hits;
+                // GB-second billing of the execution (Lambda does not bill
+                // provisioning time; the §5.3 cost formula is the same).
+                s.cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
+                self.events.push(now + startup + run, Event::FaasDone(i));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Try to begin job `i` on idle IaaS instances at `now`.
+    fn start_iaas(&mut self, i: usize, now: SimTime) -> bool {
+        let job = &self.jobs[i];
+        if !self.iaas.try_start(now, job.workers) {
+            return false;
+        }
+        let p = job.class.profile();
+        let run = iaas_run(&p, &self.cfg.iaas_case, job.workers);
+        let startup = self.cfg.iaas.dispatch_latency;
+        let s = &mut self.state[i];
+        s.queue = now - job.submit;
+        s.startup = startup;
+        s.run = run;
+        // Attributed share of the pool bill; the pool's own integral is
+        // authoritative for totals.
+        s.cost = Cost::usd(
+            job.workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
+        );
+        self.events.push(now + startup + run, Event::IaasDone(i));
+        true
+    }
+
+    /// Strict FIFO drain of the FaaS admission queue.
+    fn drain_faas(&mut self, now: SimTime) {
+        while let Some(&i) = self.faas_queue.front() {
+            if self.start_faas(i, now) {
+                self.faas_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// FIFO + backfill drain: start any queued job that fits, front first,
+    /// letting smaller jobs overtake a blocked head-of-line job. Jobs still
+    /// queued afterwards re-trigger the autoscaler — backfill may have
+    /// consumed capacity that an earlier scale-up had counted toward them.
+    fn drain_iaas(&mut self, now: SimTime) {
+        let pending: Vec<usize> = self.iaas_queue.drain(..).collect();
+        for i in pending {
+            if !self.start_iaas(i, now) {
+                self.iaas_queue.push_back(i);
+            }
+        }
+        if !self.iaas_queue.is_empty() {
+            self.autoscale(now);
+        }
+    }
+
+    /// Boot more instances if queued demand exceeds what is idle or coming.
+    fn autoscale(&mut self, now: SimTime) {
+        let deficit = Self::queued_workers(&self.iaas_queue, self.jobs)
+            .saturating_sub(self.iaas.free() + self.iaas.provisioning());
+        if deficit > 0 {
+            if let Some((k, boot)) = self.iaas.scale_up(now, deficit) {
+                self.events.push(now + boot, Event::Provisioned(k));
+            }
+        }
+    }
+
+    /// Handle every event type except `Arrive` (which needs the external
+    /// scheduler and is driven directly by [`simulate`]).
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
+            Event::FaasDone(i) => {
+                self.faas.release(now, self.jobs[i].workers);
+                self.state[i].done = true;
+                self.drain_faas(now);
+            }
+            Event::IaasDone(i) => {
+                self.iaas.finish(now, self.jobs[i].workers);
+                self.state[i].done = true;
+                self.drain_iaas(now);
+                if self.iaas_queue.is_empty() {
+                    self.events
+                        .push(now + self.cfg.iaas.idle_after, Event::IdleCheck);
+                }
+            }
+            Event::Provisioned(k) => {
+                self.iaas.provisioned(now, k);
+                self.drain_iaas(now);
+            }
+            Event::IdleCheck => {
+                if self.iaas_queue.is_empty() {
+                    self.iaas.scale_down_idle(now);
+                }
+            }
+        }
+    }
+}
+
+/// Run `trace` through `scheduler` on the configured platforms.
+pub fn simulate(
+    trace: &Trace,
+    cfg: &FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) -> FleetMetrics {
+    let mut fleet = Fleet::new(cfg, &trace.jobs);
+    for (i, j) in trace.jobs.iter().enumerate() {
+        fleet.events.push(j.submit, Event::Arrive(i));
+    }
+
+    let mut last_time = SimTime::ZERO;
+    while let Some((now, ev)) = fleet.events.pop() {
+        last_time = now;
+        if let Event::Arrive(i) = ev {
+            let view = fleet.view();
+            let route = scheduler.route(&fleet.jobs[i], &view);
+            fleet.state[i].route = route;
+            // Width is validated against the *routed* platform only: a job
+            // too wide for one substrate is fine as long as its scheduler
+            // never sends it there.
+            match route {
+                Route::Faas => {
+                    assert!(
+                        fleet.jobs[i].workers <= cfg.faas.concurrency_limit,
+                        "job {i} routed to FaaS but wider than the account concurrency limit"
+                    );
+                    if !fleet.faas_queue.is_empty() || !fleet.start_faas(i, now) {
+                        fleet.faas_queue.push_back(i);
+                    }
+                }
+                Route::Iaas => {
+                    assert!(
+                        fleet.jobs[i].workers <= cfg.iaas.max_instances,
+                        "job {i} routed to IaaS but wider than the autoscaling ceiling"
+                    );
+                    if !fleet.start_iaas(i, now) {
+                        fleet.iaas_queue.push_back(i);
+                        fleet.autoscale(now);
+                    } else if !fleet.iaas_queue.is_empty() {
+                        // This arrival backfilled past queued jobs and may
+                        // have consumed capacity counted toward them.
+                        fleet.autoscale(now);
+                    }
+                }
+            }
+        } else {
+            fleet.handle(now, ev);
+        }
+    }
+
+    fleet.iaas.finalize(last_time);
+    debug_assert!(fleet.state.iter().all(|s| s.done), "all jobs must complete");
+
+    let records: Vec<JobRecord> = trace
+        .jobs
+        .iter()
+        .zip(&fleet.state)
+        .map(|(j, s)| JobRecord {
+            id: j.id,
+            class: j.class,
+            route: s.route,
+            workers: j.workers,
+            submit: j.submit,
+            queue: s.queue,
+            startup: s.startup,
+            run: s.run,
+            warm_hits: s.warm_hits,
+            cost: s.cost,
+        })
+        .collect();
+
+    FleetMetrics::from_records(
+        scheduler.name(),
+        seed,
+        records,
+        fleet.iaas.cost(),
+        fleet.faas.warm_hit_rate(),
+        fleet.faas.cold_starts(),
+        fleet.iaas.utilization(),
+        fleet.iaas.peak_capacity(),
+        fleet.faas.peak_concurrency(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+    use crate::scheduler::{AllFaas, AllIaas, CostAware};
+    use crate::workload::{ArrivalProcess, JobMix, Trace};
+
+    fn small_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        Trace::generate(
+            ArrivalProcess::Poisson { rate },
+            &JobMix::convex_mix(),
+            n,
+            seed,
+        )
+    }
+
+    #[test]
+    fn all_jobs_complete_on_every_policy() {
+        let trace = small_trace(100, 0.5, 42);
+        let cfg = FleetConfig::default();
+        for (name, sched) in [
+            ("all-faas", &mut AllFaas as &mut dyn Scheduler),
+            ("all-iaas", &mut AllIaas),
+            ("cost-aware", &mut CostAware::new()),
+        ] {
+            let m = simulate(&trace, &cfg, sched, 42);
+            assert_eq!(m.n_jobs, 100, "{name}");
+            assert!(m.makespan >= trace.horizon(), "{name}");
+            assert!(m.latency.p99 >= m.latency.p50, "{name}");
+            assert!(m.total_cost().as_usd() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_metrics_json() {
+        let cfg = FleetConfig::default();
+        let run = || {
+            let trace = small_trace(200, 1.0, 7);
+            simulate(&trace, &cfg, &mut CostAware::new(), 7).to_json()
+        };
+        assert_eq!(run(), run(), "byte-identical JSON for identical inputs");
+    }
+
+    #[test]
+    fn warm_hit_rate_rises_with_arrival_rate() {
+        let cfg = FleetConfig::default();
+        let rate_of = |rate: f64| {
+            let trace = small_trace(300, rate, 11);
+            simulate(&trace, &cfg, &mut AllFaas, 11).warm_hit_rate
+        };
+        let slow = rate_of(0.0003); // one job every ~55 min: pools go stale
+        let fast = rate_of(1.0);
+        assert!(
+            fast > slow + 0.2,
+            "cold-start probability must fall as traffic rises: slow {slow} fast {fast}"
+        );
+    }
+
+    #[test]
+    fn faas_queue_kicks_in_at_the_concurrency_limit() {
+        let mut cfg = FleetConfig::default();
+        cfg.faas.concurrency_limit = 20; // two 10-worker jobs at a time
+        let trace = Trace::generate(
+            ArrivalProcess::Poisson { rate: 5.0 },
+            &JobMix::only(JobClass::LrHiggs),
+            40,
+            3,
+        );
+        let m = simulate(&trace, &cfg, &mut AllFaas, 3);
+        assert!(m.queue.max > 0.0, "queueing must appear under the limit");
+        assert!(m.faas_peak_concurrency <= 20);
+    }
+
+    #[test]
+    fn iaas_autoscaler_grows_and_charges_idle_floor() {
+        let trace = small_trace(150, 1.0, 5);
+        let cfg = FleetConfig::default();
+        let m = simulate(&trace, &cfg, &mut AllIaas, 5);
+        assert!(
+            m.iaas_peak_instances > cfg.iaas.min_instances,
+            "burst must trigger scale-up, peak {}",
+            m.iaas_peak_instances
+        );
+        assert!(m.iaas_cost.as_usd() > 0.0);
+        assert!(m.iaas_utilization > 0.0 && m.iaas_utilization <= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace { jobs: vec![] };
+        let m = simulate(&trace, &FleetConfig::default(), &mut AllFaas, 1);
+        assert_eq!(m.n_jobs, 0);
+        assert_eq!(m.total_cost().as_usd() + m.latency.p99, 0.0);
+    }
+}

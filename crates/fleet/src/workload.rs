@@ -1,0 +1,293 @@
+//! Workload generation: arrival processes, job mixes, and replayable traces.
+//!
+//! A [`Trace`] is the unit of input to the fleet simulator: a list of
+//! [`JobRequest`]s sorted by submission time. Traces are either generated
+//! from an [`ArrivalProcess`] + [`JobMix`] with a seeded RNG (bit-identical
+//! across runs) or replayed from the plain-text format produced by
+//! [`Trace::to_text`], so a measured production trace can be swapped in
+//! without touching the simulator.
+
+use crate::job::{JobClass, JobRequest};
+use lml_sim::{Pcg64, SimTime};
+
+/// How job submissions arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` jobs/second — the classic open-system
+    /// model of a large independent tenant population.
+    Poisson { rate: f64 },
+    /// A modulated Poisson process: within every `period`, the first
+    /// `duty` fraction arrives at `burst_rate`, the rest at `base_rate`.
+    /// Models diurnal load and synchronized retraining waves.
+    Burst {
+        base_rate: f64,
+        burst_rate: f64,
+        period: f64,
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous arrival rate at absolute time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Burst {
+                base_rate,
+                burst_rate,
+                period,
+                duty,
+            } => {
+                let phase = (t / period).fract();
+                if phase < duty {
+                    burst_rate
+                } else {
+                    base_rate
+                }
+            }
+        }
+    }
+
+    /// Sample the gap to the next arrival after time `t` (exponential at
+    /// the local rate — exact for Poisson, a standard step approximation
+    /// for the modulated process).
+    fn next_gap(&self, t: f64, rng: &mut Pcg64) -> f64 {
+        let rate = self.rate_at(t);
+        assert!(rate > 0.0, "arrival rate must be positive");
+        -(1.0 - rng.uniform()).ln() / rate
+    }
+}
+
+/// A weighted mixture over job classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMix {
+    entries: Vec<(JobClass, f64)>,
+}
+
+impl JobMix {
+    /// Build a mix from (class, weight) pairs; weights are normalized.
+    pub fn new(entries: Vec<(JobClass, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empty job mix");
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "job mix weights must sum to > 0");
+        JobMix {
+            entries: entries.into_iter().map(|(c, w)| (c, w / total)).collect(),
+        }
+    }
+
+    /// A single-class mix.
+    pub fn only(class: JobClass) -> Self {
+        JobMix::new(vec![(class, 1.0)])
+    }
+
+    /// The default multi-tenant mix: mostly fast convex jobs, a tail of
+    /// heavy deep-learning jobs — the shape under which the FaaS/IaaS
+    /// trade-off of the paper matters most.
+    pub fn default_mix() -> Self {
+        JobMix::new(vec![
+            (JobClass::LrHiggs, 0.32),
+            (JobClass::SvmRcv1, 0.30),
+            (JobClass::KmHiggs, 0.20),
+            (JobClass::LrYfcc, 0.08),
+            (JobClass::MnCifar, 0.08),
+            (JobClass::RnCifar, 0.02),
+        ])
+    }
+
+    /// Convex-only mix (every job is FaaS-friendly).
+    pub fn convex_mix() -> Self {
+        JobMix::new(vec![
+            (JobClass::LrHiggs, 0.4),
+            (JobClass::SvmRcv1, 0.4),
+            (JobClass::KmHiggs, 0.2),
+        ])
+    }
+
+    pub fn classes(&self) -> impl Iterator<Item = JobClass> + '_ {
+        self.entries.iter().map(|&(c, _)| c)
+    }
+
+    fn sample(&self, rng: &mut Pcg64) -> JobClass {
+        let u = rng.uniform();
+        let mut acc = 0.0;
+        for &(c, w) in &self.entries {
+            acc += w;
+            if u < acc {
+                return c;
+            }
+        }
+        self.entries.last().expect("non-empty mix").0
+    }
+}
+
+/// A replayable list of job submissions, sorted by submission time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub jobs: Vec<JobRequest>,
+}
+
+impl Trace {
+    /// Generate `n_jobs` arrivals from the process and mix. Same seed →
+    /// identical trace, byte for byte.
+    pub fn generate(process: ArrivalProcess, mix: &JobMix, n_jobs: usize, seed: u64) -> Trace {
+        let mut rng = Pcg64::new(seed ^ 0xF1EE7);
+        let mut t = 0.0;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for id in 0..n_jobs {
+            t += process.next_gap(t, &mut rng);
+            let class = mix.sample(&mut rng);
+            jobs.push(JobRequest {
+                id: id as u64,
+                class,
+                submit: SimTime::secs(t),
+                workers: class.default_workers(),
+            });
+        }
+        Trace { jobs }
+    }
+
+    /// Serialize to the replayable text format: one `time class workers`
+    /// line per job, times in shortest-roundtrip notation.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# lml-fleet trace v1: submit_secs\tclass\tworkers\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{:?}\t{}\t{}\n",
+                j.submit.as_secs(),
+                j.class.name(),
+                j.workers
+            ));
+        }
+        out
+    }
+
+    /// Parse the text format back into a trace (ids re-assigned in file
+    /// order). Round-trips [`Trace::to_text`] exactly.
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut jobs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let t: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing time", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
+            let class = parts
+                .next()
+                .and_then(JobClass::parse)
+                .ok_or_else(|| format!("line {}: unknown job class", lineno + 1))?;
+            let workers: usize = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing workers", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad workers: {e}", lineno + 1))?;
+            if workers == 0 {
+                return Err(format!("line {}: zero workers", lineno + 1));
+            }
+            jobs.push(JobRequest {
+                id: jobs.len() as u64,
+                class,
+                submit: SimTime::secs(t),
+                workers,
+            });
+        }
+        if !jobs.windows(2).all(|w| w[0].submit <= w[1].submit) {
+            return Err("trace not sorted by submission time".into());
+        }
+        Ok(Trace { jobs })
+    }
+
+    /// Submission time of the last job.
+    pub fn horizon(&self) -> SimTime {
+        self.jobs.last().map_or(SimTime::ZERO, |j| j.submit)
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_deterministic() {
+        let mix = JobMix::default_mix();
+        let a = Trace::generate(ArrivalProcess::Poisson { rate: 0.5 }, &mix, 200, 7);
+        let b = Trace::generate(ArrivalProcess::Poisson { rate: 0.5 }, &mix, 200, 7);
+        assert_eq!(a, b);
+        let c = Trace::generate(ArrivalProcess::Poisson { rate: 0.5 }, &mix, 200, 8);
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn poisson_mean_rate_close_to_nominal() {
+        let mix = JobMix::only(JobClass::LrHiggs);
+        let t = Trace::generate(ArrivalProcess::Poisson { rate: 2.0 }, &mix, 4_000, 42);
+        let horizon = t.horizon().as_secs();
+        let rate = t.len() as f64 / horizon;
+        assert!((rate - 2.0).abs() < 0.15, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn burst_process_alternates_rates() {
+        let p = ArrivalProcess::Burst {
+            base_rate: 0.1,
+            burst_rate: 10.0,
+            period: 100.0,
+            duty: 0.2,
+        };
+        assert_eq!(p.rate_at(5.0), 10.0);
+        assert_eq!(p.rate_at(50.0), 0.1);
+        assert_eq!(p.rate_at(105.0), 10.0);
+        let mix = JobMix::only(JobClass::SvmRcv1);
+        let t = Trace::generate(p, &mix, 500, 1);
+        // Bursts compress arrivals: many more jobs land in burst windows.
+        let in_burst = t
+            .jobs
+            .iter()
+            .filter(|j| (j.submit.as_secs() / 100.0).fract() < 0.2)
+            .count();
+        assert!(in_burst > t.len() / 2, "{in_burst} of {}", t.len());
+    }
+
+    #[test]
+    fn trace_text_roundtrips() {
+        let mix = JobMix::default_mix();
+        let t = Trace::generate(ArrivalProcess::Poisson { rate: 1.0 }, &mix, 300, 99);
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.to_text(), text, "round-trip is byte-identical");
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Trace::from_text("1.0\tnot-a-class\t10").is_err());
+        assert!(Trace::from_text("abc\tlr-higgs\t10").is_err());
+        assert!(Trace::from_text("1.0\tlr-higgs\t0").is_err());
+        assert!(Trace::from_text("5.0\tlr-higgs\t10\n1.0\tlr-higgs\t10").is_err());
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = JobMix::new(vec![(JobClass::LrHiggs, 3.0), (JobClass::RnCifar, 1.0)]);
+        let t = Trace::generate(ArrivalProcess::Poisson { rate: 1.0 }, &mix, 4_000, 5);
+        let lr = t
+            .jobs
+            .iter()
+            .filter(|j| j.class == JobClass::LrHiggs)
+            .count();
+        let frac = lr as f64 / t.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "LR fraction {frac}");
+    }
+}

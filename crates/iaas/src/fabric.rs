@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn single_node_needs_no_communication() {
-        assert_eq!(ring_allreduce_time(1, ByteSize::mb(100.0), link()), SimTime::ZERO);
+        assert_eq!(
+            ring_allreduce_time(1, ByteSize::mb(100.0), link()),
+            SimTime::ZERO
+        );
         assert_eq!(gather_time(1, ByteSize::mb(1.0), link()), SimTime::ZERO);
         assert_eq!(broadcast_time(1, ByteSize::mb(1.0), link()), SimTime::ZERO);
     }

@@ -81,7 +81,12 @@ const LOCK_CONTENTION: f64 = 0.02;
 impl PsModel {
     pub fn new(rpc: RpcKind, instance: InstanceType, lambda_vcpus: f64) -> Self {
         assert!(lambda_vcpus > 0.0);
-        PsModel { rpc, instance, lambda_vcpus, bandwidth_override: None }
+        PsModel {
+            rpc,
+            instance,
+            lambda_vcpus,
+            bandwidth_override: None,
+        }
     }
 
     /// The Q1 what-if: replace the Lambda↔VM path with `bw` bytes/s.
@@ -156,8 +161,8 @@ mod tests {
     fn thrift_is_an_order_of_magnitude_slower() {
         let grpc = PsModel::new(RpcKind::Grpc, InstanceType::C5XLarge4, 1.8);
         let thrift = PsModel::new(RpcKind::Thrift, InstanceType::C5XLarge4, 1.8);
-        let ratio = thrift.transfer_time_single(M75).as_secs()
-            / grpc.transfer_time_single(M75).as_secs();
+        let ratio =
+            thrift.transfer_time_single(M75).as_secs() / grpc.transfer_time_single(M75).as_secs();
         assert!(ratio > 8.0, "Table 2: 19.7s vs 1.85s; got ratio {ratio}");
     }
 
@@ -193,8 +198,8 @@ mod tests {
         let fast = base.with_bandwidth(1_250e6); // 10 Gbps
         assert!(fast.transfer_time_single(M75) < base.transfer_time_single(M75));
         // but serialization still bounds it: not 17× faster
-        let ratio = base.transfer_time_single(M75).as_secs()
-            / fast.transfer_time_single(M75).as_secs();
+        let ratio =
+            base.transfer_time_single(M75).as_secs() / fast.transfer_time_single(M75).as_secs();
         assert!(ratio < 3.0, "serialization remains the bottleneck: {ratio}");
     }
 
@@ -202,8 +207,7 @@ mod tests {
     fn round_time_composes_push_update_pull() {
         let ps = PsModel::new(RpcKind::Grpc, InstanceType::C5XLarge4, 1.8);
         let round = ps.round_time(10, M75);
-        let parts = ps.transfer_time(10, M75) + ps.update_time(10, M75)
-            + ps.transfer_time(10, M75);
+        let parts = ps.transfer_time(10, M75) + ps.update_time(10, M75) + ps.transfer_time(10, M75);
         assert_eq!(round, parts);
     }
 }

@@ -37,7 +37,10 @@ impl SparseVec {
     /// Build from pre-sorted parallel arrays (checked in debug builds).
     pub fn from_sorted(idx: Vec<u32>, val: Vec<f64>) -> Self {
         assert_eq!(idx.len(), val.len(), "parallel arrays must match");
-        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "indices must strictly increase");
+        debug_assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "indices must strictly increase"
+        );
         SparseVec { idx, val }
     }
 

@@ -272,7 +272,11 @@ mod tests {
         // (10,10) is nearer to (100,100)? dist to (0,0) = 200, to (100,100)
         // = 16200 — everything assigns to centroid 0.
         km.em_epoch(&data, &rows);
-        assert_eq!(km.centroids().row(1), &[100.0, 100.0], "empty cluster unchanged");
+        assert_eq!(
+            km.centroids().row(1),
+            &[100.0, 100.0],
+            "empty cluster unchanged"
+        );
     }
 
     #[test]

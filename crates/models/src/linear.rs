@@ -21,7 +21,10 @@ impl LogisticRegression {
     /// Zero-initialized model (the paper's convex workloads start at 0).
     pub fn new(dim: usize, l2: f64) -> Self {
         assert!(l2 >= 0.0);
-        LogisticRegression { w: vec![0.0; dim], l2 }
+        LogisticRegression {
+            w: vec![0.0; dim],
+            l2,
+        }
     }
 
     /// Decision value `w·x`.
@@ -110,7 +113,10 @@ pub struct LinearSvm {
 impl LinearSvm {
     pub fn new(dim: usize, l2: f64) -> Self {
         assert!(l2 >= 0.0);
-        LinearSvm { w: vec![0.0; dim], l2 }
+        LinearSvm {
+            w: vec![0.0; dim],
+            l2,
+        }
     }
 
     pub fn decision(&self, data: &Dataset, row: usize) -> f64 {
@@ -241,8 +247,7 @@ mod tests {
         let mut g = vec![0.0; m.dim()];
         m.grad(&data, &rows, &mut g);
         // check only the touched coordinates (47K dims — full check is slow)
-        let touched: Vec<usize> =
-            (0..m.dim()).filter(|&j| g[j] != 0.0).take(20).collect();
+        let touched: Vec<usize> = (0..m.dim()).filter(|&j| g[j] != 0.0).take(20).collect();
         for j in touched {
             let eps = 1e-6;
             let orig = m.params()[j];

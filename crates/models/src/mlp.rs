@@ -41,7 +41,10 @@ impl Mlp {
             }
             params.extend(std::iter::repeat(0.0).take(fan_out)); // biases
         }
-        Mlp { sizes: sizes.to_vec(), params }
+        Mlp {
+            sizes: sizes.to_vec(),
+            params,
+        }
     }
 
     /// Total parameter count for an architecture.
@@ -93,7 +96,11 @@ impl Mlp {
                 }
                 // ReLU on hidden layers, identity on the output (softmax is
                 // applied in the loss).
-                out[o] = if l + 2 < self.sizes.len() { z.max(0.0) } else { z };
+                out[o] = if l + 2 < self.sizes.len() {
+                    z.max(0.0)
+                } else {
+                    z
+                };
             }
             acts.push(out);
         }
@@ -286,7 +293,11 @@ mod tests {
                 *p -= 0.5 * g;
             }
         }
-        assert!(mlp.loss(&data, &rows) < 0.05, "loss {}", mlp.loss(&data, &rows));
+        assert!(
+            mlp.loss(&data, &rows) < 0.05,
+            "loss {}",
+            mlp.loss(&data, &rows)
+        );
         assert_eq!(mlp.accuracy(&data, &rows), 1.0, "XOR solved exactly");
     }
 
@@ -301,7 +312,9 @@ mod tests {
     #[test]
     fn initial_loss_near_uniform() {
         // He init with zero biases: expected CE ≈ ln(classes).
-        let data = lml_data::generators::DatasetId::Cifar10.generate_rows(100, 1).data;
+        let data = lml_data::generators::DatasetId::Cifar10
+            .generate_rows(100, 1)
+            .data;
         let mlp = Mlp::new(&[1024, 64, 10], 11);
         let rows: Vec<usize> = (0..100).collect();
         let l = mlp.loss(&data, &rows);
@@ -311,7 +324,9 @@ mod tests {
     #[test]
     fn learns_cifar_surrogate_beyond_linear() {
         // A small MLP must fit the class structure of the Cifar10 generator.
-        let data = lml_data::generators::DatasetId::Cifar10.generate_rows(400, 2).data;
+        let data = lml_data::generators::DatasetId::Cifar10
+            .generate_rows(400, 2)
+            .data;
         let rows: Vec<usize> = (0..400).collect();
         let mut mlp = Mlp::new(&[1024, 32, 10], 13);
         let mut grad = vec![0.0; mlp.dim()];

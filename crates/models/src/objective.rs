@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn grad_check_passes_for_analytic_quadratic() {
-        let mut q = Quadratic { w: vec![1.0, -2.0, 3.0] };
+        let mut q = Quadratic {
+            w: vec![1.0, -2.0, 3.0],
+        };
         let err = grad_check(&mut q, &dummy(), &[0, 1], 1e-5);
         assert!(err < 1e-8, "err={err}");
     }

@@ -31,7 +31,11 @@ pub enum Algorithm {
     /// Consensus ADMM: each round solves a proximal local subproblem with
     /// `local_scans` passes over the partition (the paper uses 10), then
     /// exchanges `w + u`.
-    Admm { rho: f64, local_scans: usize, batch: usize },
+    Admm {
+        rho: f64,
+        local_scans: usize,
+        batch: usize,
+    },
     /// Expectation-maximization for k-means: one statistics exchange per
     /// epoch.
     Em,
@@ -152,7 +156,9 @@ impl WorkerState {
                 }
                 (self.model.params().to_vec(), examples)
             }
-            Algorithm::Admm { rho, local_scans, .. } => {
+            Algorithm::Admm {
+                rho, local_scans, ..
+            } => {
                 // Local subproblem: minimize f_i(w) + (ρ/2)‖w − z + u‖² by
                 // `local_scans` mini-batch passes over the partition.
                 let batches = self.cursor.batches_per_epoch();
@@ -176,8 +182,13 @@ impl WorkerState {
                         }
                     }
                 }
-                let msg: Vec<f64> =
-                    self.model.params().iter().zip(&self.dual).map(|(w, u)| w + u).collect();
+                let msg: Vec<f64> = self
+                    .model
+                    .params()
+                    .iter()
+                    .zip(&self.dual)
+                    .map(|(w, u)| w + u)
+                    .collect();
                 (msg, examples)
             }
             Algorithm::Em => {
@@ -259,8 +270,10 @@ mod tests {
             .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), batch))
             .collect();
         for _ in 0..rounds {
-            let stats: Vec<Vec<f64>> =
-                workers.iter_mut().map(|w| w.produce(&algo, data, lr).0).collect();
+            let stats: Vec<Vec<f64>> = workers
+                .iter_mut()
+                .map(|w| w.produce(&algo, data, lr).0)
+                .collect();
             let agg = sum_statistics(&stats);
             for w in workers.iter_mut() {
                 w.consume(&algo, &agg, n, lr);
@@ -274,7 +287,15 @@ mod tests {
     #[test]
     fn ga_sgd_converges_on_higgs() {
         let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
-        let loss = run_rounds(Algorithm::GaSgd { batch: 100 }, ModelId::Lr { l2: 0.0 }, &data, 4, 100, 0.5, 100);
+        let loss = run_rounds(
+            Algorithm::GaSgd { batch: 100 },
+            ModelId::Lr { l2: 0.0 },
+            &data,
+            4,
+            100,
+            0.5,
+            100,
+        );
         assert!(loss < 0.67, "GA-SGD loss {loss}");
     }
 
@@ -282,7 +303,10 @@ mod tests {
     fn ma_sgd_converges_on_higgs() {
         let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
         let loss = run_rounds(
-            Algorithm::MaSgd { batch: 100, local_iters: 5 },
+            Algorithm::MaSgd {
+                batch: 100,
+                local_iters: 5,
+            },
             ModelId::Lr { l2: 0.0 },
             &data,
             4,
@@ -297,7 +321,11 @@ mod tests {
     fn admm_converges_in_few_rounds() {
         let data = DatasetId::Higgs.generate_rows(2_000, 42).data;
         let loss = run_rounds(
-            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 },
+            Algorithm::Admm {
+                rho: 0.1,
+                local_scans: 2,
+                batch: 100,
+            },
             ModelId::Lr { l2: 0.0 },
             &data,
             4,
@@ -314,9 +342,21 @@ mod tests {
         // lower loss than GA-SGD — the paper's headline algorithm insight.
         let data = DatasetId::Higgs.generate_rows(2_000, 1).data;
         let rounds = 5;
-        let ga = run_rounds(Algorithm::GaSgd { batch: 100 }, ModelId::Lr { l2: 0.0 }, &data, 4, 100, 0.5, rounds);
+        let ga = run_rounds(
+            Algorithm::GaSgd { batch: 100 },
+            ModelId::Lr { l2: 0.0 },
+            &data,
+            4,
+            100,
+            0.5,
+            rounds,
+        );
         let admm = run_rounds(
-            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 100 },
+            Algorithm::Admm {
+                rho: 0.1,
+                local_scans: 2,
+                batch: 100,
+            },
             ModelId::Lr { l2: 0.0 },
             &data,
             4,
@@ -324,7 +364,10 @@ mod tests {
             0.3,
             rounds,
         );
-        assert!(admm < ga, "ADMM {admm} should beat GA-SGD {ga} at {rounds} rounds");
+        assert!(
+            admm < ga,
+            "ADMM {admm} should beat GA-SGD {ga} at {rounds} rounds"
+        );
     }
 
     #[test]
@@ -343,8 +386,10 @@ mod tests {
             .collect();
         let algo = Algorithm::Em;
         for _ in 0..4 {
-            let stats: Vec<Vec<f64>> =
-                workers.iter_mut().map(|w| w.produce(&algo, &data, 0.0).0).collect();
+            let stats: Vec<Vec<f64>> = workers
+                .iter_mut()
+                .map(|w| w.produce(&algo, &data, 0.0).0)
+                .collect();
             let agg = sum_statistics(&stats);
             for w in workers.iter_mut() {
                 w.consume(&algo, &agg, 3, 0.0);
@@ -360,7 +405,10 @@ mod tests {
             single.apply_em_stats(&stats);
         }
         let single_loss = single.full_loss(&data);
-        assert!((dist_loss - single_loss).abs() < 1e-9, "{dist_loss} vs {single_loss}");
+        assert!(
+            (dist_loss - single_loss).abs() < 1e-9,
+            "{dist_loss} vs {single_loss}"
+        );
     }
 
     #[test]
@@ -377,8 +425,10 @@ mod tests {
             .collect();
         let lr = 0.5;
         for _ in 0..3 {
-            let stats: Vec<Vec<f64>> =
-                workers.iter_mut().map(|w| w.produce(&algo, &data, lr).0).collect();
+            let stats: Vec<Vec<f64>> = workers
+                .iter_mut()
+                .map(|w| w.produce(&algo, &data, lr).0)
+                .collect();
             let agg = sum_statistics(&stats);
             for w in workers.iter_mut() {
                 w.consume(&algo, &agg, 4, lr);
@@ -405,7 +455,10 @@ mod tests {
     fn workers_stay_in_sync_under_bsp() {
         // After any number of synchronous rounds all replicas are identical.
         let data = DatasetId::Higgs.generate_rows(300, 9).data;
-        let algo = Algorithm::MaSgd { batch: 30, local_iters: 3 };
+        let algo = Algorithm::MaSgd {
+            batch: 30,
+            local_iters: 3,
+        };
         let model = ModelId::Lr { l2: 0.0 }.build(&data, 2);
         let parts = partition_rows(300, 3);
         let mut workers: Vec<WorkerState> = parts
@@ -413,8 +466,10 @@ mod tests {
             .map(|p| WorkerState::new(p.worker, model.clone(), p.indices().collect(), 30))
             .collect();
         for _ in 0..4 {
-            let stats: Vec<Vec<f64>> =
-                workers.iter_mut().map(|w| w.produce(&algo, &data, 0.3).0).collect();
+            let stats: Vec<Vec<f64>> = workers
+                .iter_mut()
+                .map(|w| w.produce(&algo, &data, 0.3).0)
+                .collect();
             let agg = sum_statistics(&stats);
             for w in workers.iter_mut() {
                 w.consume(&algo, &agg, 3, 0.3);
@@ -429,10 +484,22 @@ mod tests {
     fn rounds_per_epoch_accounting() {
         assert_eq!(Algorithm::GaSgd { batch: 100 }.rounds_per_epoch(1000), 10.0);
         assert_eq!(
-            Algorithm::MaSgd { batch: 100, local_iters: 10 }.rounds_per_epoch(1000),
+            Algorithm::MaSgd {
+                batch: 100,
+                local_iters: 10
+            }
+            .rounds_per_epoch(1000),
             1.0
         );
-        assert_eq!(Algorithm::Admm { rho: 1.0, local_scans: 10, batch: 100 }.rounds_per_epoch(1000), 0.1);
+        assert_eq!(
+            Algorithm::Admm {
+                rho: 1.0,
+                local_scans: 10,
+                batch: 100
+            }
+            .rounds_per_epoch(1000),
+            0.1
+        );
         assert_eq!(Algorithm::Em.rounds_per_epoch(12345), 1.0);
     }
 
@@ -443,7 +510,11 @@ mod tests {
         let lr = ModelId::Lr { l2: 0.0 }.build(&higgs, 1);
         let mn = ModelId::MobileNet.build(&cifar, 1);
         let km = ModelId::KMeans { k: 3 }.build(&higgs, 1);
-        let admm = Algorithm::Admm { rho: 1.0, local_scans: 10, batch: 100 };
+        let admm = Algorithm::Admm {
+            rho: 1.0,
+            local_scans: 10,
+            batch: 100,
+        };
         assert!(admm.applicable(&lr));
         assert!(!admm.applicable(&mn), "§4.2: ADMM is convex-only");
         assert!(Algorithm::Em.applicable(&km));

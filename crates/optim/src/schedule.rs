@@ -12,7 +12,11 @@ pub enum LrSchedule {
     /// `base / sqrt(1 + epoch)` — the paper's S-ASP decay.
     InvSqrt { base: f64 },
     /// `base * factor^(epoch / every)` step decay.
-    StepDecay { base: f64, factor: f64, every: usize },
+    StepDecay {
+        base: f64,
+        factor: f64,
+        every: usize,
+    },
 }
 
 impl LrSchedule {
@@ -21,9 +25,11 @@ impl LrSchedule {
         match *self {
             LrSchedule::Const(lr) => lr,
             LrSchedule::InvSqrt { base } => base / (1.0 + epoch as f64).sqrt(),
-            LrSchedule::StepDecay { base, factor, every } => {
-                base * factor.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((epoch / every.max(1)) as i32),
         }
     }
 
@@ -54,7 +60,11 @@ mod tests {
 
     #[test]
     fn step_decay_steps() {
-        let s = LrSchedule::StepDecay { base: 1.0, factor: 0.5, every: 10 };
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.lr(0), 1.0);
         assert_eq!(s.lr(9), 1.0);
         assert_eq!(s.lr(10), 0.5);
@@ -66,7 +76,11 @@ mod tests {
         for s in [
             LrSchedule::Const(0.3),
             LrSchedule::InvSqrt { base: 0.3 },
-            LrSchedule::StepDecay { base: 0.3, factor: 0.1, every: 5 },
+            LrSchedule::StepDecay {
+                base: 0.3,
+                factor: 0.1,
+                every: 5,
+            },
         ] {
             assert_eq!(s.base(), 0.3);
         }

@@ -21,7 +21,11 @@ impl BatchCursor {
         assert!(!rows.is_empty(), "empty partition");
         assert!(batch >= 1);
         let batch = batch.min(rows.len());
-        BatchCursor { rows, pos: 0, batch }
+        BatchCursor {
+            rows,
+            pos: 0,
+            batch,
+        }
     }
 
     /// The next mini-batch of row indices (wraps around the partition).

@@ -20,7 +20,11 @@ pub struct StopSpec {
 
 impl StopSpec {
     pub fn new(target_loss: f64, max_epochs: usize) -> Self {
-        StopSpec { target_loss, max_epochs, max_time: SimTime::hours(48.0) }
+        StopSpec {
+            target_loss,
+            max_epochs,
+            max_time: SimTime::hours(48.0),
+        }
     }
 
     pub fn with_max_time(mut self, t: SimTime) -> Self {
@@ -89,18 +93,27 @@ impl LossCurve {
 
     /// First time at which the loss reached `target`, if ever.
     pub fn time_to_loss(&self, target: f64) -> Option<SimTime> {
-        self.points.iter().find(|p| p.loss <= target).map(|p| p.time)
+        self.points
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.time)
     }
 
     /// First round count at which the loss reached `target` — the paper's
     /// "# communications" axis in Figure 7.
     pub fn rounds_to_loss(&self, target: f64) -> Option<u64> {
-        self.points.iter().find(|p| p.loss <= target).map(|p| p.rounds)
+        self.points
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.rounds)
     }
 
     /// Best (minimum) loss seen.
     pub fn best_loss(&self) -> f64 {
-        self.points.iter().map(|p| p.loss).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.loss)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest absolute loss change between consecutive points over the last
@@ -124,7 +137,13 @@ mod tests {
     use super::*;
 
     fn point(t: f64, loss: f64) -> CurvePoint {
-        CurvePoint { time: SimTime::secs(t), epoch: t, rounds: t as u64, loss, cost: Cost::ZERO }
+        CurvePoint {
+            time: SimTime::secs(t),
+            epoch: t,
+            rounds: t as u64,
+            loss,
+            cost: Cost::ZERO,
+        }
     }
 
     #[test]

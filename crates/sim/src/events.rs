@@ -10,9 +10,35 @@
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
+/// Total-order wrapper around an event timestamp. `f64` is only partially
+/// ordered (NaN breaks `sort`/heap invariants silently), so the heap key
+/// compares via [`f64::total_cmp`], which is a total order on all bit
+/// patterns. `push` still rejects invalid times up front.
+#[derive(Debug, Clone, Copy)]
+struct TotalTime(f64);
+
+impl PartialEq for TotalTime {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for TotalTime {}
+
+impl PartialOrd for TotalTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 #[derive(Debug)]
 struct Entry<T> {
-    time: f64,
+    time: TotalTime,
     seq: u64,
     payload: T,
 }
@@ -33,11 +59,7 @@ impl<T> PartialOrd for Entry<T> {
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
-            .then(other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -56,24 +78,33 @@ impl<T> Default for EventQueue<T> {
 
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
-        debug_assert!(time.is_valid(), "scheduling at invalid time");
-        self.heap.push(Entry { time: time.as_secs(), seq: self.seq, payload });
+        assert!(time.is_valid(), "scheduling at invalid time {time:?}");
+        self.heap.push(Entry {
+            time: TotalTime(time.as_secs()),
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (SimTime::secs(e.time), e.payload))
+        self.heap
+            .pop()
+            .map(|e| (SimTime::secs(e.time.0), e.payload))
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| SimTime::secs(e.time))
+        self.heap.peek().map(|e| SimTime::secs(e.time.0))
     }
 
     pub fn len(&self) -> usize {

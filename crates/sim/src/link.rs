@@ -20,7 +20,10 @@ impl Link {
     pub fn new(bandwidth_bps: f64, latency_s: f64) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(latency_s >= 0.0, "latency must be non-negative");
-        Link { bandwidth_bps, latency_s }
+        Link {
+            bandwidth_bps,
+            latency_s,
+        }
     }
 
     /// Convenience constructor from MB/s and seconds (Table 6 units).

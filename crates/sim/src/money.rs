@@ -67,7 +67,9 @@ impl Div<Cost> for Cost {
 
 impl Sum for Cost {
     fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
-        Cost(iter.map(|c| c.0).sum())
+        // f64's sum identity is -0.0; normalize so an empty sum is ZERO
+        // (and doesn't print as "$-0.00").
+        Cost(iter.map(|c| c.0).sum::<f64>() + 0.0)
     }
 }
 

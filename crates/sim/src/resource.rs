@@ -89,7 +89,10 @@ mod tests {
         let a = r.submit(SimTime::ZERO, ByteSize::mb(100.0));
         let b = r.submit(SimTime::ZERO, ByteSize::mb(100.0));
         assert!((a.as_secs() - 1.0).abs() < 1e-9);
-        assert!((b.as_secs() - 2.0).abs() < 1e-9, "second op queues behind first");
+        assert!(
+            (b.as_secs() - 2.0).abs() < 1e-9,
+            "second op queues behind first"
+        );
     }
 
     #[test]
@@ -99,7 +102,10 @@ mod tests {
         let a = r.submit(SimTime::ZERO, ByteSize::mb(50.0));
         let b = r.submit(SimTime::ZERO, ByteSize::mb(50.0));
         assert!((a.as_secs() - 1.0).abs() < 1e-9);
-        assert!((b.as_secs() - 1.0).abs() < 1e-9, "both proceed concurrently at half rate");
+        assert!(
+            (b.as_secs() - 1.0).abs() < 1e-9,
+            "both proceed concurrently at half rate"
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ mod tests {
 
     fn t_f() -> PiecewiseLinear {
         // Table 6: t_F(w) at 10/50/100/200 workers.
-        PiecewiseLinear::new(vec![(10.0, 1.2), (50.0, 11.0), (100.0, 18.0), (200.0, 35.0)])
+        PiecewiseLinear::new(vec![
+            (10.0, 1.2),
+            (50.0, 11.0),
+            (100.0, 18.0),
+            (200.0, 35.0),
+        ])
     }
 
     #[test]

@@ -104,7 +104,8 @@ impl Div<f64> for SimTime {
 
 impl Sum for SimTime {
     fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
-        SimTime(iter.map(|t| t.0).sum())
+        // f64's sum identity is -0.0; normalize so an empty sum is ZERO.
+        SimTime(iter.map(|t| t.0).sum::<f64>() + 0.0)
     }
 }
 

@@ -19,7 +19,10 @@ impl Blob {
     /// Wrap a statistic vector; wire size defaults to `8 × len` (f64 encoding).
     pub fn from_vec(data: Vec<f64>) -> Self {
         let wire = ByteSize::of_f64s(data.len());
-        Blob { data: Arc::new(data), wire }
+        Blob {
+            data: Arc::new(data),
+            wire,
+        }
     }
 
     /// Override the logical wire size (deep-model surrogates).
@@ -31,7 +34,10 @@ impl Blob {
     /// An empty marker blob (checkpoint flags, trigger messages) with an
     /// explicit wire size.
     pub fn marker(wire: ByteSize) -> Self {
-        Blob { data: Arc::new(Vec::new()), wire }
+        Blob {
+            data: Arc::new(Vec::new()),
+            wire,
+        }
     }
 
     pub fn data(&self) -> &[f64] {
@@ -52,7 +58,11 @@ impl Blob {
 
     /// Sum another blob's data into a mutable accumulator vector.
     pub fn add_into(&self, acc: &mut [f64]) {
-        assert_eq!(acc.len(), self.data.len(), "blob length mismatch in aggregation");
+        assert_eq!(
+            acc.len(),
+            self.data.len(),
+            "blob length mismatch in aggregation"
+        );
         for (a, v) in acc.iter_mut().zip(self.data.iter()) {
             *a += v;
         }

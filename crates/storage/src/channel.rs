@@ -92,10 +92,9 @@ impl StorageChannel {
 
     /// Fetch a blob. Returns `(duration, blob)`.
     pub fn get(&mut self, key: &str) -> Result<(SimTime, Blob), StorageError> {
-        let blob = self
-            .store
-            .get(key)
-            .ok_or_else(|| StorageError::NotFound { key: key.to_string() })?;
+        let blob = self.store.get(key).ok_or_else(|| StorageError::NotFound {
+            key: key.to_string(),
+        })?;
         self.gets += 1;
         self.request_cost += self.profile.get_price.price(blob.wire_bytes());
         Ok((self.op_time(blob.wire_bytes()), blob))
@@ -149,7 +148,10 @@ impl StorageChannel {
         let c = self.profile.concurrency.max(1);
         let waves = clients.div_ceil(c);
         let concurrent = clients.min(c);
-        let per_stream = self.profile.stream_bw.min(self.profile.node_bw / concurrent as f64);
+        let per_stream = self
+            .profile
+            .stream_bw
+            .min(self.profile.node_bw / concurrent as f64);
         let wave_time = self.profile.latency.as_secs() + bytes_each.as_f64() / per_stream;
         SimTime::secs(waves as f64 * wave_time)
     }
@@ -240,7 +242,9 @@ mod tests {
         let w = 50;
         // AllReduce-ish critical path: parallel puts + leader reads + put + parallel gets
         let round = |ch: &StorageChannel| {
-            ch.parallel_leg(w, m) + ch.client_leg(w as u64, m) + ch.op_time(m)
+            ch.parallel_leg(w, m)
+                + ch.client_leg(w as u64, m)
+                + ch.op_time(m)
                 + ch.parallel_leg(w - 1, m)
         };
         let ratio = round(&s3).as_secs() / round(&mc).as_secs();
@@ -263,7 +267,10 @@ mod tests {
         let m = ByteSize::mb(10.0);
         let one = s3.parallel_leg(1, m);
         let hundred = s3.parallel_leg(100, m);
-        assert!((one.as_secs() - hundred.as_secs()).abs() < 1e-9, "S3 scales out");
+        assert!(
+            (one.as_secs() - hundred.as_secs()).abs() < 1e-9,
+            "S3 scales out"
+        );
     }
 
     #[test]

@@ -95,11 +95,19 @@ impl RequestPrice {
     };
 
     pub fn flat(per_request: Cost) -> Self {
-        RequestPrice { per_request, per_unit: Cost::ZERO, unit_bytes: 0 }
+        RequestPrice {
+            per_request,
+            per_unit: Cost::ZERO,
+            unit_bytes: 0,
+        }
     }
 
     pub fn per_unit(per_unit: Cost, unit_bytes: u64) -> Self {
-        RequestPrice { per_request: Cost::ZERO, per_unit, unit_bytes }
+        RequestPrice {
+            per_request: Cost::ZERO,
+            per_unit,
+            unit_bytes,
+        }
     }
 
     /// Price of one request of the given size.
@@ -246,7 +254,10 @@ mod tests {
     fn dynamodb_enforces_item_cap() {
         let dd = ServiceProfile::dynamodb();
         assert!(dd.admits(ByteSize::kb(399.0)));
-        assert!(!dd.admits(ByteSize::mb(12.0)), "MobileNet does not fit (Table 1 N/A)");
+        assert!(
+            !dd.admits(ByteSize::mb(12.0)),
+            "MobileNet does not fit (Table 1 N/A)"
+        );
         assert!(ServiceProfile::s3().admits(ByteSize::gb(5.0)));
     }
 

@@ -75,7 +75,10 @@ impl ObjectStore {
 
     /// Total logical bytes stored.
     pub fn stored_bytes(&self) -> u64 {
-        self.objects.values().map(|b| b.wire_bytes().as_bytes()).sum()
+        self.objects
+            .values()
+            .map(|b| b.wire_bytes().as_bytes())
+            .sum()
     }
 }
 
@@ -139,7 +142,10 @@ mod tests {
     fn stored_bytes_sums_wire_sizes() {
         let mut s = ObjectStore::new();
         s.put("a", Blob::from_vec(vec![0.0; 10]));
-        s.put("b", Blob::from_vec(vec![0.0; 5]).with_wire(lml_sim::ByteSize::mb(1.0)));
+        s.put(
+            "b",
+            Blob::from_vec(vec![0.0; 5]).with_wire(lml_sim::ByteSize::mb(1.0)),
+        );
         assert_eq!(s.stored_bytes(), 80 + 1_000_000);
     }
 }

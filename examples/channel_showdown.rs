@@ -47,10 +47,17 @@ fn main() {
     ];
 
     println!("KMeans (k=10) on Higgs, 50 workers, 10 epochs:\n");
-    println!("{:<14} {:>10} {:>10} {:>10} {:>12}", "channel", "total", "comm", "startup", "cost");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "channel", "total", "comm", "startup", "cost"
+    );
     for (name, backend) in channels {
-        match TrainingJob::new(&workload, ModelId::KMeans { k: 10 }, base.with_backend(backend))
-            .run()
+        match TrainingJob::new(
+            &workload,
+            ModelId::KMeans { k: 10 },
+            base.with_backend(backend),
+        )
+        .run()
         {
             Ok(r) => println!(
                 "{:<14} {:>9.1}s {:>9.2}s {:>9.1}s {:>12}",

@@ -7,8 +7,8 @@
 
 use lambdaml::data::dataset::SparseDataset;
 use lambdaml::data::libsvm;
-use lambdaml::data::{Dataset, DatasetSpec};
 use lambdaml::data::spec::Task;
+use lambdaml::data::{Dataset, DatasetSpec};
 use lambdaml::prelude::*;
 use lambdaml::sim::Pcg64;
 
@@ -32,11 +32,19 @@ fn main() {
     }
     let ds = Dataset::Sparse(SparseDataset::new(rows, labels, dim));
     let text = libsvm::write(&ds);
-    println!("serialized {} examples to LIBSVM ({} bytes)", ds.len(), text.len());
+    println!(
+        "serialized {} examples to LIBSVM ({} bytes)",
+        ds.len(),
+        text.len()
+    );
 
     // Read it back — this is the path your own files would take.
     let parsed = libsvm::parse_sparse(&text, dim).expect("round-trips");
-    println!("parsed back {} examples, {} features", parsed.len(), parsed.dim());
+    println!(
+        "parsed back {} examples, {} features",
+        parsed.len(),
+        parsed.dim()
+    );
 
     // Wrap in a Workload with your own paper-scale spec (here: pretend the
     // full dataset is 100x the sample and 1 GB on disk).
@@ -57,7 +65,11 @@ fn main() {
 
     let config = JobConfig::new(
         8,
-        Algorithm::Admm { rho: 0.1, local_scans: 5, batch: 50 },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 5,
+            batch: 50,
+        },
         0.3,
         StopSpec::new(0.55, 30),
     );

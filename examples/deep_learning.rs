@@ -18,7 +18,9 @@ fn main() {
     // paper batch 128 scaled to the sample, stop at cross-entropy 0.2.
     let config = JobConfig::new(
         10,
-        Algorithm::GaSgd { batch: workload.spec.scaled_batch(128) },
+        Algorithm::GaSgd {
+            batch: workload.spec.scaled_batch(128),
+        },
         0.15,
         StopSpec::new(0.2, 6),
     );
@@ -27,15 +29,24 @@ fn main() {
         ("LambdaML (FaaS, S3)", Backend::faas_default()),
         (
             "PyTorch (c5.2xlarge CPU)",
-            Backend::Iaas { instance: InstanceType::C5XLarge2, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::C5XLarge2,
+                system: SystemProfile::PyTorch,
+            },
         ),
         (
             "PyTorch (g3s.xlarge M60)",
-            Backend::Iaas { instance: InstanceType::G3sXLarge, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::G3sXLarge,
+                system: SystemProfile::PyTorch,
+            },
         ),
         (
             "PyTorch (g4dn.xlarge T4)",
-            Backend::Iaas { instance: InstanceType::G4dnXLarge, system: SystemProfile::PyTorch },
+            Backend::Iaas {
+                instance: InstanceType::G4dnXLarge,
+                system: SystemProfile::PyTorch,
+            },
         ),
     ];
 

@@ -12,14 +12,22 @@ fn main() {
     // 10 workers, 10 epochs per grid candidate (no early stop), ADMM.
     let base = JobConfig::new(
         10,
-        Algorithm::Admm { rho: 0.1, local_scans: 10, batch: 9 },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 10,
+            batch: 9,
+        },
         0.05,
         StopSpec::new(0.0, 10),
     );
 
     for backend in [Backend::faas_default(), Backend::iaas_default()] {
-        let p = run_pipeline(&workload, ModelId::Lr { l2: 0.0 }, base.with_backend(backend))
-            .expect("pipeline runs");
+        let p = run_pipeline(
+            &workload,
+            ModelId::Lr { l2: 0.0 },
+            base.with_backend(backend),
+        )
+        .expect("pipeline runs");
         println!(
             "{:<20} runtime {:>7.0}s  cost {:>8}  best lr {:.2}  accuracy {:.2}%",
             p.system,

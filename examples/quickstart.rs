@@ -23,7 +23,11 @@ fn main() {
     //    validation loss 0.68.
     let config = JobConfig::new(
         10,
-        Algorithm::Admm { rho: 0.1, local_scans: 10, batch: 9 },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 10,
+            batch: 9,
+        },
         0.3,
         StopSpec::new(0.68, 30),
     );

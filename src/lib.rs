@@ -44,12 +44,14 @@
 //! | [`comm`] | lml-comm | AllReduce/ScatterReduce over storage, BSP/ASP |
 //! | [`core`] | lml-core | training jobs, executors, pipelines |
 //! | [`analytic`] | lml-analytic | the §5.3 analytical model and what-ifs |
+//! | [`fleet`] | lml-fleet | multi-tenant fleet simulator: arrivals, warm pools, scheduling |
 
 pub use lml_analytic as analytic;
 pub use lml_comm as comm;
 pub use lml_core as core;
 pub use lml_data as data;
 pub use lml_faas as faas;
+pub use lml_fleet as fleet;
 pub use lml_iaas as iaas;
 pub use lml_linalg as linalg;
 pub use lml_models as models;
@@ -62,9 +64,15 @@ pub mod prelude {
     pub use lml_comm::Pattern;
     pub use lml_core::job::Workload;
     pub use lml_core::pipeline::{run_pipeline, PipelineResult};
-    pub use lml_core::{Backend, ChannelKind, JobConfig, JobError, Protocol, RunResult, TrainingJob};
+    pub use lml_core::{
+        Backend, ChannelKind, JobConfig, JobError, Protocol, RunResult, TrainingJob,
+    };
     pub use lml_data::generators::DatasetId;
     pub use lml_faas::LambdaSpec;
+    pub use lml_fleet::{
+        simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, FleetConfig, FleetMetrics, JobClass,
+        JobMix, Scheduler, Trace,
+    };
     pub use lml_iaas::{InstanceType, RpcKind, SystemProfile};
     pub use lml_models::ModelId;
     pub use lml_optim::{Algorithm, LrSchedule, StopSpec};

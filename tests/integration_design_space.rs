@@ -14,8 +14,15 @@ fn full_design_space_smoke() {
     let wl = workload();
     let algorithms = [
         Algorithm::GaSgd { batch: 50 },
-        Algorithm::MaSgd { batch: 50, local_iters: 3 },
-        Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 50 },
+        Algorithm::MaSgd {
+            batch: 50,
+            local_iters: 3,
+        },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 2,
+            batch: 50,
+        },
     ];
     let channels = [
         ChannelKind::S3,
@@ -32,13 +39,14 @@ fn full_design_space_smoke() {
         for channel in channels {
             for pattern in patterns {
                 for protocol in protocols {
-                    let cfg = JobConfig::new(4, algo, 0.3, StopSpec::new(0.0, 1))
-                        .with_backend(Backend::Faas {
+                    let cfg = JobConfig::new(4, algo, 0.3, StopSpec::new(0.0, 1)).with_backend(
+                        Backend::Faas {
                             spec: LambdaSpec::gb3(),
                             channel,
                             pattern,
                             protocol,
-                        });
+                        },
+                    );
                     match TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run() {
                         Ok(r) => {
                             assert!(r.rounds > 0, "{algo:?}/{channel:?}/{pattern:?}/{protocol:?}");
@@ -75,7 +83,9 @@ fn em_runs_on_every_channel() {
                 protocol: Protocol::Sync,
             },
         );
-        let r = TrainingJob::new(&wl, ModelId::KMeans { k: 5 }, cfg).run().unwrap();
+        let r = TrainingJob::new(&wl, ModelId::KMeans { k: 5 }, cfg)
+            .run()
+            .unwrap();
         assert!(r.final_loss.is_finite());
         assert!(r.rounds >= 3);
     }
@@ -87,14 +97,21 @@ fn patterns_give_identical_statistics() {
     // (only time/cost differ) because both compute the exact sum.
     let wl = workload();
     let mk = |pattern| {
-        let cfg = JobConfig::new(5, Algorithm::GaSgd { batch: 40 }, 0.4, StopSpec::new(0.0, 2))
-            .with_backend(Backend::Faas {
-                spec: LambdaSpec::gb3(),
-                channel: ChannelKind::S3,
-                pattern,
-                protocol: Protocol::Sync,
-            });
-        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+        let cfg = JobConfig::new(
+            5,
+            Algorithm::GaSgd { batch: 40 },
+            0.4,
+            StopSpec::new(0.0, 2),
+        )
+        .with_backend(Backend::Faas {
+            spec: LambdaSpec::gb3(),
+            channel: ChannelKind::S3,
+            pattern,
+            protocol: Protocol::Sync,
+        });
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+            .run()
+            .unwrap()
     };
     let a = mk(Pattern::AllReduce);
     let b = mk(Pattern::ScatterReduce);
@@ -111,18 +128,28 @@ fn patterns_give_identical_statistics() {
 fn async_differs_from_sync_statistically() {
     let wl = workload();
     let mk = |protocol| {
-        let cfg = JobConfig::new(6, Algorithm::GaSgd { batch: 40 }, 0.4, StopSpec::new(0.0, 3))
-            .with_backend(Backend::Faas {
-                spec: LambdaSpec::gb3(),
-                channel: ChannelKind::S3,
-                pattern: Pattern::AllReduce,
-                protocol,
-            });
-        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+        let cfg = JobConfig::new(
+            6,
+            Algorithm::GaSgd { batch: 40 },
+            0.4,
+            StopSpec::new(0.0, 3),
+        )
+        .with_backend(Backend::Faas {
+            spec: LambdaSpec::gb3(),
+            channel: ChannelKind::S3,
+            pattern: Pattern::AllReduce,
+            protocol,
+        });
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+            .run()
+            .unwrap()
     };
     let sync = mk(Protocol::Sync);
     let asyn = mk(Protocol::Async);
-    assert_ne!(sync.final_loss, asyn.final_loss, "stale reads change the trajectory");
+    assert_ne!(
+        sync.final_loss, asyn.final_loss,
+        "stale reads change the trajectory"
+    );
     // both still make progress from ln(2)
     assert!(sync.final_loss < 0.69);
     assert!(asyn.final_loss < 0.69);
@@ -136,7 +163,11 @@ fn memcached_startup_dominates_short_jobs() {
     let mk = |channel| {
         let cfg = JobConfig::new(
             4,
-            Algorithm::Admm { rho: 0.1, local_scans: 2, batch: 50 },
+            Algorithm::Admm {
+                rho: 0.1,
+                local_scans: 2,
+                batch: 50,
+            },
             0.3,
             StopSpec::new(0.68, 10),
         )
@@ -146,10 +177,18 @@ fn memcached_startup_dominates_short_jobs() {
             pattern: Pattern::AllReduce,
             protocol: Protocol::Sync,
         });
-        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap()
+        TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+            .run()
+            .unwrap()
     };
     let s3 = mk(ChannelKind::S3);
     let mc = mk(ChannelKind::Memcached(CacheNode::T3Medium));
-    assert!(mc.breakdown.comm < s3.breakdown.comm, "Memcached rounds are faster");
-    assert!(mc.runtime() > s3.runtime(), "but the node boot loses the job");
+    assert!(
+        mc.breakdown.comm < s3.breakdown.comm,
+        "Memcached rounds are faster"
+    );
+    assert!(
+        mc.runtime() > s3.runtime(),
+        "but the node boot loses the job"
+    );
 }

@@ -11,8 +11,8 @@ fn higgs_workload() -> Workload {
 /// Scaled batch matching the paper's B=10K on the 10K-row sample
 /// (spec-scale conversion: 10K × sample/paper).
 fn scaled_batch(wl: &Workload, paper_batch: usize) -> usize {
-    ((paper_batch as f64 * wl.spec.sample_instances as f64 / wl.spec.paper_instances as f64)
-        .round() as usize)
+    ((paper_batch as f64 * wl.spec.sample_instances as f64 / wl.spec.paper_instances as f64).round()
+        as usize)
         .max(1)
 }
 
@@ -21,31 +21,54 @@ fn faas_lr_higgs_admm_converges_and_reports() {
     let wl = higgs_workload();
     let cfg = JobConfig::new(
         10,
-        Algorithm::Admm { rho: 0.1, local_scans: 2, batch: scaled_batch(&wl, 100_000) },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 2,
+            batch: scaled_batch(&wl, 100_000),
+        },
         0.3,
         StopSpec::new(0.68, 30),
     );
-    let r = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap();
+    let r = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+        .run()
+        .unwrap();
     assert!(r.converged, "final loss {}", r.final_loss);
     assert!(r.final_loss <= 0.68);
     assert!(r.runtime().as_secs() > 0.0);
     assert!(r.dollars().as_usd() > 0.0);
-    assert!(r.breakdown.startup.as_secs() < 5.0, "FaaS startup is seconds: {}", r.breakdown.startup);
+    assert!(
+        r.breakdown.startup.as_secs() < 5.0,
+        "FaaS startup is seconds: {}",
+        r.breakdown.startup
+    );
     assert!(!r.curve.is_empty());
 }
 
 #[test]
 fn iaas_startup_dominates_fast_jobs_figure10() {
     let wl = higgs_workload();
-    let algo = Algorithm::Admm { rho: 0.1, local_scans: 2, batch: scaled_batch(&wl, 100_000) };
+    let algo = Algorithm::Admm {
+        rho: 0.1,
+        local_scans: 2,
+        batch: scaled_batch(&wl, 100_000),
+    };
     let faas = JobConfig::new(10, algo, 0.3, StopSpec::new(0.68, 30));
     let iaas = faas.with_backend(Backend::iaas_default());
-    let rf = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, faas).run().unwrap();
-    let ri = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, iaas).run().unwrap();
+    let rf = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, faas)
+        .run()
+        .unwrap();
+    let ri = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, iaas)
+        .run()
+        .unwrap();
     assert!(ri.converged && rf.converged);
     // §5.2: FaaS end-to-end faster because IaaS pays >2 min of cluster boot.
     assert!(ri.breakdown.startup.as_secs() > 100.0);
-    assert!(rf.runtime() < ri.runtime(), "FaaS {} vs IaaS {}", rf.runtime(), ri.runtime());
+    assert!(
+        rf.runtime() < ri.runtime(),
+        "FaaS {} vs IaaS {}",
+        rf.runtime(),
+        ri.runtime()
+    );
     // ...but not proportionally cheaper (the paper's second insight).
     assert!(
         rf.dollars().as_usd() > ri.dollars().as_usd() * 0.3,
@@ -64,8 +87,12 @@ fn deterministic_given_seed() {
         0.5,
         StopSpec::new(0.68, 5),
     );
-    let a = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap();
-    let b = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap();
+    let a = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+        .run()
+        .unwrap();
+    let b = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+        .run()
+        .unwrap();
     assert_eq!(a.final_loss, b.final_loss);
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.runtime().as_secs(), b.runtime().as_secs());
@@ -77,12 +104,16 @@ fn hybrid_ps_runs_lr_higgs() {
     let wl = higgs_workload();
     let cfg = JobConfig::new(
         10,
-        Algorithm::GaSgd { batch: scaled_batch(&wl, 100_000) },
+        Algorithm::GaSgd {
+            batch: scaled_batch(&wl, 100_000),
+        },
         0.5,
         StopSpec::new(0.68, 10),
     )
     .with_backend(Backend::hybrid_default());
-    let r = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap();
+    let r = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+        .run()
+        .unwrap();
     assert!(r.rounds > 0);
     assert!(r.cost.nodes.as_usd() > 0.0, "PS VM bills by the hour");
     // hybrid startup ≈ one VM boot (~120 s), not a full cluster
@@ -94,18 +125,28 @@ fn single_machine_cost_baseline() {
     let wl = higgs_workload();
     let cfg = JobConfig::new(
         1,
-        Algorithm::Admm { rho: 0.1, local_scans: 2, batch: scaled_batch(&wl, 100_000) },
+        Algorithm::Admm {
+            rho: 0.1,
+            local_scans: 2,
+            batch: scaled_batch(&wl, 100_000),
+        },
         0.3,
         StopSpec::new(0.68, 30),
     )
-    .with_backend(Backend::Single { instance: InstanceType::T2XLarge2 });
-    let single = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg).run().unwrap();
+    .with_backend(Backend::Single {
+        instance: InstanceType::T2XLarge2,
+    });
+    let single = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, cfg)
+        .run()
+        .unwrap();
     assert!(single.converged);
 
     // §5.1.1 COST check: 10 workers beat 1 machine in wall time.
     let ten = cfg.with_backend(Backend::iaas_default());
     let ten = JobConfig { workers: 10, ..ten };
-    let dist = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, ten).run().unwrap();
+    let dist = TrainingJob::new(&wl, ModelId::Lr { l2: 0.0 }, ten)
+        .run()
+        .unwrap();
     assert!(
         dist.breakdown.total_without_startup() < single.breakdown.total_without_startup(),
         "distributed {} vs single {}",
@@ -145,12 +186,13 @@ fn resnet50_batch64_hits_lambda_memory_limit() {
     // paper batch 64 → scaled by 6 000/60 000 = 0.1; the memory check
     // converts back to the paper-scale batch.
     let scaled = ((64.0 * wl.spec.sample_instances as f64 / 60_000.0).round() as usize).max(1);
-    let mk = |batch| {
-        JobConfig::new(4, Algorithm::GaSgd { batch }, 0.05, StopSpec::new(0.4, 1))
-    };
+    let mk = |batch| JobConfig::new(4, Algorithm::GaSgd { batch }, 0.05, StopSpec::new(0.4, 1));
     match TrainingJob::new(&wl, ModelId::ResNet50, mk(scaled)).run() {
         Err(JobError::Faas(e)) => assert!(e.to_string().contains("limited"), "{e}"),
-        other => panic!("expected OOM at batch 64, got {:?}", other.map(|r| r.summary())),
+        other => panic!(
+            "expected OOM at batch 64, got {:?}",
+            other.map(|r| r.summary())
+        ),
     }
     // batch 32 fits (§5.2)
     let ok = TrainingJob::new(&wl, ModelId::ResNet50, mk((scaled / 2).max(1))).run();

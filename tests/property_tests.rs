@@ -1,14 +1,31 @@
-//! Property-based tests (proptest) on the core invariants: communication
-//! patterns must aggregate exactly, the simulator's accounting must be
-//! conservative, and serialization must round-trip.
+//! Property-based tests on the core invariants: communication patterns must
+//! aggregate exactly, the simulator's accounting must be conservative,
+//! serialization must round-trip, and the event queue must be a stable
+//! priority queue.
+//!
+//! The harness is hand-rolled: `proptest` is not vendored in this offline
+//! build, so each property draws its random cases from the repository's own
+//! deterministic [`Pcg64`] stream. Failures print the case seed, which
+//! reproduces the exact inputs.
 
 use lambdaml::comm::patterns::{chunk_ranges, reduce, Pattern};
 use lambdaml::data::libsvm;
 use lambdaml::faas::LifetimeManager;
 use lambdaml::linalg::SparseVec;
-use lambdaml::sim::{ByteSize, FifoResource, PiecewiseLinear, SimTime};
+use lambdaml::sim::{ByteSize, EventQueue, FifoResource, Pcg64, PiecewiseLinear, SimTime};
 use lambdaml::storage::{ServiceProfile, StorageChannel};
-use proptest::prelude::*;
+
+/// Number of random cases per property.
+const CASES: u64 = 64;
+
+/// Deterministic per-case RNGs: case `i` of property `tag` always sees the
+/// same stream.
+fn cases(tag: u64) -> impl Iterator<Item = (u64, Pcg64)> {
+    (0..CASES).map(move |i| {
+        let seed = tag.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i;
+        (seed, Pcg64::new(seed))
+    })
+}
 
 fn reference_sum(stats: &[Vec<f64>]) -> Vec<f64> {
     let mut out = vec![0.0; stats[0].len()];
@@ -20,111 +37,129 @@ fn reference_sum(stats: &[Vec<f64>]) -> Vec<f64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Both patterns compute the exact element-wise sum for any worker
-    /// count, vector length and values.
-    #[test]
-    fn patterns_aggregate_exactly(
-        w in 1usize..12,
-        len in 1usize..200,
-        seed in 0u64..1_000,
-    ) {
-        let mut rng = lambdaml::sim::Pcg64::new(seed);
-        let stats: Vec<Vec<f64>> =
-            (0..w).map(|_| (0..len).map(|_| rng.normal()).collect()).collect();
+/// Both patterns compute the exact element-wise sum for any worker count,
+/// vector length and values.
+#[test]
+fn patterns_aggregate_exactly() {
+    for (seed, mut rng) in cases(1) {
+        let w = 1 + rng.index(11);
+        let len = 1 + rng.index(199);
+        let stats: Vec<Vec<f64>> = (0..w)
+            .map(|_| (0..len).map(|_| rng.normal()).collect())
+            .collect();
         let expect = reference_sum(&stats);
         for pattern in [Pattern::AllReduce, Pattern::ScatterReduce] {
             let mut ch = StorageChannel::new(ServiceProfile::s3());
             let out = reduce(&mut ch, pattern, "p", &stats, ByteSize::of_f64s(len)).unwrap();
             for (a, b) in out.aggregate.iter().zip(&expect) {
-                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()),
-                    "{pattern:?}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "case {seed}: {pattern:?}: {a} vs {b}"
+                );
             }
-            prop_assert!(out.duration.as_secs() > 0.0);
+            assert!(out.duration.as_secs() > 0.0, "case {seed}");
         }
     }
+}
 
-    /// Chunk ranges always partition [0, len) into w contiguous pieces
-    /// whose sizes differ by at most one.
-    #[test]
-    fn chunk_ranges_partition(len in 0usize..10_000, w in 1usize..64) {
+/// Chunk ranges always partition [0, len) into w contiguous pieces whose
+/// sizes differ by at most one.
+#[test]
+fn chunk_ranges_partition() {
+    for (seed, mut rng) in cases(2) {
+        let len = rng.index(10_000);
+        let w = 1 + rng.index(63);
         let r = chunk_ranges(len, w);
-        prop_assert_eq!(r.len(), w);
-        prop_assert_eq!(r[0].0, 0);
-        prop_assert_eq!(r[w - 1].1, len);
+        assert_eq!(r.len(), w, "case {seed}");
+        assert_eq!(r[0].0, 0, "case {seed}");
+        assert_eq!(r[w - 1].1, len, "case {seed}");
         let mut min_size = usize::MAX;
         let mut max_size = 0;
         for (i, &(lo, hi)) in r.iter().enumerate() {
-            prop_assert!(lo <= hi);
+            assert!(lo <= hi, "case {seed}");
             if i + 1 < w {
-                prop_assert_eq!(hi, r[i + 1].0);
+                assert_eq!(hi, r[i + 1].0, "case {seed}");
             }
             min_size = min_size.min(hi - lo);
             max_size = max_size.max(hi - lo);
         }
-        prop_assert!(max_size - min_size <= 1);
+        assert!(max_size - min_size <= 1, "case {seed}");
     }
+}
 
-    /// LIBSVM serialization round-trips arbitrary sparse datasets.
-    #[test]
-    fn libsvm_roundtrip(
-        rows in prop::collection::vec(
-            (prop::collection::btree_map(0u32..500, -100i32..100, 1..20), -1i32..=1),
-            1..20,
-        )
-    ) {
+/// LIBSVM serialization round-trips arbitrary sparse datasets.
+#[test]
+fn libsvm_roundtrip() {
+    const DIM: usize = 500;
+    for (seed, mut rng) in cases(3) {
+        let n_rows = 1 + rng.index(19);
         let mut svs = Vec::new();
         let mut labels = Vec::new();
-        for (m, y) in &rows {
-            let pairs: Vec<(u32, f64)> =
-                m.iter().map(|(&i, &v)| (i, f64::from(v) / 4.0)).collect();
+        for _ in 0..n_rows {
+            let nnz = 1 + rng.index(19);
+            let mut idx = rng.sample_indices(DIM, nnz);
+            idx.sort_unstable();
+            let pairs: Vec<(u32, f64)> = idx
+                .into_iter()
+                .map(|i| (i as u32, (rng.index(200) as f64 - 100.0) / 4.0))
+                .collect();
             svs.push(SparseVec::from_pairs(pairs));
-            labels.push(f64::from(*y));
+            labels.push(rng.index(3) as f64 - 1.0);
         }
-        let ds = lambdaml::data::Dataset::Sparse(
-            lambdaml::data::SparseDataset::new(svs, labels, 500));
+        let ds =
+            lambdaml::data::Dataset::Sparse(lambdaml::data::SparseDataset::new(svs, labels, DIM));
         let text = libsvm::write(&ds);
-        let back = libsvm::parse_sparse(&text, 500).unwrap();
-        prop_assert_eq!(back.len(), ds.len());
+        let back = libsvm::parse_sparse(&text, DIM).unwrap();
+        assert_eq!(back.len(), ds.len(), "case {seed}");
         for i in 0..ds.len() {
-            prop_assert_eq!(back.label(i), ds.label(i));
+            assert_eq!(back.label(i), ds.label(i), "case {seed}");
             if let lambdaml::data::Row::Sparse(orig) = ds.row(i) {
-                prop_assert_eq!(back.row(i).indices(), orig.indices());
+                assert_eq!(back.row(i).indices(), orig.indices(), "case {seed}");
                 for (a, b) in back.row(i).values().iter().zip(orig.values()) {
-                    prop_assert!((a - b).abs() < 1e-12);
+                    assert!((a - b).abs() < 1e-12, "case {seed}: {a} vs {b}");
                 }
             }
         }
     }
+}
 
-    /// Piecewise-linear interpolation is exact at knots and bounded by the
-    /// knot values inside each segment.
-    #[test]
-    fn piecewise_linear_interpolates(
-        mut ys in prop::collection::vec(0.0f64..1_000.0, 2..8),
-        t in 0.0f64..1.0,
-    ) {
-        let knots: Vec<(f64, f64)> =
-            ys.drain(..).enumerate().map(|(i, y)| (i as f64, y)).collect();
+/// Piecewise-linear interpolation is exact at knots and bounded by the knot
+/// values inside each segment.
+#[test]
+fn piecewise_linear_interpolates() {
+    for (seed, mut rng) in cases(4) {
+        let n_knots = 2 + rng.index(6);
+        let knots: Vec<(f64, f64)> = (0..n_knots)
+            .map(|i| (i as f64, rng.range(0.0, 1_000.0)))
+            .collect();
+        let t = rng.uniform();
         let pl = PiecewiseLinear::new(knots.clone());
         for &(x, y) in &knots {
-            prop_assert!((pl.eval(x) - y).abs() < 1e-9);
+            assert!(
+                (pl.eval(x) - y).abs() < 1e-9,
+                "case {seed}: knot ({x}, {y})"
+            );
         }
         // inside segment [0, 1]
         let v = pl.eval(t);
         let (lo, hi) = (knots[0].1.min(knots[1].1), knots[0].1.max(knots[1].1));
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!(
+            v >= lo - 1e-9 && v <= hi + 1e-9,
+            "case {seed}: {v} outside [{lo}, {hi}]"
+        );
     }
+}
 
-    /// A FIFO resource never finishes an op before `arrival + service` and
-    /// total throughput never exceeds aggregate bandwidth.
-    #[test]
-    fn fifo_resource_is_conservative(
-        ops in prop::collection::vec((0.0f64..100.0, 1u64..50_000_000), 1..30),
-        parallelism in 1usize..8,
-    ) {
+/// A FIFO resource never finishes an op before `arrival + service` and total
+/// throughput never exceeds aggregate bandwidth.
+#[test]
+fn fifo_resource_is_conservative() {
+    for (seed, mut rng) in cases(5) {
+        let n_ops = 1 + rng.index(29);
+        let parallelism = 1 + rng.index(7);
+        let ops: Vec<(f64, u64)> = (0..n_ops)
+            .map(|_| (rng.range(0.0, 100.0), 1 + rng.below(50_000_000)))
+            .collect();
         let bw = 100e6;
         let mut r = FifoResource::new(bw, 0.0, parallelism);
         let mut total_bytes = 0u64;
@@ -133,45 +168,135 @@ proptest! {
         for &(arrival, bytes) in &ops {
             let done = r.submit(SimTime::secs(arrival), ByteSize::bytes(bytes));
             let service = bytes as f64 / (bw / parallelism as f64);
-            prop_assert!(done.as_secs() >= arrival + service - 1e-9);
+            assert!(done.as_secs() >= arrival + service - 1e-9, "case {seed}");
             total_bytes += bytes;
             max_finish = max_finish.max(done.as_secs());
             min_arrival = min_arrival.min(arrival);
         }
         // Conservation: you cannot move N bytes faster than N/bandwidth.
-        prop_assert!(max_finish - min_arrival >= total_bytes as f64 / bw - 1e-6);
+        assert!(
+            max_finish - min_arrival >= total_bytes as f64 / bw - 1e-6,
+            "case {seed}"
+        );
     }
+}
 
-    /// The lifetime manager's wall time always covers the work charged, and
-    /// re-invocations match the number of 870 s boundaries crossed.
-    #[test]
-    fn lifetime_wall_covers_work(work_segments in prop::collection::vec(0.1f64..400.0, 1..60)) {
+/// The lifetime manager's wall time always covers the work charged, and
+/// re-invocations match the number of 870 s boundaries crossed.
+#[test]
+fn lifetime_wall_covers_work() {
+    for (seed, mut rng) in cases(6) {
+        let n_segs = 1 + rng.index(59);
         let mut lm = LifetimeManager::with_overhead(SimTime::secs(3.0));
         let mut wall = 0.0;
         let mut work = 0.0;
-        for &seg in &work_segments {
+        for _ in 0..n_segs {
+            let seg = rng.range(0.1, 400.0);
             wall += lm.charge(SimTime::secs(seg)).as_secs();
             work += seg;
         }
-        prop_assert!(wall >= work - 1e-9);
+        assert!(wall >= work - 1e-9, "case {seed}");
         let expected_rollovers = (work / 870.0).floor() as u32;
-        prop_assert!(lm.reinvocations() >= expected_rollovers);
-        prop_assert!(lm.reinvocations() <= expected_rollovers + 1);
+        assert!(lm.reinvocations() >= expected_rollovers, "case {seed}");
+        assert!(lm.reinvocations() <= expected_rollovers + 1, "case {seed}");
     }
+}
 
-    /// KMeans sufficient statistics are additive across any split of the
-    /// rows — the invariant that makes EM distributable.
-    #[test]
-    fn kmeans_stats_additive(split in 1usize..199, seed in 0u64..100) {
+/// KMeans sufficient statistics are additive across any split of the rows —
+/// the invariant that makes EM distributable.
+#[test]
+fn kmeans_stats_additive() {
+    for (seed, mut rng) in cases(7).take(16) {
+        let split = 1 + rng.index(198);
         let data = lambdaml::data::generators::DatasetId::Higgs
-            .generate_rows(200, seed).data;
+            .generate_rows(200, seed)
+            .data;
         let km = lambdaml::models::KMeans::init_from_data(&data, 4, seed);
         let rows: Vec<usize> = (0..200).collect();
         let full = km.sufficient_stats(&data, &rows);
         let a = km.sufficient_stats(&data, &rows[..split]);
         let b = km.sufficient_stats(&data, &rows[split..]);
         for i in 0..full.len() {
-            prop_assert!((full[i] - (a[i] + b[i])).abs() < 1e-9);
+            assert!(
+                (full[i] - (a[i] + b[i])).abs() < 1e-9,
+                "case {seed}: stat {i}"
+            );
         }
+    }
+}
+
+/// The event queue pops in nondecreasing time order and breaks time ties in
+/// insertion (FIFO) order, under arbitrary interleavings of push and pop —
+/// i.e. it behaves exactly like a stable sort by time.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for (seed, mut rng) in cases(8) {
+        let n_ops = 1 + rng.index(200);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Model: the pending set as (time, insertion#) pairs.
+        let mut pending: Vec<(f64, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut last_pop: Option<(f64, u64)> = None;
+        for _ in 0..n_ops {
+            // Draw times from a small grid so ties are frequent.
+            if rng.coin(0.6) || q.is_empty() {
+                let t = rng.index(8) as f64;
+                q.push(SimTime::secs(t), next_id);
+                pending.push((t, next_id));
+                next_id += 1;
+            } else {
+                let (t, id) = q.pop().expect("non-empty");
+                // The popped event must be the pending minimum by (time, id).
+                let &(et, eid) = pending
+                    .iter()
+                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+                    .unwrap();
+                assert_eq!((t.as_secs(), id), (et, eid), "case {seed}");
+                pending.retain(|&(_, pid)| pid != eid);
+                // Within one drain (no interleaved pushes) pops never go
+                // back in time; FIFO ids guard the tie order.
+                if let Some((lt, lid)) = last_pop {
+                    if lt == et {
+                        assert!(lid < eid, "case {seed}: FIFO violated at t={et}");
+                    }
+                }
+                last_pop = Some((et, eid));
+            }
+        }
+        // Drain the rest: must come out fully sorted by (time, insertion#).
+        let mut drained = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            drained.push((t.as_secs(), id));
+        }
+        let mut expect = pending.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(drained, expect, "case {seed}");
+    }
+}
+
+/// Pushing a batch and draining is exactly a stable sort by time — the
+/// earliest-first analogue of the seed's pair of unit tests, at random scale.
+#[test]
+fn event_queue_drain_matches_stable_sort() {
+    for (seed, mut rng) in cases(9) {
+        let n = 1 + rng.index(500);
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let times: Vec<f64> = (0..n).map(|_| rng.index(16) as f64 * 0.25).collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::secs(t), i);
+        }
+        let mut expect: Vec<(f64, usize)> = times
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+        // Stable sort preserves insertion order among equal times.
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_secs(), i));
+        }
+        assert_eq!(got, expect, "case {seed}");
     }
 }
