@@ -14,8 +14,8 @@
 use crate::tablefmt::{f, table};
 use crate::Harness;
 use lml_fleet::{
-    simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, FleetConfig, FleetMetrics, JobMix,
-    Scheduler, Trace,
+    simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, DeadlineAware, FairShare, FleetConfig,
+    FleetMetrics, JobMix, Scheduler, TenantSpec, Trace,
 };
 use std::path::PathBuf;
 
@@ -115,6 +115,140 @@ pub fn fleet_scale(h: &Harness) -> String {
     out
 }
 
+/// Where the per-run `fleet_policies` JSON files go.
+fn policies_out_dir() -> PathBuf {
+    std::env::var_os("LML_FLEET_POLICIES_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet_policies"))
+}
+
+/// A `fleet_policies` policy row: display name, whether it honours the
+/// spot-fraction knob, and a factory seeing (config, spot fraction).
+type PolicyKnobRow = (
+    &'static str,
+    bool,
+    Box<dyn Fn(&FleetConfig, f64) -> Box<dyn Scheduler>>,
+);
+
+/// `fleet_policies`: the multi-tenant scheduling testbed sweep — policy ×
+/// spot-fraction × provisioned-concurrency over a bursty four-tenant
+/// trace where half the jobs carry deadlines. Emits one byte-stable JSON
+/// file per cell (schema `lml-fleet/metrics/v1`) for run-over-run
+/// diffing; the CI determinism step runs this twice and compares bytes.
+pub fn fleet_policies(h: &Harness) -> String {
+    let n_jobs = if h.fast { 300 } else { 1_200 };
+    let spec = TenantSpec {
+        n_tenants: 4,
+        deadline_frac: 0.5,
+        deadline_slack: 2.5,
+    };
+    let process = ArrivalProcess::Burst {
+        base_rate: 0.1,
+        burst_rate: 1.5,
+        period: 600.0,
+        duty: 0.25,
+    };
+    let trace = Trace::generate_multi(process, &JobMix::default_mix(), &spec, n_jobs, h.seed);
+
+    let policies: Vec<PolicyKnobRow> = vec![
+        (
+            "all-faas",
+            false,
+            Box::new(|_: &FleetConfig, _| Box::new(AllFaas) as Box<dyn Scheduler>),
+        ),
+        (
+            "all-iaas",
+            false,
+            Box::new(|_: &FleetConfig, _| Box::new(AllIaas) as Box<dyn Scheduler>),
+        ),
+        (
+            "cost-aware",
+            false,
+            Box::new(|cfg: &FleetConfig, _| {
+                Box::new(CostAware::for_config(cfg)) as Box<dyn Scheduler>
+            }),
+        ),
+        (
+            "deadline-aware",
+            true,
+            Box::new(|cfg: &FleetConfig, frac| {
+                Box::new(DeadlineAware::for_config(cfg).with_spot_fraction(frac))
+                    as Box<dyn Scheduler>
+            }),
+        ),
+        (
+            "fair-share",
+            true,
+            Box::new(|cfg: &FleetConfig, frac| {
+                Box::new(FairShare::for_config(cfg).with_spot_fraction(frac)) as Box<dyn Scheduler>
+            }),
+        ),
+    ];
+    let spot_fracs = [0.0, 0.6];
+    let provisioned = [0usize, 64];
+
+    let dir = policies_out_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut rows = Vec::new();
+    for &pc in &provisioned {
+        for &frac in &spot_fracs {
+            for (name, takes_spot, make) in &policies {
+                if frac > 0.0 && !takes_spot {
+                    // The knob is a no-op for this policy; skip the
+                    // duplicate cell rather than re-emitting identical
+                    // JSON under a different name.
+                    continue;
+                }
+                let mut cfg = FleetConfig::default();
+                cfg.faas.provisioned_concurrency = pc;
+                let mut sched = make(&cfg, frac);
+                let m = simulate(&trace, &cfg, sched.as_mut(), h.seed);
+                let file = dir.join(format!(
+                    "fleet-policies-seed{}-{}-spot{}-pc{}.json",
+                    h.seed, name, frac, pc
+                ));
+                if let Err(e) = std::fs::write(&file, m.to_json()) {
+                    eprintln!("warning: could not write {}: {e}", file.display());
+                }
+                rows.push(vec![
+                    name.to_string(),
+                    format!("{frac}"),
+                    format!("{pc}"),
+                    f(m.latency.p50),
+                    f(m.latency.p99),
+                    format!("{:.0}%", m.deadline_hit_rate() * 100.0),
+                    format!("{:.2}", m.fairness),
+                    format!("{}", m.preemptions),
+                    format!("{}", m.total_cost()),
+                    format!("{}/{}/{}", m.jobs_on_faas, m.jobs_on_iaas, m.jobs_on_spot),
+                ]);
+            }
+        }
+    }
+    let out = table(
+        &format!(
+            "fleet_policies: {n_jobs}-job bursty 4-tenant fleet (50% deadlines), \
+             policy x spot-fraction x provisioned-concurrency"
+        ),
+        &[
+            "policy",
+            "spot",
+            "pc",
+            "p50 s",
+            "p99 s",
+            "dl-hit",
+            "fair",
+            "preempt",
+            "cost",
+            "faas/iaas/spot",
+        ],
+        &rows,
+    );
+    println!("{out}");
+    println!("per-run JSON written to {}", dir.display());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +267,28 @@ mod tests {
         let one = tmp.join("fleet-seed9-rate0.2-all-faas.json");
         let text = std::fs::read_to_string(&one).expect("JSON file written");
         assert!(text.starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn fleet_policies_runs_and_emits_byte_stable_json() {
+        let tmp = std::env::temp_dir().join("lml_fleet_policies_test");
+        std::env::set_var("LML_FLEET_POLICIES_OUT", &tmp);
+        let h = Harness {
+            seed: 11,
+            fast: true,
+        };
+        let out = fleet_policies(&h);
+        assert!(out.contains("deadline-aware") && out.contains("fair-share"));
+        let one = tmp.join("fleet-policies-seed11-fair-share-spot0.6-pc64.json");
+        let first = std::fs::read_to_string(&one).expect("JSON file written");
+        assert!(first.starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+        assert!(first.contains(r#""per_tenant":["#));
+        // Re-running the sweep with the same seed rewrites identical bytes.
+        fleet_policies(&h);
+        let second = std::fs::read_to_string(&one).unwrap();
+        std::env::remove_var("LML_FLEET_POLICIES_OUT");
+        assert_eq!(first, second, "same seed, same bytes");
         let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -76,12 +76,13 @@ pub fn run_experiment(name: &str, h: &Harness) -> String {
         "fig15_hot_data" => analytics::fig15_hot_data(h),
         "ablations" => ablations::run_all(h),
         "fleet_scale" => fleet::fleet_scale(h),
+        "fleet_policies" => fleet::fleet_policies(h),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// All experiment names, in paper order (fleet_scale goes beyond the paper).
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig6_datasets",
     "fig7_optimizers",
     "table1_channels",
@@ -100,6 +101,7 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig15_hot_data",
     "ablations",
     "fleet_scale",
+    "fleet_policies",
 ];
 
 #[cfg(test)]

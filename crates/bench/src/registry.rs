@@ -291,7 +291,7 @@ mod tests {
         let h = Harness::default();
         for id in WorkloadId::ALL {
             let n = id.build(&h);
-            assert!(n.workload.train.len() > 0);
+            assert!(!n.workload.train.is_empty());
             assert!(n.config.workers >= 1);
             assert!(n.config.stop.target_loss > 0.0);
         }

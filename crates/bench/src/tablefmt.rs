@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(1234.5), "1234");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(3.17159), "3.17");
         assert_eq!(f(0.004217), "0.0042");
         assert_eq!(f(0.0), "0");
     }

@@ -286,7 +286,7 @@ fn run_asp(
         elapsed = elapsed.max(done);
         queue.push(done, wid);
 
-        if events % eval_every == 0 {
+        if events.is_multiple_of(eval_every) {
             let (_, gp) = asp.read_model(&mut channel)?;
             let mut eval = model.clone();
             eval.params_mut().copy_from_slice(&gp);

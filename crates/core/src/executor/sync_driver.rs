@@ -43,6 +43,11 @@ pub struct DriverOutput {
     pub final_model: AnyModel,
 }
 
+/// The per-round aggregation hook: `(round, epoch, stats)` → element-wise
+/// sum and communication time.
+pub type CommRoundFn<'a> =
+    dyn FnMut(u64, usize, &[Vec<f64>]) -> Result<(Vec<f64>, SimTime), JobError> + 'a;
+
 /// Run the synchronous loop.
 ///
 /// * `compute_time_of(max_examples)` — critical-path compute time of one
@@ -59,7 +64,7 @@ pub fn run_sync(
     ctx: &DriverCtx<'_>,
     mut workers: Vec<WorkerState>,
     compute_time_of: &dyn Fn(u64) -> SimTime,
-    comm_round: &mut dyn FnMut(u64, usize, &[Vec<f64>]) -> Result<(Vec<f64>, SimTime), JobError>,
+    comm_round: &mut CommRoundFn<'_>,
     wall_of_round: &mut dyn FnMut(SimTime) -> SimTime,
     cost_at: &dyn Fn(SimTime, u64) -> Cost,
 ) -> Result<DriverOutput, JobError> {
@@ -113,7 +118,7 @@ pub fn run_sync(
         elapsed += wall;
 
         // Periodic validation.
-        if rounds % ctx.eval_every as u64 == 0 {
+        if rounds.is_multiple_of(ctx.eval_every as u64) {
             let m = workers[0].eval_model(&ctx.algo);
             let loss = m.full_loss(ctx.valid);
             curve.push(CurvePoint {

@@ -101,7 +101,7 @@ impl SparseDataset {
         assert_eq!(rows.len(), labels.len(), "feature/label count mismatch");
         debug_assert!(rows
             .iter()
-            .all(|r| r.indices().last().map_or(true, |&i| (i as usize) < dim)));
+            .all(|r| r.indices().last().is_none_or(|&i| (i as usize) < dim)));
         SparseDataset { rows, labels, dim }
     }
 

@@ -32,9 +32,9 @@ pub fn generate(seed: u64) -> Generated {
 
 /// Generate `rows` examples.
 pub fn generate_rows(rows: usize, seed: u64) -> Generated {
-    let mut rng = Pcg64::new(seed ^ 0x4869_6767_73_u64); // "Higgs"
-                                                         // Fixed class-mean direction (same for every seed offset so the learning
-                                                         // problem is stable across sample sizes).
+    let mut rng = Pcg64::new(seed ^ 0x0048_6967_6773_u64); // "Higgs"
+                                                           // Fixed class-mean direction (same for every seed offset so the learning
+                                                           // problem is stable across sample sizes).
     let mut dir_rng = Pcg64::new(0xD1CE_0001);
     let mut mu = [0.0f64; DIM];
     for m in mu.iter_mut() {

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn partitions_are_disjoint_and_cover() {
         let parts = partition_rows(57, 8);
-        let mut seen = vec![false; 57];
+        let mut seen = [false; 57];
         for p in &parts {
             for i in p.indices() {
                 assert!(!seen[i], "row {i} assigned twice");

@@ -45,7 +45,7 @@ impl LambdaSpec {
 
     /// A function with the given memory; errors above the service maximum.
     pub fn with_memory_mb(memory_mb: u32) -> Result<Self, FaasError> {
-        if memory_mb < 128 || memory_mb > Self::MAX_MEMORY_MB {
+        if !(128..=Self::MAX_MEMORY_MB).contains(&memory_mb) {
             return Err(FaasError::InvalidMemory {
                 requested_mb: memory_mb,
             });

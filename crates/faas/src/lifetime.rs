@@ -21,9 +21,9 @@ pub struct LifetimeManager {
     usable: f64,
     /// Seconds consumed inside the current incarnation.
     in_life: f64,
-    /// Overhead of one rollover excluding the invoke call: checkpoint write
-    /// + checkpoint read + partition reload (supplied by the executor, which
-    /// knows the channel and the partition size).
+    /// Overhead of one rollover excluding the invoke call (checkpoint
+    /// write, checkpoint read, and partition reload), supplied by the
+    /// executor, which knows the channel and the partition size.
     rollover_overhead: SimTime,
     /// Number of re-invocations performed so far.
     reinvocations: u32,

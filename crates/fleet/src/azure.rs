@@ -1,0 +1,205 @@
+//! Azure-Functions-style trace adapter.
+//!
+//! The Azure Functions 2019/2021 public traces record serverless
+//! invocations as CSV rows keyed by hashed owner / app / function ids with
+//! an end timestamp and a duration. This module adapts that shape onto the
+//! fleet simulator: each row becomes one training-job submission, owners
+//! become tenants (dense ids in order of first appearance), and function
+//! ids are hashed deterministically onto the Table 4 job zoo. The adapter
+//! renders the native trace text and feeds it through
+//! [`Trace::from_text`], so an adapted trace obeys exactly the same
+//! validation and replay guarantees as a hand-written one.
+//!
+//! Accepted line format (header line and `#` comments are skipped):
+//!
+//! ```text
+//! end_timestamp_ms,owner,app,func,duration_ms
+//! 81000,owner-a,app-1,func-lr,21000
+//! ```
+//!
+//! A bundled sample lives at `crates/fleet/data/azure_sample.csv`.
+
+use crate::job::JobClass;
+use crate::workload::Trace;
+use std::collections::BTreeMap;
+
+/// One parsed invocation row, before conversion to a job submission.
+#[derive(Debug, Clone, PartialEq)]
+struct AzureRow {
+    submit_secs: f64,
+    owner: String,
+    func: String,
+}
+
+/// FNV-1a 64-bit hash: stable across platforms and runs, used to map
+/// opaque function ids onto the job zoo.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The job class an Azure function id maps to (deterministic).
+pub fn class_for_function(func: &str) -> JobClass {
+    JobClass::ALL[(fnv1a(func) % JobClass::ALL.len() as u64) as usize]
+}
+
+fn parse_rows(csv: &str) -> Result<Vec<AzureRow>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Skip a header line naming the columns.
+        if line.starts_with("end_timestamp_ms") {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').map(str::trim).collect();
+        if parts.len() != 5 {
+            return Err(format!(
+                "line {}: expected 5 comma-separated fields, got {}",
+                lineno + 1,
+                parts.len()
+            ));
+        }
+        let end_ms: f64 = parts[0]
+            .parse()
+            .map_err(|e| format!("line {}: bad end timestamp: {e}", lineno + 1))?;
+        let duration_ms: f64 = parts[4]
+            .parse()
+            .map_err(|e| format!("line {}: bad duration: {e}", lineno + 1))?;
+        if !end_ms.is_finite() || !duration_ms.is_finite() || duration_ms < 0.0 {
+            return Err(format!(
+                "line {}: timestamps must be finite, duration >= 0",
+                lineno + 1
+            ));
+        }
+        let submit_secs = (end_ms - duration_ms) / 1_000.0;
+        if submit_secs < 0.0 {
+            return Err(format!(
+                "line {}: invocation starts before the trace epoch",
+                lineno + 1
+            ));
+        }
+        if parts[1].is_empty() || parts[3].is_empty() {
+            return Err(format!("line {}: empty owner or function id", lineno + 1));
+        }
+        rows.push(AzureRow {
+            submit_secs,
+            owner: parts[1].to_string(),
+            func: parts[3].to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Convert Azure-style CSV to the native trace text format (v2): rows are
+/// sorted by submission time, owners become dense tenant ids in order of
+/// first appearance, and function ids select job classes via
+/// [`class_for_function`].
+pub fn to_trace_text(csv: &str) -> Result<String, String> {
+    let mut rows = parse_rows(csv)?;
+    rows.sort_by(|a, b| a.submit_secs.total_cmp(&b.submit_secs));
+    let mut tenants: BTreeMap<&str, u32> = BTreeMap::new();
+    // Assign tenant ids by first appearance in time order, so the mapping
+    // is a pure function of the (sorted) trace.
+    let mut next = 0u32;
+    let mut out =
+        String::from("# lml-fleet trace v2 (azure adapter): submit\tclass\tworkers\ttenant\t-\n");
+    for r in &rows {
+        let tenant = *tenants.entry(r.owner.as_str()).or_insert_with(|| {
+            let t = next;
+            next += 1;
+            t
+        });
+        let class = class_for_function(&r.func);
+        out.push_str(&format!(
+            "{:?}\t{}\t{}\t{}\t-\n",
+            r.submit_secs,
+            class.name(),
+            class.default_workers(),
+            tenant
+        ));
+    }
+    Ok(out)
+}
+
+/// Parse Azure-style CSV straight into a [`Trace`] (via the native text
+/// format, so all of [`Trace::from_text`]'s validation applies).
+pub fn parse(csv: &str) -> Result<Trace, String> {
+    Trace::from_text(&to_trace_text(csv)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = include_str!("../data/azure_sample.csv");
+
+    #[test]
+    fn bundled_sample_parses() {
+        let trace = parse(SAMPLE).expect("bundled sample must parse");
+        assert!(trace.len() >= 30, "sample has {} jobs", trace.len());
+        let tenants = trace.tenants();
+        assert!(tenants.len() >= 3, "sample spans {} tenants", tenants.len());
+        // Tenant ids are dense, starting at 0.
+        assert_eq!(tenants, (0..tenants.len() as u32).collect::<Vec<_>>());
+        assert!(trace.jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+
+    #[test]
+    fn adapter_feeds_from_text_and_roundtrips() {
+        let text = to_trace_text(SAMPLE).unwrap();
+        let trace = Trace::from_text(&text).unwrap();
+        assert_eq!(trace.to_text().lines().count(), text.lines().count());
+        assert_eq!(parse(SAMPLE).unwrap(), trace);
+    }
+
+    #[test]
+    fn function_class_mapping_is_stable() {
+        let c = class_for_function("f-abc");
+        assert_eq!(c, class_for_function("f-abc"));
+        // The six-way hash spreads distinct functions over several classes.
+        let classes: std::collections::BTreeSet<_> = (0..40)
+            .map(|i| class_for_function(&format!("func-{i}")))
+            .collect();
+        assert!(classes.len() >= 3, "only {} classes hit", classes.len());
+    }
+
+    #[test]
+    fn out_of_order_rows_are_sorted_not_rejected() {
+        let csv = "5000,o1,a,f1,1000\n2000,o2,a,f2,1000\n";
+        let t = parse(csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.jobs[0].submit < t.jobs[1].submit);
+        // The earlier submission's owner becomes tenant 0.
+        assert_eq!(t.jobs[0].tenant, 0);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_line_numbers() {
+        // Wrong arity.
+        let e = parse("1000,o,a,f\n").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        // Unparsable timestamp / duration.
+        assert!(parse("soon,o,a,f,10\n").is_err());
+        assert!(parse("1000,o,a,f,later\n").is_err());
+        // Negative duration and pre-epoch start.
+        assert!(parse("1000,o,a,f,-5\n").is_err());
+        assert!(parse("1000,o,a,f,2000\n").is_err());
+        // Empty owner / function ids.
+        assert!(parse("1000,,a,f,10\n").is_err());
+        assert!(parse("1000,o,a,,10\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_csv_yield_empty_traces() {
+        assert!(parse("").unwrap().is_empty());
+        let with_header = "# comment\nend_timestamp_ms,owner,app,func,duration_ms\n";
+        assert!(parse(with_header).unwrap().is_empty());
+    }
+}

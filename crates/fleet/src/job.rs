@@ -6,7 +6,7 @@
 //! prices it with. Epoch counts are calibrated defaults; the cost-aware
 //! scheduler can re-estimate them with the §5.3 sampling estimator.
 
-use lml_analytic::model::AnalyticParams;
+use lml_analytic::model::{faas_time, AnalyticCase, AnalyticParams, Scaling};
 use lml_data::generators::DatasetId;
 use lml_models::zoo::DeepProfile;
 use lml_models::ModelId;
@@ -138,6 +138,19 @@ impl JobClass {
         }
     }
 
+    /// Nominal single-job FaaS runtime (S3 channel, default workers,
+    /// startup excluded) — the yardstick deadlines are expressed against:
+    /// `deadline = submit + slack × nominal_runtime`.
+    pub fn nominal_runtime(self) -> SimTime {
+        let w = self.default_workers();
+        faas_time(
+            &self.profile(),
+            &AnalyticCase::faas_s3(),
+            Scaling::Perfect,
+            w,
+        ) - SimTime::secs(lml_analytic::constants::t_f().eval(w as f64))
+    }
+
     /// Paper-scale analytical profile of one job of this class.
     pub fn profile(self) -> AnalyticParams {
         let spec_bytes = match self.dataset() {
@@ -171,6 +184,10 @@ impl JobClass {
     }
 }
 
+/// Identity of the tenant submitting a job. Tenants are dense small
+/// integers; the fair-share scheduler assigns each a weight (default 1).
+pub type TenantId = u32;
+
 /// One submitted training job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobRequest {
@@ -181,6 +198,31 @@ pub struct JobRequest {
     pub submit: SimTime,
     /// Degree of parallelism requested.
     pub workers: usize,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Optional completion deadline (absolute sim time).
+    pub deadline: Option<SimTime>,
+}
+
+impl JobRequest {
+    /// A deadline-less single-tenant request — the PR-1 constructor shape,
+    /// kept for tests and hand-built traces.
+    pub fn new(id: u64, class: JobClass, submit: SimTime, workers: usize) -> Self {
+        JobRequest {
+            id,
+            class,
+            submit,
+            workers,
+            tenant: 0,
+            deadline: None,
+        }
+    }
+
+    /// Laxity against the deadline: how many seconds after submission the
+    /// job may take and still hit it. `None` when no deadline is set.
+    pub fn laxity(&self) -> Option<SimTime> {
+        self.deadline.map(|d| d - self.submit)
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +258,22 @@ mod tests {
     fn zoo_links_back_to_model_and_dataset_ids() {
         assert_eq!(JobClass::LrHiggs.dataset(), DatasetId::Higgs);
         assert_eq!(JobClass::MnCifar.model(), ModelId::MobileNet);
+    }
+
+    #[test]
+    fn nominal_runtimes_order_convex_below_deep() {
+        for c in JobClass::ALL {
+            assert!(c.nominal_runtime().as_secs() > 0.0, "{c:?}");
+        }
+        assert!(JobClass::RnCifar.nominal_runtime() > JobClass::LrHiggs.nominal_runtime());
+    }
+
+    #[test]
+    fn laxity_measures_submit_to_deadline() {
+        let mut j = JobRequest::new(0, JobClass::LrHiggs, SimTime::secs(10.0), 10);
+        assert_eq!(j.tenant, 0);
+        assert_eq!(j.laxity(), None);
+        j.deadline = Some(SimTime::secs(70.0));
+        assert_eq!(j.laxity(), Some(SimTime::secs(60.0)));
     }
 }

@@ -9,22 +9,31 @@
 //! * [`job`] — the tenant job zoo: Table 4 (model, dataset) pairs with
 //!   their paper-scale analytical profiles.
 //! * [`workload`] — Poisson and burst arrival processes, weighted job
-//!   mixes, and a replayable plain-text trace format, all seeded and
+//!   mixes, multi-tenant/deadline generation ([`workload::TenantSpec`]),
+//!   and a replayable plain-text trace format, all seeded and
 //!   bit-reproducible.
-//! * [`platform`] — a FaaS region (account concurrency limit + warm pool
-//!   built from the `lml-faas` startup/lifetime constants, so cold-start
-//!   probability falls as traffic rises) and an IaaS pool (FIFO + backfill
-//!   queueing, Table 6 boot-time autoscaling, idle billing).
-//! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, and a
-//!   cost-aware hybrid priced by the `lml-analytic` model with optional
-//!   sampling-estimator calibration.
+//! * [`azure`] — an Azure-Functions-style CSV adapter feeding
+//!   [`Trace::from_text`] (owners → tenants, function ids → job classes);
+//!   a bundled sample lives under `crates/fleet/data/`.
+//! * [`platform`] — a FaaS region (account concurrency limit + warm pool +
+//!   pre-paid provisioned-concurrency floor), an IaaS pool (FIFO +
+//!   backfill queueing, Table 6 boot-time autoscaling, idle billing), and
+//!   a preemptible spot tier (discounted, seeded exponential preemption,
+//!   jobs requeue on reclaim).
+//! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, the
+//!   cost-aware hybrid, deadline-aware EDF (spills to IaaS when FaaS can't
+//!   make the deadline), and weighted fair-share (deficit round-robin
+//!   across tenants), each declaring its admission [`QueueDiscipline`].
 //! * [`sim`] — the event-driven fleet loop on the shared
-//!   [`lml_sim::EventQueue`].
+//!   [`lml_sim::EventQueue`], with discipline-ordered admission queues and
+//!   per-tenant service accounting.
 //! * [`metrics`] — per-job queue/startup/run breakdowns rolled up into
-//!   p50/p95/p99 latency, dollars, warm-hit rate and utilization.
+//!   p50/p95/p99 latency, dollars, warm-hit rate, utilization,
+//!   deadline-hit rate, preemption counts, and per-tenant fairness.
 //! * [`json`] — the deterministic JSON emitter behind
 //!   [`metrics::FleetMetrics::to_json`].
 
+pub mod azure;
 pub mod job;
 pub mod json;
 pub mod metrics;
@@ -33,9 +42,12 @@ pub mod scheduler;
 pub mod sim;
 pub mod workload;
 
-pub use job::{JobClass, JobRequest};
-pub use metrics::{FleetMetrics, JobRecord};
-pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool};
-pub use scheduler::{AllFaas, AllIaas, CostAware, FleetView, Route, Scheduler};
+pub use job::{JobClass, JobRequest, TenantId};
+pub use metrics::{jain_index, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
+pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
+pub use scheduler::{
+    AllFaas, AllIaas, CostAware, DeadlineAware, FairShare, FleetView, QueueDiscipline, Route,
+    Scheduler,
+};
 pub use sim::{simulate, FleetConfig};
-pub use workload::{ArrivalProcess, JobMix, Trace};
+pub use workload::{ArrivalProcess, JobMix, TenantSpec, Trace};

@@ -1,7 +1,8 @@
 //! Fleet metrics: per-job breakdowns rolled up into tail latencies, cost,
-//! warm-hit rate, and utilization, exported as deterministic JSON.
+//! warm-hit rate, utilization, deadline-hit rate, preemptions, and a
+//! per-tenant fairness view, exported as deterministic JSON.
 
-use crate::job::JobClass;
+use crate::job::{JobClass, TenantId};
 use crate::json::{array, JsonObject};
 use crate::scheduler::Route;
 use lml_sim::stats::Summary;
@@ -14,16 +15,24 @@ pub struct JobRecord {
     pub class: JobClass,
     pub route: Route,
     pub workers: usize,
+    pub tenant: TenantId,
     pub submit: SimTime,
+    /// Completion deadline, if the tenant set one.
+    pub deadline: Option<SimTime>,
     /// Time spent waiting for admission (concurrency limit / busy pool).
     pub queue: SimTime,
-    /// Fleet startup: cold/warm function start or cluster dispatch.
+    /// Fleet startup: cold/warm function start, cluster dispatch, or spot
+    /// boots (including boots lost to preemption).
     pub startup: SimTime,
-    /// Data loading + training time.
+    /// Data loading + training time (including partial runs lost to
+    /// preemption).
     pub run: SimTime,
     /// Workers served from the warm pool (FaaS only).
     pub warm_hits: usize,
-    /// Attributed job cost: GB-seconds on FaaS, instance-time share on IaaS.
+    /// Times the spot market reclaimed this job's instances.
+    pub preemptions: u32,
+    /// Attributed job cost: GB-seconds on FaaS, instance-time share on
+    /// IaaS, discounted held-seconds on spot.
     pub cost: Cost,
 }
 
@@ -35,6 +44,11 @@ impl JobRecord {
 
     pub fn finish(&self) -> SimTime {
         self.submit + self.latency()
+    }
+
+    /// Did the job meet its deadline? `None` when it had none.
+    pub fn deadline_met(&self) -> Option<bool> {
+        self.deadline.map(|d| self.finish() <= d)
     }
 }
 
@@ -80,6 +94,37 @@ impl Quantiles {
     }
 }
 
+/// Platform-side counters and bills handed to the rollup (the per-job
+/// records carry attributions; these integrals are authoritative).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlatformTotals {
+    /// IaaS pool bill (every booted instance-second, busy or idle).
+    pub iaas_cost: Cost,
+    pub warm_hit_rate: f64,
+    pub cold_starts: u64,
+    pub iaas_utilization: f64,
+    pub iaas_peak_instances: usize,
+    pub faas_peak_concurrency: usize,
+    /// Spot tier bill (held instance-seconds at the discounted rate).
+    pub spot_cost: Cost,
+    /// Spot preemption events across the run.
+    pub preemptions: u64,
+    /// Pre-paid provisioned-concurrency bill over the makespan.
+    pub faas_provisioned_cost: Cost,
+    pub spot_peak_instances: usize,
+}
+
+/// Per-tenant rollup row.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantRow {
+    pub tenant: TenantId,
+    pub jobs: usize,
+    pub latency_p99: f64,
+    pub cost: Cost,
+    /// Worker-seconds of run time delivered to this tenant.
+    pub service: f64,
+}
+
 /// Fleet-level rollup of one simulation run.
 #[derive(Debug, Clone)]
 pub struct FleetMetrics {
@@ -93,22 +138,37 @@ pub struct FleetMetrics {
     pub startup: Quantiles,
     /// Sum of attributed FaaS job costs (GB-second billing).
     pub faas_cost: Cost,
+    /// Pre-paid provisioned-concurrency bill.
+    pub faas_provisioned_cost: Cost,
     /// IaaS pool bill (every booted instance-second, busy or idle).
     pub iaas_cost: Cost,
+    /// Spot tier bill.
+    pub spot_cost: Cost,
     pub jobs_on_faas: usize,
     pub jobs_on_iaas: usize,
+    pub jobs_on_spot: usize,
     pub warm_hit_rate: f64,
     pub cold_starts: u64,
     pub iaas_utilization: f64,
     pub iaas_peak_instances: usize,
     pub faas_peak_concurrency: usize,
+    pub spot_peak_instances: usize,
+    /// Spot preemption events across the run.
+    pub preemptions: u64,
+    /// Jobs that carried a deadline / that met it.
+    pub deadline_jobs: usize,
+    pub deadline_hits: usize,
+    /// Jain's fairness index over per-tenant delivered service
+    /// (worker-seconds): 1 = perfectly even, 1/n = one tenant got it all.
+    pub fairness: f64,
     pub records: Vec<JobRecord>,
 }
 
 impl FleetMetrics {
-    /// Total dollars: FaaS execution + reserved-pool bill.
+    /// Total dollars: FaaS execution + provisioned floor + reserved-pool
+    /// bill + spot bill.
     pub fn total_cost(&self) -> Cost {
-        self.faas_cost + self.iaas_cost
+        self.faas_cost + self.faas_provisioned_cost + self.iaas_cost + self.spot_cost
     }
 
     /// Mean sustained throughput over the makespan, jobs/second.
@@ -120,18 +180,22 @@ impl FleetMetrics {
         }
     }
 
+    /// Fraction of deadline-carrying jobs that finished in time (1.0 when
+    /// no job had a deadline — vacuously met).
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            1.0
+        } else {
+            self.deadline_hits as f64 / self.deadline_jobs as f64
+        }
+    }
+
     /// Build the rollup from per-job records and platform counters.
-    #[allow(clippy::too_many_arguments)]
     pub fn from_records(
         policy: &str,
         seed: u64,
         records: Vec<JobRecord>,
-        iaas_cost: Cost,
-        warm_hit_rate: f64,
-        cold_starts: u64,
-        iaas_utilization: f64,
-        iaas_peak_instances: usize,
-        faas_peak_concurrency: usize,
+        totals: PlatformTotals,
     ) -> FleetMetrics {
         let latency =
             Quantiles::from_values(records.iter().map(|r| r.latency().as_secs()).collect());
@@ -146,6 +210,17 @@ impl FleetMetrics {
             .iter()
             .map(|r| r.finish())
             .fold(SimTime::ZERO, SimTime::max);
+        let deadline_jobs = records.iter().filter(|r| r.deadline.is_some()).count();
+        let deadline_hits = records
+            .iter()
+            .filter(|r| r.deadline_met() == Some(true))
+            .count();
+        let fairness = jain_index(
+            &per_tenant_rows(&records)
+                .iter()
+                .map(|t| t.service)
+                .collect::<Vec<_>>(),
+        );
         FleetMetrics {
             policy: policy.to_string(),
             seed,
@@ -155,14 +230,22 @@ impl FleetMetrics {
             queue,
             startup,
             faas_cost,
-            iaas_cost,
+            faas_provisioned_cost: totals.faas_provisioned_cost,
+            iaas_cost: totals.iaas_cost,
+            spot_cost: totals.spot_cost,
             jobs_on_faas: records.iter().filter(|r| r.route == Route::Faas).count(),
             jobs_on_iaas: records.iter().filter(|r| r.route == Route::Iaas).count(),
-            warm_hit_rate,
-            cold_starts,
-            iaas_utilization,
-            iaas_peak_instances,
-            faas_peak_concurrency,
+            jobs_on_spot: records.iter().filter(|r| r.route == Route::Spot).count(),
+            warm_hit_rate: totals.warm_hit_rate,
+            cold_starts: totals.cold_starts,
+            iaas_utilization: totals.iaas_utilization,
+            iaas_peak_instances: totals.iaas_peak_instances,
+            faas_peak_concurrency: totals.faas_peak_concurrency,
+            spot_peak_instances: totals.spot_peak_instances,
+            preemptions: totals.preemptions,
+            deadline_jobs,
+            deadline_hits,
+            fairness,
             records,
         }
     }
@@ -184,6 +267,12 @@ impl FleetMetrics {
             .collect()
     }
 
+    /// Per-tenant rollup (jobs, p99 latency, attributed dollars, delivered
+    /// service), ascending by tenant id.
+    pub fn per_tenant(&self) -> Vec<TenantRow> {
+        per_tenant_rows(&self.records)
+    }
+
     /// Deterministic JSON export. Two runs with the same inputs produce
     /// byte-identical output.
     pub fn to_json(&self) -> String {
@@ -199,6 +288,19 @@ impl FleetMetrics {
                     .finish()
             })
             .collect();
+        let per_tenant: Vec<String> = self
+            .per_tenant()
+            .into_iter()
+            .map(|t| {
+                JsonObject::new()
+                    .u64("tenant", t.tenant as u64)
+                    .u64("jobs", t.jobs as u64)
+                    .f64("latency_p99_s", t.latency_p99)
+                    .f64("cost_usd", t.cost.as_usd())
+                    .f64("service_worker_s", t.service)
+                    .finish()
+            })
+            .collect();
         JsonObject::new()
             .str("schema", "lml-fleet/metrics/v1")
             .str("policy", &self.policy)
@@ -210,35 +312,85 @@ impl FleetMetrics {
             .raw("queue_s", &self.queue.to_json())
             .raw("startup_s", &self.startup.to_json())
             .f64("faas_cost_usd", self.faas_cost.as_usd())
+            .f64(
+                "faas_provisioned_cost_usd",
+                self.faas_provisioned_cost.as_usd(),
+            )
             .f64("iaas_cost_usd", self.iaas_cost.as_usd())
+            .f64("spot_cost_usd", self.spot_cost.as_usd())
             .f64("total_cost_usd", self.total_cost().as_usd())
             .u64("jobs_on_faas", self.jobs_on_faas as u64)
             .u64("jobs_on_iaas", self.jobs_on_iaas as u64)
+            .u64("jobs_on_spot", self.jobs_on_spot as u64)
             .f64("warm_hit_rate", self.warm_hit_rate)
             .u64("cold_starts", self.cold_starts)
             .f64("iaas_utilization", self.iaas_utilization)
             .u64("iaas_peak_instances", self.iaas_peak_instances as u64)
             .u64("faas_peak_concurrency", self.faas_peak_concurrency as u64)
+            .u64("spot_peak_instances", self.spot_peak_instances as u64)
+            .u64("preemptions", self.preemptions)
+            .u64("deadline_jobs", self.deadline_jobs as u64)
+            .u64("deadline_hits", self.deadline_hits as u64)
+            .f64("deadline_hit_rate", self.deadline_hit_rate())
+            .f64("fairness", self.fairness)
             .raw("per_class", &array(&per_class))
+            .raw("per_tenant", &array(&per_tenant))
             .finish()
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:>10}: {} jobs | p50 {} p95 {} p99 {} | {} total ({} faas + {} iaas) | warm {:.0}% | util {:.0}%",
+            "{:>14}: {} jobs | p50 {} p95 {} p99 {} | {} total | dl {:.0}% | fair {:.2} | preempt {} | warm {:.0}% | util {:.0}%",
             self.policy,
             self.n_jobs,
             SimTime::secs(self.latency.p50),
             SimTime::secs(self.latency.p95),
             SimTime::secs(self.latency.p99),
             self.total_cost(),
-            self.faas_cost,
-            self.iaas_cost,
+            self.deadline_hit_rate() * 100.0,
+            self.fairness,
+            self.preemptions,
             self.warm_hit_rate * 100.0,
             self.iaas_utilization * 100.0,
         )
     }
+}
+
+fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
+    let mut tenants: Vec<TenantId> = records.iter().map(|r| r.tenant).collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .into_iter()
+        .map(|t| {
+            let rs: Vec<&JobRecord> = records.iter().filter(|r| r.tenant == t).collect();
+            let lat = Quantiles::from_values(rs.iter().map(|r| r.latency().as_secs()).collect());
+            TenantRow {
+                tenant: t,
+                jobs: rs.len(),
+                latency_p99: lat.p99,
+                cost: rs.iter().map(|r| r.cost).sum(),
+                service: rs.iter().map(|r| r.workers as f64 * r.run.as_secs()).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, 1.0 for an even allocation,
+/// `1/n` when one party takes everything. Empty or all-zero → 1.0
+/// (vacuously fair).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
 }
 
 #[cfg(test)]
@@ -251,17 +403,32 @@ mod tests {
             class: JobClass::LrHiggs,
             route,
             workers: 10,
+            tenant: (id % 2) as TenantId,
             submit: SimTime::secs(id as f64),
+            deadline: None,
             queue: SimTime::secs(queue),
             startup: SimTime::secs(1.0),
             run: SimTime::secs(run),
             warm_hits: 0,
+            preemptions: 0,
             cost: Cost::usd(cost),
         }
     }
 
+    fn totals() -> PlatformTotals {
+        PlatformTotals {
+            iaas_cost: Cost::usd(2.0),
+            warm_hit_rate: 0.5,
+            cold_starts: 3,
+            iaas_utilization: 0.8,
+            iaas_peak_instances: 20,
+            faas_peak_concurrency: 100,
+            ..Default::default()
+        }
+    }
+
     fn metrics(records: Vec<JobRecord>) -> FleetMetrics {
-        FleetMetrics::from_records("test", 1, records, Cost::usd(2.0), 0.5, 3, 0.8, 20, 100)
+        FleetMetrics::from_records("test", 1, records, totals())
     }
 
     #[test]
@@ -276,6 +443,7 @@ mod tests {
         assert_eq!(m.total_cost(), Cost::usd(2.5));
         assert_eq!(m.jobs_on_faas, 1);
         assert_eq!(m.jobs_on_iaas, 1);
+        assert_eq!(m.jobs_on_spot, 0);
     }
 
     #[test]
@@ -293,6 +461,7 @@ mod tests {
         assert!(m1
             .to_json()
             .starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+        assert!(m1.to_json().contains(r#""per_tenant":["#));
     }
 
     #[test]
@@ -303,5 +472,46 @@ mod tests {
         ]);
         // job 1: submit 5 + 1 startup + 3 run = 9; job 0 finishes at 11.
         assert_eq!(m.makespan, SimTime::secs(11.0));
+    }
+
+    #[test]
+    fn deadline_hit_rate_counts_only_deadline_jobs() {
+        let mut hit = rec(0, Route::Faas, 0.0, 10.0, 0.1);
+        hit.deadline = Some(SimTime::secs(100.0)); // finishes at 11
+        let mut miss = rec(1, Route::Faas, 0.0, 10.0, 0.1);
+        miss.deadline = Some(SimTime::secs(5.0)); // finishes at 12
+        let free = rec(2, Route::Faas, 0.0, 10.0, 0.1);
+        let m = metrics(vec![hit, miss, free]);
+        assert_eq!(m.deadline_jobs, 2);
+        assert_eq!(m.deadline_hits, 1);
+        assert!((m.deadline_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(metrics(vec![free]).deadline_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn jain_index_brackets_even_and_starved() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let skewed = jain_index(&[9.0, 1.0]);
+        assert!(skewed > 0.5 && skewed < 1.0, "{skewed}");
+    }
+
+    #[test]
+    fn per_tenant_rollup_splits_by_tenant() {
+        let m = metrics(vec![
+            rec(0, Route::Faas, 0.0, 10.0, 0.4), // tenant 0
+            rec(1, Route::Iaas, 0.0, 20.0, 0.2), // tenant 1
+            rec(2, Route::Faas, 0.0, 10.0, 0.4), // tenant 0
+        ]);
+        let rows = m.per_tenant();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].tenant, rows[0].jobs), (0, 2));
+        assert_eq!((rows[1].tenant, rows[1].jobs), (1, 1));
+        assert!((rows[0].service - 200.0).abs() < 1e-9, "2 × 10w × 10s");
+        assert!((rows[1].service - 200.0).abs() < 1e-9, "1 × 10w × 20s");
+        assert!((m.fairness - 1.0).abs() < 1e-12, "equal service is fair");
+        assert_eq!(rows[0].cost, Cost::usd(0.8));
     }
 }

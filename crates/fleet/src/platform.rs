@@ -11,7 +11,16 @@
 use lml_faas::startup::{faas_startup_time, INVOKE_LATENCY};
 use lml_iaas::cluster::iaas_startup_table;
 use lml_iaas::InstanceType;
-use lml_sim::{Cost, SimTime};
+use lml_sim::{Cost, Pcg64, SimTime};
+
+/// Provisioned-concurrency price per GB-second: what an always-warm
+/// container costs whether invoked or not (AWS Lambda provisioned
+/// concurrency, ≈¼ the on-demand duration rate).
+pub const PROVISIONED_PRICE_PER_GB_SECOND: f64 = 0.000_004_166_7;
+
+/// Function memory the fleet provisions, matching the §5.3 pricing case
+/// (3 GB functions plus runtime overhead).
+pub const FUNCTION_GB: f64 = 3.008;
 
 /// FaaS region configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +30,11 @@ pub struct FaasConfig {
     /// How long a finished container stays warm before the platform
     /// reclaims it.
     pub keep_alive: SimTime,
+    /// Always-warm containers the account pre-pays for (provisioned
+    /// concurrency). They never go cold, are consumed before the organic
+    /// warm pool, and bill at [`PROVISIONED_PRICE_PER_GB_SECOND`] for the
+    /// whole simulation whether invoked or not.
+    pub provisioned_concurrency: usize,
 }
 
 impl Default for FaasConfig {
@@ -28,6 +42,7 @@ impl Default for FaasConfig {
         FaasConfig {
             concurrency_limit: 1_000,
             keep_alive: SimTime::minutes(10.0),
+            provisioned_concurrency: 0,
         }
     }
 }
@@ -40,6 +55,8 @@ pub struct FaasRegion {
     in_use: usize,
     /// Expiry times of idle warm containers (unordered; pruned on access).
     warm: Vec<f64>,
+    /// Idle provisioned (always-warm) containers.
+    provisioned_free: usize,
     /// Highest concurrent execution count observed.
     peak_in_use: usize,
     /// Total workers started warm / cold, across all jobs.
@@ -49,10 +66,15 @@ pub struct FaasRegion {
 
 impl FaasRegion {
     pub fn new(cfg: FaasConfig) -> Self {
+        assert!(
+            cfg.provisioned_concurrency <= cfg.concurrency_limit,
+            "cannot provision past the account concurrency limit"
+        );
         FaasRegion {
             cfg,
             in_use: 0,
             warm: Vec::new(),
+            provisioned_free: cfg.provisioned_concurrency,
             peak_in_use: 0,
             warm_starts: 0,
             cold_starts: 0,
@@ -83,12 +105,17 @@ impl FaasRegion {
             return None;
         }
         self.prune(now);
-        let warm_hits = workers.min(self.warm.len());
+        // Provisioned containers are consumed first (they are paid for
+        // either way), then the organic keep-alive pool.
+        let from_provisioned = workers.min(self.provisioned_free);
+        self.provisioned_free -= from_provisioned;
+        let from_pool = (workers - from_provisioned).min(self.warm.len());
         // Consume the freshest warm containers (the platform keeps the most
         // recently used ones alive longest anyway; any choice is valid):
         // one sort, then drop the tail — not a max-scan per container.
         self.warm.sort_unstable_by(|a, b| a.total_cmp(b));
-        self.warm.truncate(self.warm.len() - warm_hits);
+        self.warm.truncate(self.warm.len() - from_pool);
+        let warm_hits = from_provisioned + from_pool;
         let cold = workers - warm_hits;
         self.warm_starts += warm_hits as u64;
         self.cold_starts += cold as u64;
@@ -102,13 +129,32 @@ impl FaasRegion {
         Some((startup, warm_hits))
     }
 
-    /// A job finished: its containers return to the warm pool.
+    /// A job finished: its containers return to the warm pool. The
+    /// provisioned floor is refilled first (the platform always keeps
+    /// `provisioned_concurrency` containers warm; identity is irrelevant),
+    /// the remainder joins the keep-alive pool.
     pub fn release(&mut self, now: SimTime, workers: usize) {
         assert!(self.in_use >= workers, "releasing more than in use");
         self.in_use -= workers;
         self.prune(now);
+        let to_provisioned =
+            (self.cfg.provisioned_concurrency - self.provisioned_free).min(workers);
+        self.provisioned_free += to_provisioned;
         let expire = now.as_secs() + self.cfg.keep_alive.as_secs();
-        self.warm.extend(std::iter::repeat_n(expire, workers));
+        self.warm
+            .extend(std::iter::repeat_n(expire, workers - to_provisioned));
+    }
+
+    /// The pre-paid provisioned-concurrency bill over `horizon`: every
+    /// provisioned container-second at the provisioned GB-second rate,
+    /// busy or idle.
+    pub fn provisioned_cost(&self, horizon: SimTime) -> Cost {
+        Cost::usd(
+            self.cfg.provisioned_concurrency as f64
+                * FUNCTION_GB
+                * PROVISIONED_PRICE_PER_GB_SECOND
+                * horizon.as_secs(),
+        )
     }
 
     /// Fraction of all started workers served warm.
@@ -308,6 +354,122 @@ impl IaasPool {
     }
 }
 
+/// Spot/preemptible tier configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotConfig {
+    pub instance: InstanceType,
+    /// Price multiplier vs on-demand (0.3 ⇒ a 70% discount — the typical
+    /// spot/preemptible market band).
+    pub price_factor: f64,
+    /// Mean time to preemption of a single spot instance (exponential,
+    /// seeded). A `workers`-wide job dies when its *first* instance is
+    /// reclaimed, so its effective mean is `mean_time_to_preempt/workers`.
+    pub mean_time_to_preempt: SimTime,
+    /// Preemptions a job tolerates before it gives up on the market and
+    /// falls back to the reserved pool (bounds the restart storm a long
+    /// job would otherwise spin through on a hostile market).
+    pub max_retries: u32,
+}
+
+impl Default for SpotConfig {
+    fn default() -> Self {
+        SpotConfig {
+            instance: InstanceType::T2Medium,
+            price_factor: 0.3,
+            mean_time_to_preempt: SimTime::hours(4.0),
+            max_retries: 3,
+        }
+    }
+}
+
+/// Runtime state of the spot tier.
+///
+/// Unlike the reserved pool, spot capacity is modelled as market-deep: a
+/// job always gets instances after the Table 6 boot curve, there is no
+/// shared reservation and no idle billing — but every instance carries a
+/// seeded exponential preemption clock, and a preempted job loses its
+/// progress and must requeue. Billing covers exactly the instance-seconds
+/// actually held (boot + run until completion or preemption) at the
+/// discounted rate.
+#[derive(Debug, Clone)]
+pub struct SpotTier {
+    pub cfg: SpotConfig,
+    rng: Pcg64,
+    in_use: usize,
+    peak_in_use: usize,
+    preemptions: u64,
+    billed_instance_seconds: f64,
+}
+
+impl SpotTier {
+    pub fn new(cfg: SpotConfig, seed: u64) -> Self {
+        assert!(cfg.price_factor > 0.0 && cfg.price_factor <= 1.0);
+        assert!(cfg.mean_time_to_preempt.as_secs() > 0.0);
+        SpotTier {
+            cfg,
+            rng: Pcg64::new(seed ^ 0x5907_7157),
+            in_use: 0,
+            peak_in_use: 0,
+            preemptions: 0,
+            billed_instance_seconds: 0.0,
+        }
+    }
+
+    /// Launch a `workers`-wide spot cluster. Returns the boot time (Table 6
+    /// `t_I(w)`) and the sampled time-to-preemption of the cluster measured
+    /// from launch: if it lands before the job's finish the caller must
+    /// preempt the job at that instant.
+    pub fn start(&mut self, workers: usize) -> (SimTime, SimTime) {
+        assert!(workers >= 1);
+        self.in_use += workers;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        let boot = SimTime::secs(iaas_startup_table().eval(workers as f64));
+        // Min of `workers` iid Exp(1/mttp) clocks is Exp(workers/mttp).
+        let mean = self.cfg.mean_time_to_preempt.as_secs() / workers as f64;
+        let u = self.rng.uniform();
+        let preempt_after = SimTime::secs(-(1.0 - u).ln() * mean);
+        (boot, preempt_after)
+    }
+
+    /// The cluster ran to completion; bill the seconds it was held.
+    pub fn finish(&mut self, workers: usize, held: SimTime) {
+        assert!(self.in_use >= workers, "finishing more than in use");
+        self.in_use -= workers;
+        self.billed_instance_seconds += workers as f64 * held.as_secs();
+    }
+
+    /// The market reclaimed the cluster `held` seconds after launch; the
+    /// partial run is billed, the job's progress is lost.
+    pub fn preempted(&mut self, workers: usize, held: SimTime) {
+        self.finish(workers, held);
+        self.preemptions += 1;
+    }
+
+    /// Discounted price of `instance_seconds` on this market — the single
+    /// pricing point behind both the tier bill and per-job attribution.
+    fn price(&self, instance_seconds: f64) -> Cost {
+        self.cfg.instance.hourly() * (instance_seconds / 3_600.0 * self.cfg.price_factor)
+    }
+
+    /// Discounted price of holding `workers` instances for `held`.
+    pub fn price_of(&self, workers: usize, held: SimTime) -> Cost {
+        self.price(workers as f64 * held.as_secs())
+    }
+
+    /// Spot bill so far: held instance-seconds at the discounted rate.
+    pub fn cost(&self) -> Cost {
+        self.price(self.billed_instance_seconds)
+    }
+
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +570,76 @@ mod tests {
         let released = p.scale_down_idle(boot + SimTime::minutes(10.0));
         assert_eq!(released, 20, "shrinks back to the floor");
         assert_eq!(p.capacity(), 5);
+    }
+
+    #[test]
+    fn provisioned_concurrency_is_always_warm() {
+        let mut r = FaasRegion::new(FaasConfig {
+            provisioned_concurrency: 10,
+            keep_alive: SimTime::secs(60.0),
+            ..Default::default()
+        });
+        // First job, hours into the trace: still fully warm.
+        let (startup, hits) = r.try_start(SimTime::hours(5.0), 10).unwrap();
+        assert_eq!(hits, 10);
+        assert_eq!(startup, INVOKE_LATENCY);
+        // A second concurrent job must go cold — the floor is exhausted.
+        let (_, hits) = r.try_start(SimTime::hours(5.0), 10).unwrap();
+        assert_eq!(hits, 0);
+        // After release the floor refills and outlives the keep-alive pool.
+        r.release(SimTime::hours(5.1), 20);
+        let (_, hits) = r.try_start(SimTime::hours(9.0), 12).unwrap();
+        assert_eq!(hits, 10, "floor refilled, keep-alive pool expired");
+    }
+
+    #[test]
+    fn provisioned_concurrency_bills_whether_used_or_not() {
+        let r = FaasRegion::new(FaasConfig {
+            provisioned_concurrency: 100,
+            ..Default::default()
+        });
+        let c = r.provisioned_cost(SimTime::hours(1.0));
+        let expected = 100.0 * FUNCTION_GB * PROVISIONED_PRICE_PER_GB_SECOND * 3_600.0;
+        assert!((c.as_usd() - expected).abs() < 1e-9);
+        let none = FaasRegion::new(FaasConfig::default());
+        assert_eq!(none.provisioned_cost(SimTime::hours(1.0)).as_usd(), 0.0);
+    }
+
+    #[test]
+    fn spot_tier_bills_discounted_held_seconds() {
+        let cfg = SpotConfig {
+            price_factor: 0.25,
+            ..Default::default()
+        };
+        let mut s = SpotTier::new(cfg, 1);
+        let (boot, _) = s.start(10);
+        assert!(boot.as_secs() > 0.0, "spot clusters still boot");
+        s.finish(10, SimTime::hours(1.0));
+        // 10 instances × 1 h × $0.0464 × 0.25.
+        assert!((s.cost().as_usd() - 0.116).abs() < 1e-9);
+        assert_eq!(s.preemptions(), 0);
+    }
+
+    #[test]
+    fn spot_preemption_clocks_are_seeded_and_width_scaled() {
+        let sample = |seed: u64, workers: usize| {
+            let mut s = SpotTier::new(SpotConfig::default(), seed);
+            let mut times = Vec::new();
+            for _ in 0..200 {
+                let (_, p) = s.start(workers);
+                s.preempted(workers, p);
+                times.push(p.as_secs());
+            }
+            times
+        };
+        assert_eq!(sample(7, 1), sample(7, 1), "same seed, same clocks");
+        assert_ne!(sample(7, 1), sample(8, 1));
+        let narrow: f64 = sample(3, 1).iter().sum::<f64>() / 200.0;
+        let wide: f64 = sample(3, 50).iter().sum::<f64>() / 200.0;
+        assert!(
+            narrow > wide * 10.0,
+            "wide jobs die sooner: {narrow} vs {wide}"
+        );
     }
 
     #[test]

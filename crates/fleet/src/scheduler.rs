@@ -1,14 +1,17 @@
 //! Fleet scheduling policies.
 //!
-//! A [`Scheduler`] routes each arriving job to the FaaS region or the IaaS
-//! pool. The two degenerate policies reproduce the paper's single-backend
-//! world at fleet scale; [`CostAware`] prices both options per job with the
-//! §5.3 analytical model (optionally re-calibrating epoch counts with the
-//! sampling estimator) and adds a load-aware escape hatch: when the cheap
-//! option is saturated and the other side finishes comfortably sooner, pay
-//! the premium.
+//! A [`Scheduler`] routes each arriving job to the FaaS region, the IaaS
+//! pool, or the spot tier, and declares the [`QueueDiscipline`] the
+//! simulator's admission queues obey for it. The two degenerate policies
+//! reproduce the paper's single-backend world at fleet scale; [`CostAware`]
+//! prices both options per job with the §5.3 analytical model (optionally
+//! re-calibrating epoch counts with the sampling estimator) and adds a
+//! load-aware escape hatch; [`DeadlineAware`] runs EDF over the predicted
+//! runtimes and spills to IaaS when FaaS can't make the deadline;
+//! [`FairShare`] routes by cost but drains queues deficit-round-robin
+//! across weighted tenants.
 
-use crate::job::{JobClass, JobRequest};
+use crate::job::{JobClass, JobRequest, TenantId};
 use lml_analytic::estimator::estimate_epochs;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
 use lml_sim::SimTime;
@@ -19,6 +22,9 @@ use std::collections::BTreeMap;
 pub enum Route {
     Faas,
     Iaas,
+    /// Preemptible spot instances: cheapest, but the job may be reclaimed
+    /// mid-run and requeued.
+    Spot,
 }
 
 impl Route {
@@ -26,8 +32,23 @@ impl Route {
         match self {
             Route::Faas => "faas",
             Route::Iaas => "iaas",
+            Route::Spot => "spot",
         }
     }
+}
+
+/// Order in which the simulator's admission queues are drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Strict arrival order.
+    #[default]
+    Fifo,
+    /// Earliest deadline first; deadline-less jobs go last, ties break by
+    /// submission order.
+    Edf,
+    /// Deficit round-robin across tenants: the queued job of the tenant
+    /// with the least weighted service started so far goes first.
+    Drr,
 }
 
 /// Snapshot of platform load handed to the scheduler at decision time.
@@ -54,6 +75,51 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
     /// Route one arriving job given the current platform load.
     fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route;
+    /// How the simulator's admission queues are ordered for this policy.
+    fn discipline(&self) -> QueueDiscipline {
+        QueueDiscipline::Fifo
+    }
+    /// Fair-share weight of a tenant (only consulted under
+    /// [`QueueDiscipline::Drr`]; unknown tenants default to 1).
+    fn tenant_weight(&self, _tenant: TenantId) -> f64 {
+        1.0
+    }
+}
+
+/// Deterministic spot assignment: a stable per-job hash decides whether an
+/// IaaS-bound job rides the spot market instead, so a `spot_fraction` of
+/// jobs (in expectation, independent of arrival order) go preemptible
+/// without consuming any RNG state.
+pub(crate) fn spot_pick(id: u64, spot_fraction: f64) -> bool {
+    if spot_fraction <= 0.0 {
+        return false;
+    }
+    let h = (id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < spot_fraction
+}
+
+/// Runtime/cost estimates for one job on both substrates, startup excluded
+/// (the fleet charges the actual simulated startup). Shared by every
+/// model-driven policy so they all price the same quantities.
+fn estimate(
+    job: &JobRequest,
+    faas_case: &AnalyticCase,
+    iaas_case: &AnalyticCase,
+    epochs: &BTreeMap<JobClass, f64>,
+) -> (f64, f64, f64, f64) {
+    let mut p = job.class.profile();
+    if let Some(&e) = epochs.get(&job.class) {
+        p.epochs = e;
+    }
+    let w = job.workers;
+    let t_f = faas_time(&p, faas_case, Scaling::Perfect, w).as_secs()
+        - lml_analytic::constants::t_f().eval(w as f64);
+    let c_f = faas_cost(&p, faas_case, Scaling::Perfect, w).as_usd();
+    let t_i = iaas_time(&p, iaas_case, Scaling::Perfect, w).as_secs()
+        - lml_analytic::constants::t_i().eval(w as f64);
+    // Warm-pool IaaS: bill the instances for the run, not the boot.
+    let c_i = w as f64 * iaas_case.worker_price_per_s * t_i;
+    (t_f, c_f, t_i, c_i)
 }
 
 /// Route everything to Lambda.
@@ -154,19 +220,7 @@ impl CostAware {
     /// warm pool makes fleet startup load-dependent; the simulator charges
     /// the real value).
     fn estimate(&self, job: &JobRequest) -> (f64, f64, f64, f64) {
-        let mut p = job.class.profile();
-        if let Some(&e) = self.epochs.get(&job.class) {
-            p.epochs = e;
-        }
-        let w = job.workers;
-        let t_f = faas_time(&p, &self.faas_case, Scaling::Perfect, w).as_secs()
-            - lml_analytic::constants::t_f().eval(w as f64);
-        let c_f = faas_cost(&p, &self.faas_case, Scaling::Perfect, w).as_usd();
-        let t_i = iaas_time(&p, &self.iaas_case, Scaling::Perfect, w).as_secs()
-            - lml_analytic::constants::t_i().eval(w as f64);
-        // Warm-pool IaaS: bill the instances for the run, not the boot.
-        let c_i = w as f64 * self.iaas_case.worker_price_per_s * t_i;
-        (t_f, c_f, t_i, c_i)
+        estimate(job, &self.faas_case, &self.iaas_case, &self.epochs)
     }
 
     /// Public view of the per-job estimate, for reporting.
@@ -188,7 +242,8 @@ impl Scheduler for CostAware {
         } else {
             (Route::Faas, t_f, t_i)
         };
-        // Saturation check for the cheaper side.
+        // Saturation check for the cheaper side (this policy never routes
+        // to spot, so only the two firm substrates appear here).
         let saturated = match cheap {
             Route::Iaas => {
                 view.iaas_queued_workers + job.workers > view.iaas_free + view.iaas_provisioning
@@ -196,16 +251,229 @@ impl Scheduler for CostAware {
             Route::Faas => {
                 view.faas_queued_workers + job.workers + view.faas_in_use > view.faas_limit
             }
+            Route::Spot => unreachable!("cost-aware routes to firm capacity only"),
         };
         if saturated && t_other * self.patience < t_cheap + queue_penalty(cheap, view) {
             // The queue on the cheap side costs more time than the premium
             // side's whole run: buy latency.
             return match cheap {
                 Route::Iaas => Route::Faas,
-                Route::Faas => Route::Iaas,
+                _ => Route::Iaas,
             };
         }
         cheap
+    }
+}
+
+/// Deadline-aware EDF scheduler.
+///
+/// Jobs with deadlines are admitted earliest-deadline-first
+/// ([`QueueDiscipline::Edf`]) and routed to the cheapest substrate whose
+/// §5.3-predicted *completion* (run plus a queue-backlog estimate) still
+/// meets the deadline. FaaS can't make it when the predicted run is too
+/// slow (deep, communication-bound jobs) or the region is saturated — the
+/// job spills to the reserved pool; conversely a backlogged pool pushes
+/// urgent jobs onto Lambda's elasticity. When nothing makes it the
+/// earlier-finishing side wins (minimize tardiness). Deadline-less jobs
+/// route by cost, with a `spot_fraction` share of the IaaS-bound ones
+/// sent to the preemptible tier — never jobs with deadlines, which can't
+/// afford a restart.
+#[derive(Debug, Clone)]
+pub struct DeadlineAware {
+    faas_case: AnalyticCase,
+    iaas_case: AnalyticCase,
+    epochs: BTreeMap<JobClass, f64>,
+    /// Share of deadline-less IaaS-bound jobs routed to spot.
+    pub spot_fraction: f64,
+    /// Startup cushion subtracted from the laxity before a substrate is
+    /// deemed to meet the deadline (covers cold starts / dispatch).
+    pub startup_margin: SimTime,
+}
+
+impl Default for DeadlineAware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeadlineAware {
+    pub fn new() -> Self {
+        DeadlineAware {
+            faas_case: AnalyticCase::faas_s3(),
+            iaas_case: AnalyticCase::iaas_t2(),
+            epochs: BTreeMap::new(),
+            spot_fraction: 0.0,
+            startup_margin: SimTime::secs(30.0),
+        }
+    }
+
+    /// Scheduler priced with the fleet's own channel/pricing cases.
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        DeadlineAware {
+            faas_case: cfg.faas_case,
+            iaas_case: cfg.iaas_case,
+            ..Self::new()
+        }
+    }
+
+    /// Send this share of deadline-less IaaS-bound jobs to spot.
+    pub fn with_spot_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.spot_fraction = f;
+        self
+    }
+}
+
+impl Scheduler for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+
+    fn discipline(&self) -> QueueDiscipline {
+        QueueDiscipline::Edf
+    }
+
+    fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route {
+        let (t_f, c_f, t_i, c_i) = estimate(job, &self.faas_case, &self.iaas_case, &self.epochs);
+        let Some(laxity) = job.laxity() else {
+            // No deadline: pure cost routing, spot-eligible.
+            return if c_i <= c_f {
+                if spot_pick(job.id, self.spot_fraction) {
+                    Route::Spot
+                } else {
+                    Route::Iaas
+                }
+            } else {
+                Route::Faas
+            };
+        };
+        let margin = self.startup_margin.as_secs();
+        // Predicted completion on FaaS: the run itself (Lambda is elastic)
+        // unless the account concurrency limit is already saturated.
+        let faas_saturated =
+            view.faas_in_use + view.faas_queued_workers + job.workers > view.faas_limit;
+        let faas_eta = if faas_saturated {
+            f64::INFINITY
+        } else {
+            t_f + margin
+        };
+        // Predicted completion on IaaS: the run plus a backlog estimate —
+        // the queue drains roughly one capacity-wide wave per run.
+        let backlog = (view.iaas_queued_workers + job.workers)
+            .saturating_sub(view.iaas_free + view.iaas_provisioning);
+        let iaas_wait = if backlog > 0 {
+            backlog as f64 / view.iaas_capacity.max(1) as f64 * t_i
+        } else {
+            0.0
+        };
+        let iaas_eta = t_i + iaas_wait + margin;
+        let budget = laxity.as_secs();
+        match (faas_eta <= budget, iaas_eta <= budget) {
+            // Both make it: take the cheaper option.
+            (true, true) => {
+                if c_f <= c_i {
+                    Route::Faas
+                } else {
+                    Route::Iaas
+                }
+            }
+            // Only Lambda's elasticity beats the pool's backlog.
+            (true, false) => Route::Faas,
+            // FaaS can't make the deadline (too slow or saturated): spill
+            // to the reserved pool.
+            (false, true) => Route::Iaas,
+            // Nothing makes it: minimize tardiness.
+            (false, false) => {
+                if faas_eta <= iaas_eta {
+                    Route::Faas
+                } else {
+                    Route::Iaas
+                }
+            }
+        }
+    }
+}
+
+/// Weighted fair-share scheduler: cost-based routing (like [`CostAware`]
+/// without the escape hatch) plus deficit-round-robin admission across
+/// tenants ([`QueueDiscipline::Drr`]) — the simulator starts the queued
+/// job of the tenant with the least weighted service first, so one
+/// tenant's burst cannot starve the others.
+#[derive(Debug, Clone)]
+pub struct FairShare {
+    faas_case: AnalyticCase,
+    iaas_case: AnalyticCase,
+    epochs: BTreeMap<JobClass, f64>,
+    weights: BTreeMap<TenantId, f64>,
+    /// Share of IaaS-bound jobs routed to spot.
+    pub spot_fraction: f64,
+}
+
+impl Default for FairShare {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FairShare {
+    pub fn new() -> Self {
+        FairShare {
+            faas_case: AnalyticCase::faas_s3(),
+            iaas_case: AnalyticCase::iaas_t2(),
+            epochs: BTreeMap::new(),
+            weights: BTreeMap::new(),
+            spot_fraction: 0.0,
+        }
+    }
+
+    /// Scheduler priced with the fleet's own channel/pricing cases.
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        FairShare {
+            faas_case: cfg.faas_case,
+            iaas_case: cfg.iaas_case,
+            ..Self::new()
+        }
+    }
+
+    /// Set a tenant's fair-share weight (tenants not set weigh 1).
+    pub fn with_weight(mut self, tenant: TenantId, weight: f64) -> Self {
+        assert!(weight > 0.0, "weights must be positive");
+        self.weights.insert(tenant, weight);
+        self
+    }
+
+    /// Send this share of IaaS-bound jobs to spot.
+    pub fn with_spot_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.spot_fraction = f;
+        self
+    }
+}
+
+impl Scheduler for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn discipline(&self) -> QueueDiscipline {
+        QueueDiscipline::Drr
+    }
+
+    fn tenant_weight(&self, tenant: TenantId) -> f64 {
+        self.weights.get(&tenant).copied().unwrap_or(1.0)
+    }
+
+    fn route(&mut self, job: &JobRequest, _view: &FleetView) -> Route {
+        let (_, c_f, _, c_i) = estimate(job, &self.faas_case, &self.iaas_case, &self.epochs);
+        if c_i <= c_f {
+            if spot_pick(job.id, self.spot_fraction) {
+                Route::Spot
+            } else {
+                Route::Iaas
+            }
+        } else {
+            Route::Faas
+        }
     }
 }
 
@@ -216,6 +484,8 @@ fn queue_penalty(side: Route, view: &FleetView) -> f64 {
     let (queued, capacity) = match side {
         Route::Iaas => (view.iaas_queued_workers, view.iaas_capacity.max(1)),
         Route::Faas => (view.faas_queued_workers, view.faas_limit.max(1)),
+        // Spot is market-deep and never queues.
+        Route::Spot => (0, 1),
     };
     // Each "round" of the queue takes on the order of a minute of service.
     60.0 * (queued as f64 / capacity as f64)
@@ -227,12 +497,7 @@ mod tests {
     use lml_sim::SimTime;
 
     fn job(class: JobClass) -> JobRequest {
-        JobRequest {
-            id: 0,
-            class,
-            submit: SimTime::ZERO,
-            workers: class.default_workers(),
-        }
+        JobRequest::new(0, class, SimTime::ZERO, class.default_workers())
     }
 
     #[test]
@@ -278,6 +543,115 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.route(&job(JobClass::LrHiggs), &idle), Route::Iaas);
+    }
+
+    #[test]
+    fn deadline_aware_spills_to_iaas_when_faas_cannot_make_it() {
+        let mut s = DeadlineAware::new();
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        // Deep communication-bound jobs run ~5× slower on FaaS (§5.2): a
+        // deadline between the two predicted runtimes is only meetable on
+        // the reserved pool, however idle Lambda is.
+        let mut deep = job(JobClass::MnCifar);
+        let (t_f, t_i) = CostAware::new().estimated_run(&deep);
+        assert!(
+            t_f > t_i * 3.0,
+            "premise: FaaS is much slower for deep jobs"
+        );
+        deep.deadline = Some(deep.submit + (t_i + t_f) * 0.5);
+        assert_eq!(s.route(&deep, &idle), Route::Iaas, "FaaS can't make it");
+        // Ample deadline: the cheaper substrate wins (IaaS for every class
+        // in the default pricing cases).
+        deep.deadline = Some(deep.submit + t_f * 100.0);
+        assert_eq!(s.route(&deep, &idle), Route::Iaas);
+    }
+
+    #[test]
+    fn deadline_aware_escapes_a_backlogged_pool() {
+        let mut s = DeadlineAware::new();
+        let mut j = job(JobClass::LrHiggs);
+        let (t_f, _) = CostAware::new().estimated_run(&j);
+        j.deadline = Some(j.submit + t_f * 2.0 + SimTime::secs(60.0));
+        // Slammed reserved pool: the backlog estimate blows the deadline,
+        // Lambda's elasticity saves it.
+        let slammed = FleetView {
+            iaas_free: 0,
+            iaas_capacity: 20,
+            iaas_queued_workers: 500,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(s.route(&j, &slammed), Route::Faas, "escape to Lambda");
+        // Same job with FaaS saturated too: nothing meets the deadline;
+        // minimize tardiness (the backlogged pool is still slower, so the
+        // job stays on Lambda's queue only if it finishes sooner).
+        let both_full = FleetView {
+            faas_in_use: 1_000,
+            ..slammed
+        };
+        assert_eq!(
+            s.route(&j, &both_full),
+            Route::Iaas,
+            "saturated FaaS has infinite ETA: spill"
+        );
+        // Idle pool, same deadline: cheapest side (IaaS) meets it.
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(s.route(&j, &idle), Route::Iaas);
+    }
+
+    #[test]
+    fn deadline_aware_keeps_deadline_jobs_off_spot() {
+        let mut s = DeadlineAware::new().with_spot_fraction(1.0);
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        let mut j = job(JobClass::LrHiggs);
+        assert_eq!(
+            s.route(&j, &idle),
+            Route::Spot,
+            "deadline-less job rides spot"
+        );
+        j.deadline = Some(SimTime::hours(1_000.0));
+        assert_ne!(
+            s.route(&j, &idle),
+            Route::Spot,
+            "deadline jobs never risk it"
+        );
+    }
+
+    #[test]
+    fn fair_share_weights_default_to_one_for_unknown_tenants() {
+        let s = FairShare::new().with_weight(0, 3.0);
+        assert_eq!(s.tenant_weight(0), 3.0);
+        assert_eq!(s.tenant_weight(999), 1.0, "unknown tenant id → weight 1");
+        assert_eq!(s.discipline(), QueueDiscipline::Drr);
+        assert_eq!(DeadlineAware::new().discipline(), QueueDiscipline::Edf);
+        assert_eq!(AllFaas.discipline(), QueueDiscipline::Fifo);
+    }
+
+    #[test]
+    fn spot_pick_matches_fraction_and_is_stable() {
+        assert!(!spot_pick(5, 0.0));
+        assert!(spot_pick(5, 1.0));
+        let n = (0..10_000).filter(|&i| spot_pick(i, 0.3)).count();
+        assert!(
+            (2_700..3_300).contains(&n),
+            "~30% of ids picked, got {n} of 10000"
+        );
+        assert_eq!(spot_pick(123, 0.3), spot_pick(123, 0.3));
     }
 
     #[test]

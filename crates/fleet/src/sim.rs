@@ -1,27 +1,34 @@
 //! The fleet simulator: an event-driven loop over the shared
-//! [`EventQueue`], driving arrivals through a [`Scheduler`] onto the two
+//! [`EventQueue`], driving arrivals through a [`Scheduler`] onto the three
 //! platform models until every job completes.
 //!
 //! Job service times come from the §5.3 analytical model (minus its
 //! single-job startup terms — the fleet charges the *actual* startup it
-//! simulates: warm/cold starts on FaaS, dispatch or queueing on IaaS), so a
-//! thousand-job fleet simulates in host milliseconds.
+//! simulates: warm/cold starts on FaaS, dispatch or queueing on IaaS, boot
+//! plus preemption restarts on spot), so a thousand-job fleet simulates in
+//! host milliseconds.
+//!
+//! Admission queues obey the scheduler's [`QueueDiscipline`]: FIFO, EDF
+//! (earliest deadline first), or deficit round-robin across tenants by
+//! weighted service — the fair-share quota enforcement point.
 
-use crate::job::JobRequest;
-use crate::metrics::{FleetMetrics, JobRecord};
-use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool};
-use crate::scheduler::{FleetView, Route, Scheduler};
+use crate::job::{JobRequest, TenantId};
+use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
+use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
+use crate::scheduler::{FleetView, QueueDiscipline, Route, Scheduler};
 use crate::workload::Trace;
 use lml_analytic::constants;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, AnalyticParams, Scaling};
 use lml_sim::{Cost, EventQueue, SimTime};
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 
-/// Fleet-wide configuration: the two platforms and their channel cases.
+/// Fleet-wide configuration: the three platforms and their channel cases.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
     pub faas: FaasConfig,
     pub iaas: IaasConfig,
+    /// The preemptible tier (only exercised when a policy routes there).
+    pub spot: SpotConfig,
     /// Analytical channel/pricing case for FaaS jobs (default: S3, 3 GB).
     pub faas_case: AnalyticCase,
     /// Analytical case for IaaS jobs (default: t2.medium network).
@@ -33,6 +40,7 @@ impl Default for FleetConfig {
         FleetConfig {
             faas: FaasConfig::default(),
             iaas: IaasConfig::default(),
+            spot: SpotConfig::default(),
             faas_case: AnalyticCase::faas_s3(),
             iaas_case: AnalyticCase::iaas_t2(),
         }
@@ -58,13 +66,19 @@ enum Event {
     FaasDone(usize),
     /// Job `i` finishes on IaaS.
     IaasDone(usize),
+    /// Job `i` finishes on spot.
+    SpotDone(usize),
+    /// The spot market reclaims job `i`'s instances mid-flight.
+    SpotPreempted(usize),
     /// A batch of `k` IaaS instances finished booting.
     Provisioned(usize),
     /// Check whether idle IaaS capacity above the floor should be released.
     IdleCheck,
 }
 
-/// Mutable per-job state built up during the run.
+/// Mutable per-job state built up during the run. The queue/startup/run
+/// components accumulate across spot preemption restarts, so
+/// `queue + startup + run` always equals finish − submit.
 #[derive(Debug, Clone, Copy)]
 struct JobState {
     route: Route,
@@ -73,7 +87,15 @@ struct JobState {
     run: SimTime,
     warm_hits: usize,
     cost: Cost,
+    preemptions: u32,
     done: bool,
+    /// When the job last became ready to start (submission, or the moment
+    /// a preemption threw it back).
+    ready_since: SimTime,
+    /// Launch bookkeeping of the in-flight spot attempt.
+    attempt_start: SimTime,
+    attempt_boot: SimTime,
+    attempt_run: SimTime,
 }
 
 /// All simulator state, threaded through the event handlers.
@@ -82,24 +104,33 @@ struct Fleet<'a> {
     jobs: &'a [JobRequest],
     faas: FaasRegion,
     iaas: IaasPool,
+    spot: SpotTier,
     state: Vec<JobState>,
     events: EventQueue<Event>,
-    faas_queue: VecDeque<usize>,
-    iaas_queue: VecDeque<usize>,
+    faas_queue: Vec<usize>,
+    iaas_queue: Vec<usize>,
+    /// Weighted-service ledger behind the deficit-round-robin discipline:
+    /// worker-seconds of run time started so far, per tenant.
+    tenant_service: BTreeMap<TenantId, f64>,
 }
 
 impl<'a> Fleet<'a> {
-    fn new(cfg: &'a FleetConfig, jobs: &'a [JobRequest]) -> Self {
+    fn new(cfg: &'a FleetConfig, jobs: &'a [JobRequest], seed: u64) -> Self {
         let state = jobs
             .iter()
-            .map(|_| JobState {
+            .map(|j| JobState {
                 route: Route::Faas,
                 queue: SimTime::ZERO,
                 startup: SimTime::ZERO,
                 run: SimTime::ZERO,
                 warm_hits: 0,
                 cost: Cost::ZERO,
+                preemptions: 0,
                 done: false,
+                ready_since: j.submit,
+                attempt_start: SimTime::ZERO,
+                attempt_boot: SimTime::ZERO,
+                attempt_run: SimTime::ZERO,
             })
             .collect();
         Fleet {
@@ -107,14 +138,16 @@ impl<'a> Fleet<'a> {
             jobs,
             faas: FaasRegion::new(cfg.faas),
             iaas: IaasPool::new(cfg.iaas),
+            spot: SpotTier::new(cfg.spot, seed),
             state,
             events: EventQueue::new(),
-            faas_queue: VecDeque::new(),
-            iaas_queue: VecDeque::new(),
+            faas_queue: Vec::new(),
+            iaas_queue: Vec::new(),
+            tenant_service: BTreeMap::new(),
         }
     }
 
-    fn queued_workers(q: &VecDeque<usize>, jobs: &[JobRequest]) -> usize {
+    fn queued_workers(q: &[usize], jobs: &[JobRequest]) -> usize {
         q.iter().map(|&i| jobs[i].workers).sum()
     }
 
@@ -130,6 +163,44 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// Credit a started job's service to its tenant (the DRR ledger).
+    fn credit_service(&mut self, i: usize, run: SimTime) {
+        let j = &self.jobs[i];
+        *self.tenant_service.entry(j.tenant).or_insert(0.0) += j.workers as f64 * run.as_secs();
+    }
+
+    /// Position in `q` of the job the discipline admits next, or `None` if
+    /// the queue is empty. All orders are deterministic: ties break by
+    /// submission index.
+    fn pick_pos(&self, q: &[usize], sched: &dyn Scheduler) -> Option<usize> {
+        if q.is_empty() {
+            return None;
+        }
+        match sched.discipline() {
+            QueueDiscipline::Fifo => Some(0),
+            QueueDiscipline::Edf => q
+                .iter()
+                .enumerate()
+                .min_by(|&(_, &a), &(_, &b)| {
+                    let da = self.jobs[a].deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    let db = self.jobs[b].deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    da.total_cmp(&db).then(a.cmp(&b))
+                })
+                .map(|(pos, _)| pos),
+            QueueDiscipline::Drr => q
+                .iter()
+                .enumerate()
+                .min_by(|&(_, &a), &(_, &b)| {
+                    let norm = |i: usize| {
+                        let t = self.jobs[i].tenant;
+                        self.tenant_service.get(&t).copied().unwrap_or(0.0) / sched.tenant_weight(t)
+                    };
+                    norm(a).total_cmp(&norm(b)).then(a.cmp(&b))
+                })
+                .map(|(pos, _)| pos),
+        }
+    }
+
     /// Try to begin job `i` on FaaS at `now`; schedules its completion.
     fn start_faas(&mut self, i: usize, now: SimTime) -> bool {
         let job = &self.jobs[i];
@@ -138,14 +209,15 @@ impl<'a> Fleet<'a> {
                 let p = job.class.profile();
                 let run = faas_run(&p, &self.cfg.faas_case, job.workers);
                 let s = &mut self.state[i];
-                s.queue = now - job.submit;
-                s.startup = startup;
-                s.run = run;
+                s.queue += now - s.ready_since;
+                s.startup += startup;
+                s.run += run;
                 s.warm_hits = warm_hits;
                 // GB-second billing of the execution (Lambda does not bill
                 // provisioning time; the §5.3 cost formula is the same).
-                s.cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
+                s.cost += faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
                 self.events.push(now + startup + run, Event::FaasDone(i));
+                self.credit_service(i, run);
                 true
             }
             None => false,
@@ -162,40 +234,79 @@ impl<'a> Fleet<'a> {
         let run = iaas_run(&p, &self.cfg.iaas_case, job.workers);
         let startup = self.cfg.iaas.dispatch_latency;
         let s = &mut self.state[i];
-        s.queue = now - job.submit;
-        s.startup = startup;
-        s.run = run;
+        s.queue += now - s.ready_since;
+        s.startup += startup;
+        s.run += run;
         // Attributed share of the pool bill; the pool's own integral is
         // authoritative for totals.
-        s.cost = Cost::usd(
+        s.cost += Cost::usd(
             job.workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
         );
         self.events.push(now + startup + run, Event::IaasDone(i));
+        self.credit_service(i, run);
         true
     }
 
-    /// Strict FIFO drain of the FaaS admission queue.
-    fn drain_faas(&mut self, now: SimTime) {
-        while let Some(&i) = self.faas_queue.front() {
+    /// Launch (or relaunch after preemption) job `i` on the spot tier.
+    /// Spot capacity is market-deep, so launches never queue — but the
+    /// sampled preemption clock may reclaim the cluster mid-run.
+    fn start_spot(&mut self, i: usize, now: SimTime) {
+        let job = &self.jobs[i];
+        let (boot, preempt_after) = self.spot.start(job.workers);
+        let p = job.class.profile();
+        let run = iaas_run(&p, &self.cfg.iaas_case, job.workers);
+        let s = &mut self.state[i];
+        s.queue += now - s.ready_since;
+        s.ready_since = now;
+        s.attempt_start = now;
+        s.attempt_boot = boot;
+        s.attempt_run = run;
+        if preempt_after < boot + run {
+            self.events
+                .push(now + preempt_after, Event::SpotPreempted(i));
+        } else {
+            self.events.push(now + boot + run, Event::SpotDone(i));
+        }
+        // Restart attempts consume (and are credited) capacity too.
+        self.credit_service(i, run);
+    }
+
+    /// Attributed spot cost of holding `workers` instances for `held` —
+    /// the tier's own pricing, so attribution and bill can't diverge.
+    fn spot_attributed(&self, workers: usize, held: SimTime) -> Cost {
+        self.spot.price_of(workers, held)
+    }
+
+    /// Drain the FaaS admission queue in discipline order. The picked job
+    /// blocks the queue if it doesn't fit (strict priority — no backfill
+    /// past an earlier deadline or a shorter-served tenant).
+    fn drain_faas(&mut self, now: SimTime, sched: &dyn Scheduler) {
+        while let Some(pos) = self.pick_pos(&self.faas_queue, sched) {
+            let i = self.faas_queue[pos];
             if self.start_faas(i, now) {
-                self.faas_queue.pop_front();
+                self.faas_queue.remove(pos);
             } else {
                 break;
             }
         }
     }
 
-    /// FIFO + backfill drain: start any queued job that fits, front first,
-    /// letting smaller jobs overtake a blocked head-of-line job. Jobs still
-    /// queued afterwards re-trigger the autoscaler — backfill may have
-    /// consumed capacity that an earlier scale-up had counted toward them.
-    fn drain_iaas(&mut self, now: SimTime) {
-        let pending: Vec<usize> = self.iaas_queue.drain(..).collect();
-        for i in pending {
+    /// Discipline-ordered drain with backfill: every queued job is tried
+    /// once per drain (in pick order), so a blocked wide job does not
+    /// strand idle instances; leftovers re-trigger the autoscaler.
+    fn drain_iaas(&mut self, now: SimTime, sched: &dyn Scheduler) {
+        let mut pending = std::mem::take(&mut self.iaas_queue);
+        let mut blocked = Vec::new();
+        while let Some(pos) = self.pick_pos(&pending, sched) {
+            let i = pending.remove(pos);
             if !self.start_iaas(i, now) {
-                self.iaas_queue.push_back(i);
+                blocked.push(i);
             }
         }
+        // Restore arrival order (indices are submission-ordered) so FIFO
+        // keeps its original semantics.
+        blocked.sort_unstable();
+        self.iaas_queue = blocked;
         if !self.iaas_queue.is_empty() {
             self.autoscale(now);
         }
@@ -213,27 +324,65 @@ impl<'a> Fleet<'a> {
     }
 
     /// Handle every event type except `Arrive` (which needs the external
-    /// scheduler and is driven directly by [`simulate`]).
-    fn handle(&mut self, now: SimTime, ev: Event) {
+    /// scheduler's routing decision and is driven directly by [`simulate`]).
+    fn handle(&mut self, now: SimTime, ev: Event, sched: &dyn Scheduler) {
         match ev {
             Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
             Event::FaasDone(i) => {
                 self.faas.release(now, self.jobs[i].workers);
                 self.state[i].done = true;
-                self.drain_faas(now);
+                self.drain_faas(now, sched);
             }
             Event::IaasDone(i) => {
                 self.iaas.finish(now, self.jobs[i].workers);
                 self.state[i].done = true;
-                self.drain_iaas(now);
+                self.drain_iaas(now, sched);
                 if self.iaas_queue.is_empty() {
                     self.events
                         .push(now + self.cfg.iaas.idle_after, Event::IdleCheck);
                 }
             }
+            Event::SpotDone(i) => {
+                let workers = self.jobs[i].workers;
+                let held = self.state[i].attempt_boot + self.state[i].attempt_run;
+                self.spot.finish(workers, held);
+                let cost = self.spot_attributed(workers, held);
+                let s = &mut self.state[i];
+                s.startup += s.attempt_boot;
+                s.run += s.attempt_run;
+                s.cost += cost;
+                s.done = true;
+            }
+            Event::SpotPreempted(i) => {
+                let workers = self.jobs[i].workers;
+                let held = now - self.state[i].attempt_start;
+                self.spot.preempted(workers, held);
+                let cost = self.spot_attributed(workers, held);
+                let s = &mut self.state[i];
+                s.preemptions += 1;
+                // The held time splits into boot and (lost) partial run.
+                if held <= s.attempt_boot {
+                    s.startup += held;
+                } else {
+                    s.startup += s.attempt_boot;
+                    s.run += held - s.attempt_boot;
+                }
+                s.cost += cost;
+                s.ready_since = now;
+                // Progress is lost: requeue on a fresh spot cluster, or —
+                // once the retry budget is spent — fall back to the
+                // reserved pool (the record keeps its Spot route and its
+                // preemption history).
+                if self.state[i].preemptions <= self.cfg.spot.max_retries {
+                    self.start_spot(i, now);
+                } else {
+                    self.iaas_queue.push(i);
+                    self.drain_iaas(now, sched);
+                }
+            }
             Event::Provisioned(k) => {
                 self.iaas.provisioned(now, k);
-                self.drain_iaas(now);
+                self.drain_iaas(now, sched);
             }
             Event::IdleCheck => {
                 if self.iaas_queue.is_empty() {
@@ -251,7 +400,7 @@ pub fn simulate(
     scheduler: &mut dyn Scheduler,
     seed: u64,
 ) -> FleetMetrics {
-    let mut fleet = Fleet::new(cfg, &trace.jobs);
+    let mut fleet = Fleet::new(cfg, &trace.jobs, seed);
     for (i, j) in trace.jobs.iter().enumerate() {
         fleet.events.push(j.submit, Event::Arrive(i));
     }
@@ -272,32 +421,44 @@ pub fn simulate(
                         fleet.jobs[i].workers <= cfg.faas.concurrency_limit,
                         "job {i} routed to FaaS but wider than the account concurrency limit"
                     );
-                    if !fleet.faas_queue.is_empty() || !fleet.start_faas(i, now) {
-                        fleet.faas_queue.push_back(i);
-                    }
+                    fleet.faas_queue.push(i);
+                    fleet.drain_faas(now, scheduler);
                 }
                 Route::Iaas => {
                     assert!(
                         fleet.jobs[i].workers <= cfg.iaas.max_instances,
                         "job {i} routed to IaaS but wider than the autoscaling ceiling"
                     );
-                    if !fleet.start_iaas(i, now) {
-                        fleet.iaas_queue.push_back(i);
-                        fleet.autoscale(now);
-                    } else if !fleet.iaas_queue.is_empty() {
-                        // This arrival backfilled past queued jobs and may
-                        // have consumed capacity counted toward them.
-                        fleet.autoscale(now);
-                    }
+                    fleet.iaas_queue.push(i);
+                    fleet.drain_iaas(now, scheduler);
+                }
+                Route::Spot => {
+                    assert!(
+                        fleet.jobs[i].workers <= cfg.iaas.max_instances,
+                        "job {i} routed to spot but wider than the reserved pool it may \
+                         fall back to after {} preemptions",
+                        cfg.spot.max_retries
+                    );
+                    fleet.start_spot(i, now);
                 }
             }
         } else {
-            fleet.handle(now, ev);
+            fleet.handle(now, ev, scheduler);
         }
     }
 
     fleet.iaas.finalize(last_time);
     debug_assert!(fleet.state.iter().all(|s| s.done), "all jobs must complete");
+
+    // The provisioned floor bills over the makespan (last job finish), not
+    // over `last_time` — the trailing IaaS IdleCheck event would otherwise
+    // add phantom idle_after seconds only to policies that touch the pool.
+    let makespan = trace
+        .jobs
+        .iter()
+        .zip(&fleet.state)
+        .map(|(j, s)| j.submit + s.queue + s.startup + s.run)
+        .fold(SimTime::ZERO, SimTime::max);
 
     let records: Vec<JobRecord> = trace
         .jobs
@@ -308,11 +469,14 @@ pub fn simulate(
             class: j.class,
             route: s.route,
             workers: j.workers,
+            tenant: j.tenant,
             submit: j.submit,
+            deadline: j.deadline,
             queue: s.queue,
             startup: s.startup,
             run: s.run,
             warm_hits: s.warm_hits,
+            preemptions: s.preemptions,
             cost: s.cost,
         })
         .collect();
@@ -321,12 +485,18 @@ pub fn simulate(
         scheduler.name(),
         seed,
         records,
-        fleet.iaas.cost(),
-        fleet.faas.warm_hit_rate(),
-        fleet.faas.cold_starts(),
-        fleet.iaas.utilization(),
-        fleet.iaas.peak_capacity(),
-        fleet.faas.peak_concurrency(),
+        PlatformTotals {
+            iaas_cost: fleet.iaas.cost(),
+            warm_hit_rate: fleet.faas.warm_hit_rate(),
+            cold_starts: fleet.faas.cold_starts(),
+            iaas_utilization: fleet.iaas.utilization(),
+            iaas_peak_instances: fleet.iaas.peak_capacity(),
+            faas_peak_concurrency: fleet.faas.peak_concurrency(),
+            spot_cost: fleet.spot.cost(),
+            preemptions: fleet.spot.preemptions(),
+            faas_provisioned_cost: fleet.faas.provisioned_cost(makespan),
+            spot_peak_instances: fleet.spot.peak_in_use(),
+        },
     )
 }
 
@@ -334,8 +504,8 @@ pub fn simulate(
 mod tests {
     use super::*;
     use crate::job::JobClass;
-    use crate::scheduler::{AllFaas, AllIaas, CostAware};
-    use crate::workload::{ArrivalProcess, JobMix, Trace};
+    use crate::scheduler::{AllFaas, AllIaas, CostAware, DeadlineAware, FairShare};
+    use crate::workload::{ArrivalProcess, JobMix, TenantSpec, Trace};
 
     fn small_trace(n: usize, rate: f64, seed: u64) -> Trace {
         Trace::generate(
@@ -354,6 +524,8 @@ mod tests {
             ("all-faas", &mut AllFaas as &mut dyn Scheduler),
             ("all-iaas", &mut AllIaas),
             ("cost-aware", &mut CostAware::new()),
+            ("deadline-aware", &mut DeadlineAware::new()),
+            ("fair-share", &mut FairShare::new()),
         ] {
             let m = simulate(&trace, &cfg, sched, 42);
             assert_eq!(m.n_jobs, 100, "{name}");
@@ -423,5 +595,146 @@ mod tests {
         let m = simulate(&trace, &FleetConfig::default(), &mut AllFaas, 1);
         assert_eq!(m.n_jobs, 0);
         assert_eq!(m.total_cost().as_usd() + m.latency.p99, 0.0);
+        assert_eq!(m.deadline_hit_rate(), 1.0, "vacuously met");
+        assert_eq!(m.fairness, 1.0, "vacuously fair");
+    }
+
+    /// All spot-routed jobs complete despite preemptions, preemptions are
+    /// counted, and the spot bill is cheaper than the equivalent on-demand
+    /// attribution.
+    #[test]
+    fn spot_jobs_survive_preemption_and_cost_less() {
+        let mut cfg = FleetConfig::default();
+        // Aggressive market: ~17 min mean per instance, 10-wide jobs die
+        // every ~100 s — the convex zoo still finishes.
+        cfg.spot.mean_time_to_preempt = SimTime::secs(1_000.0);
+        let trace = small_trace(120, 0.5, 19);
+        let mut sched = FairShare::new().with_spot_fraction(1.0);
+        let m = simulate(&trace, &cfg, &mut sched, 19);
+        assert_eq!(m.n_jobs, 120);
+        assert!(m.jobs_on_spot > 0, "spot fraction 1.0 must route to spot");
+        assert!(m.preemptions > 0, "aggressive market must preempt someone");
+        let preempted: u32 = m.records.iter().map(|r| r.preemptions).sum();
+        assert_eq!(preempted as u64, m.preemptions, "per-job counts add up");
+        // The per-job attribution covers at least the tier's bill (records
+        // of jobs that fell back to the pool also carry an IaaS share).
+        assert!(m.spot_cost.as_usd() > 0.0);
+        let attributed: f64 = m
+            .records
+            .iter()
+            .filter(|r| r.route == Route::Spot)
+            .map(|r| r.cost.as_usd())
+            .sum();
+        assert!(
+            attributed >= m.spot_cost.as_usd() * (1.0 - 1e-9),
+            "attribution {attributed} vs tier bill {}",
+            m.spot_cost.as_usd()
+        );
+    }
+
+    /// On a hostile market every attempt dies fast; jobs exhaust the retry
+    /// budget, fall back to the reserved pool, and still all complete.
+    #[test]
+    fn hostile_spot_market_falls_back_to_reserved_pool() {
+        let mut cfg = FleetConfig::default();
+        cfg.spot.mean_time_to_preempt = SimTime::secs(50.0); // 10-wide: ~5 s
+        cfg.spot.max_retries = 2;
+        let trace = small_trace(60, 0.5, 31);
+        let mut sched = FairShare::new().with_spot_fraction(1.0);
+        let m = simulate(&trace, &cfg, &mut sched, 31);
+        assert_eq!(m.n_jobs, 60, "every job completes despite the market");
+        assert!(m.preemptions > 0);
+        for r in &m.records {
+            assert!(
+                r.preemptions <= cfg.spot.max_retries + 1,
+                "job {} preempted {} times, budget is {}",
+                r.id,
+                r.preemptions,
+                cfg.spot.max_retries
+            );
+            // Accounting stays consistent across restarts and fallback.
+            assert!(
+                (r.finish() - r.submit - r.latency()).as_secs().abs() < 1e-6,
+                "latency components must tile submit→finish for job {}",
+                r.id
+            );
+        }
+        assert!(
+            m.iaas_cost.as_usd() > 0.0,
+            "fallback work lands on the pool"
+        );
+    }
+
+    /// The preemption process is part of the deterministic seed contract.
+    #[test]
+    fn spot_preemptions_are_deterministic() {
+        let mut cfg = FleetConfig::default();
+        cfg.spot.mean_time_to_preempt = SimTime::secs(2_000.0);
+        let run = |seed: u64| {
+            let trace = small_trace(100, 0.5, seed);
+            let mut sched = FairShare::new().with_spot_fraction(0.8);
+            simulate(&trace, &cfg, &mut sched, seed).to_json()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds give different markets");
+    }
+
+    /// Provisioned concurrency converts cold starts to warm starts at a
+    /// trickle arrival rate — and bills for it.
+    #[test]
+    fn provisioned_concurrency_buys_warm_starts() {
+        let trace = small_trace(60, 0.002, 23); // pools go stale between jobs
+        let cold_cfg = FleetConfig::default();
+        let cold = simulate(&trace, &cold_cfg, &mut AllFaas, 23);
+        let mut warm_cfg = FleetConfig::default();
+        warm_cfg.faas.provisioned_concurrency = 100;
+        let warm = simulate(&trace, &warm_cfg, &mut AllFaas, 23);
+        assert!(
+            warm.warm_hit_rate > cold.warm_hit_rate + 0.3,
+            "provisioned floor must lift warm hits: {} vs {}",
+            warm.warm_hit_rate,
+            cold.warm_hit_rate
+        );
+        assert!(warm.startup.p99 < cold.startup.p99);
+        assert_eq!(cold.faas_provisioned_cost.as_usd(), 0.0);
+        assert!(warm.faas_provisioned_cost.as_usd() > 0.0);
+    }
+
+    /// EDF admission: on a capacity-capped pool the deadline jobs overtake
+    /// deadline-less ones in the queue.
+    #[test]
+    fn edf_discipline_reorders_the_queue() {
+        let mut cfg = FleetConfig::default();
+        cfg.iaas.min_instances = 10;
+        cfg.iaas.max_instances = 30; // persistent backlog at rate 2/s
+        let spec = TenantSpec {
+            n_tenants: 1,
+            deadline_frac: 0.5,
+            deadline_slack: 4.0,
+        };
+        let trace = Trace::generate_multi(
+            ArrivalProcess::Poisson { rate: 2.0 },
+            &JobMix::only(JobClass::LrHiggs),
+            &spec,
+            30,
+            13,
+        );
+        // EDF queues deadline jobs first: their mean queue wait is lower.
+        let m = simulate(&trace, &cfg, &mut DeadlineAware::new(), 13);
+        let mean = |with_deadline: bool| {
+            let rs: Vec<f64> = m
+                .records
+                .iter()
+                .filter(|r| r.deadline.is_some() == with_deadline)
+                .map(|r| r.queue.as_secs())
+                .collect();
+            rs.iter().sum::<f64>() / rs.len().max(1) as f64
+        };
+        assert!(
+            mean(true) < mean(false),
+            "deadline jobs must wait less: {} vs {}",
+            mean(true),
+            mean(false)
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! [`Trace::to_text`], so a measured production trace can be swapped in
 //! without touching the simulator.
 
-use crate::job::{JobClass, JobRequest};
+use crate::job::{JobClass, JobRequest, TenantId};
 use lml_sim::{Pcg64, SimTime};
 
 /// How job submissions arrive over time.
@@ -120,6 +120,28 @@ impl JobMix {
     }
 }
 
+/// Tenant population and deadline shape of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// Tenants drawing jobs (uniformly). Tenant ids are `0..n_tenants`.
+    pub n_tenants: u32,
+    /// Fraction of jobs submitted with a deadline.
+    pub deadline_frac: f64,
+    /// Deadline slack: `deadline = submit + slack × nominal runtime` of the
+    /// job's class (see [`JobClass::nominal_runtime`]).
+    pub deadline_slack: f64,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            n_tenants: 1,
+            deadline_frac: 0.0,
+            deadline_slack: 3.0,
+        }
+    }
+}
+
 /// A replayable list of job submissions, sorted by submission time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -127,42 +149,84 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Generate `n_jobs` arrivals from the process and mix. Same seed →
-    /// identical trace, byte for byte.
+    /// Generate `n_jobs` single-tenant, deadline-less arrivals from the
+    /// process and mix. Same seed → identical trace, byte for byte.
     pub fn generate(process: ArrivalProcess, mix: &JobMix, n_jobs: usize, seed: u64) -> Trace {
+        Trace::generate_multi(process, mix, &TenantSpec::default(), n_jobs, seed)
+    }
+
+    /// Generate a multi-tenant trace: arrivals as in [`Trace::generate`],
+    /// tenants drawn uniformly from the spec's population, and a
+    /// `deadline_frac` share of jobs carrying a deadline at
+    /// `deadline_slack ×` the class's nominal runtime.
+    pub fn generate_multi(
+        process: ArrivalProcess,
+        mix: &JobMix,
+        tenants: &TenantSpec,
+        n_jobs: usize,
+        seed: u64,
+    ) -> Trace {
+        assert!(tenants.n_tenants >= 1, "need at least one tenant");
+        assert!(
+            (0.0..=1.0).contains(&tenants.deadline_frac),
+            "deadline_frac must be in [0, 1]"
+        );
+        assert!(tenants.deadline_slack > 0.0, "deadline slack must be > 0");
         let mut rng = Pcg64::new(seed ^ 0xF1EE7);
         let mut t = 0.0;
         let mut jobs = Vec::with_capacity(n_jobs);
         for id in 0..n_jobs {
             t += process.next_gap(t, &mut rng);
             let class = mix.sample(&mut rng);
+            let submit = SimTime::secs(t);
+            let tenant = if tenants.n_tenants > 1 {
+                rng.below(tenants.n_tenants as u64) as TenantId
+            } else {
+                0
+            };
+            let deadline = if tenants.deadline_frac > 0.0 && rng.coin(tenants.deadline_frac) {
+                Some(submit + class.nominal_runtime() * tenants.deadline_slack)
+            } else {
+                None
+            };
             jobs.push(JobRequest {
                 id: id as u64,
                 class,
-                submit: SimTime::secs(t),
+                submit,
                 workers: class.default_workers(),
+                tenant,
+                deadline,
             });
         }
         Trace { jobs }
     }
 
-    /// Serialize to the replayable text format: one `time class workers`
-    /// line per job, times in shortest-roundtrip notation.
+    /// Serialize to the replayable text format: one
+    /// `time class workers tenant deadline` line per job, times in shortest
+    /// roundtrip notation, `-` for "no deadline".
     pub fn to_text(&self) -> String {
-        let mut out = String::from("# lml-fleet trace v1: submit_secs\tclass\tworkers\n");
+        let mut out =
+            String::from("# lml-fleet trace v2: submit_secs\tclass\tworkers\ttenant\tdeadline\n");
         for j in &self.jobs {
+            let deadline = match j.deadline {
+                Some(d) => format!("{:?}", d.as_secs()),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:?}\t{}\t{}\n",
+                "{:?}\t{}\t{}\t{}\t{}\n",
                 j.submit.as_secs(),
                 j.class.name(),
-                j.workers
+                j.workers,
+                j.tenant,
+                deadline
             ));
         }
         out
     }
 
     /// Parse the text format back into a trace (ids re-assigned in file
-    /// order). Round-trips [`Trace::to_text`] exactly.
+    /// order). Round-trips [`Trace::to_text`] exactly; also accepts the
+    /// three-column v1 format (tenant 0, no deadline).
     pub fn from_text(text: &str) -> Result<Trace, String> {
         let mut jobs = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -170,35 +234,71 @@ impl Trace {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let t: f64 = parts
-                .next()
-                .ok_or_else(|| format!("line {}: missing time", lineno + 1))?
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 3 && parts.len() != 5 {
+                return Err(format!(
+                    "line {}: expected 3 (v1) or 5 (v2) fields, got {}",
+                    lineno + 1,
+                    parts.len()
+                ));
+            }
+            let t: f64 = parts[0]
                 .parse()
                 .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
-            let class = parts
-                .next()
-                .and_then(JobClass::parse)
-                .ok_or_else(|| format!("line {}: unknown job class", lineno + 1))?;
-            let workers: usize = parts
-                .next()
-                .ok_or_else(|| format!("line {}: missing workers", lineno + 1))?
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("line {}: time must be finite and >= 0", lineno + 1));
+            }
+            let class = JobClass::parse(parts[1])
+                .ok_or_else(|| format!("line {}: unknown job class {:?}", lineno + 1, parts[1]))?;
+            let workers: usize = parts[2]
                 .parse()
                 .map_err(|e| format!("line {}: bad workers: {e}", lineno + 1))?;
             if workers == 0 {
                 return Err(format!("line {}: zero workers", lineno + 1));
             }
+            let (tenant, deadline) = if parts.len() == 5 {
+                let tenant: TenantId = parts[3]
+                    .parse()
+                    .map_err(|e| format!("line {}: bad tenant id: {e}", lineno + 1))?;
+                let deadline = if parts[4] == "-" {
+                    None
+                } else {
+                    let d: f64 = parts[4]
+                        .parse()
+                        .map_err(|e| format!("line {}: bad deadline: {e}", lineno + 1))?;
+                    if !d.is_finite() || d < t {
+                        return Err(format!(
+                            "line {}: deadline must be finite and >= submit time",
+                            lineno + 1
+                        ));
+                    }
+                    Some(SimTime::secs(d))
+                };
+                (tenant, deadline)
+            } else {
+                (0, None)
+            };
             jobs.push(JobRequest {
                 id: jobs.len() as u64,
                 class,
                 submit: SimTime::secs(t),
                 workers,
+                tenant,
+                deadline,
             });
         }
         if !jobs.windows(2).all(|w| w[0].submit <= w[1].submit) {
             return Err("trace not sorted by submission time".into());
         }
         Ok(Trace { jobs })
+    }
+
+    /// Tenant ids appearing in the trace, ascending and deduplicated.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut ts: Vec<TenantId> = self.jobs.iter().map(|j| j.tenant).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
     }
 
     /// Submission time of the last job.
@@ -276,6 +376,56 @@ mod tests {
         assert!(Trace::from_text("abc\tlr-higgs\t10").is_err());
         assert!(Trace::from_text("1.0\tlr-higgs\t0").is_err());
         assert!(Trace::from_text("5.0\tlr-higgs\t10\n1.0\tlr-higgs\t10").is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_v2_fields() {
+        // Wrong arity (4 fields is neither v1 nor v2).
+        assert!(Trace::from_text("1.0\tlr-higgs\t10\t0").is_err());
+        // Non-numeric / negative-looking tenant id.
+        assert!(Trace::from_text("1.0\tlr-higgs\t10\tbob\t-").is_err());
+        assert!(Trace::from_text("1.0\tlr-higgs\t10\t-1\t-").is_err());
+        // Bad deadlines: unparsable, non-finite, before submission.
+        assert!(Trace::from_text("1.0\tlr-higgs\t10\t0\tsoon").is_err());
+        assert!(Trace::from_text("1.0\tlr-higgs\t10\t0\tinf").is_err());
+        assert!(Trace::from_text("10.0\tlr-higgs\t10\t0\t5.0").is_err());
+        // Bad submit times.
+        assert!(Trace::from_text("-1.0\tlr-higgs\t10").is_err());
+        assert!(Trace::from_text("nan\tlr-higgs\t10").is_err());
+    }
+
+    #[test]
+    fn from_text_accepts_v1_and_empty_traces() {
+        let v1 = Trace::from_text("# v1 comment\n1.0\tlr-higgs\t10\n").unwrap();
+        assert_eq!(v1.jobs[0].tenant, 0);
+        assert_eq!(v1.jobs[0].deadline, None);
+        let empty = Trace::from_text("# nothing but comments\n\n").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.horizon(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn multi_tenant_trace_roundtrips_with_deadlines() {
+        let spec = TenantSpec {
+            n_tenants: 4,
+            deadline_frac: 0.5,
+            deadline_slack: 2.0,
+        };
+        let mix = JobMix::default_mix();
+        let t = Trace::generate_multi(ArrivalProcess::Poisson { rate: 1.0 }, &mix, &spec, 300, 13);
+        assert_eq!(t.tenants(), vec![0, 1, 2, 3]);
+        let with_deadline = t.jobs.iter().filter(|j| j.deadline.is_some()).count();
+        assert!(
+            (100..=200).contains(&with_deadline),
+            "~half the jobs carry deadlines, got {with_deadline}"
+        );
+        for j in t.jobs.iter().filter(|j| j.deadline.is_some()) {
+            assert!(j.deadline.unwrap() > j.submit);
+        }
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.to_text(), text, "v2 round-trip is byte-identical");
     }
 
     #[test]

@@ -75,8 +75,8 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(out.len(), self.rows, "matvec: out length");
-        for r in 0..self.rows {
-            out[r] = dense::dot(self.row(r), x);
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dense::dot(self.row(r), x);
         }
     }
 
@@ -86,8 +86,8 @@ impl Matrix {
         assert_eq!(x.len(), self.rows, "matvec_t: x length");
         assert_eq!(out.len(), self.cols, "matvec_t: out length");
         dense::zero(out);
-        for r in 0..self.rows {
-            dense::axpy(x[r], self.row(r), out);
+        for (r, &xr) in x.iter().enumerate() {
+            dense::axpy(xr, self.row(r), out);
         }
     }
 
@@ -96,8 +96,8 @@ impl Matrix {
     pub fn rank1_update(&mut self, a: f64, u: &[f64], v: &[f64]) {
         assert_eq!(u.len(), self.rows, "rank1: u length");
         assert_eq!(v.len(), self.cols, "rank1: v length");
-        for r in 0..self.rows {
-            let s = a * u[r];
+        for (r, &ur) in u.iter().enumerate() {
+            let s = a * ur;
             dense::axpy(s, v, &mut self.data[r * self.cols..(r + 1) * self.cols]);
         }
     }

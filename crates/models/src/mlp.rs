@@ -39,7 +39,7 @@ impl Mlp {
             for _ in 0..fan_in * fan_out {
                 params.push(rng.normal() * std);
             }
-            params.extend(std::iter::repeat(0.0).take(fan_out)); // biases
+            params.extend(std::iter::repeat_n(0.0, fan_out)); // biases
         }
         Mlp {
             sizes: sizes.to_vec(),

@@ -53,6 +53,7 @@ pub fn grad_check<O: Objective>(model: &mut O, data: &Dataset, rows: &[usize], e
     let mut analytic = vec![0.0; dim];
     model.grad(data, rows, &mut analytic);
     let mut max_err: f64 = 0.0;
+    #[allow(clippy::needless_range_loop)] // `j` also indexes `model.params`
     for j in 0..dim {
         let orig = model.params()[j];
         model.params_mut()[j] = orig + eps;

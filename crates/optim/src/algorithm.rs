@@ -172,8 +172,12 @@ impl WorkerState {
                         // + ρ(w − z + u)
                         {
                             let w = self.model.params();
-                            for j in 0..w.len() {
-                                self.grad_buf[j] += rho * (w[j] - self.consensus[j] + self.dual[j]);
+                            for (g, ((&wj, &zj), &uj)) in self
+                                .grad_buf
+                                .iter_mut()
+                                .zip(w.iter().zip(&self.consensus).zip(&self.dual))
+                            {
+                                *g += rho * (wj - zj + uj);
                             }
                         }
                         let w = self.model.params_mut();
@@ -219,8 +223,8 @@ impl WorkerState {
                     *z = s * inv_n;
                 }
                 let w = self.model.params();
-                for j in 0..w.len() {
-                    self.dual[j] += w[j] - self.consensus[j];
+                for (d, (&wj, &zj)) in self.dual.iter_mut().zip(w.iter().zip(&self.consensus)) {
+                    *d += wj - zj;
                 }
             }
             Algorithm::Em => {

@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn display_small_amounts_get_more_digits() {
         assert_eq!(Cost::usd(0.0042).to_string(), "$0.0042");
-        assert_eq!(Cost::usd(3.14159).to_string(), "$3.14");
+        assert_eq!(Cost::usd(3.17159).to_string(), "$3.17");
         assert_eq!(Cost::ZERO.to_string(), "$0.00");
     }
 

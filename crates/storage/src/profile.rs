@@ -215,7 +215,7 @@ impl ServiceProfile {
 
     /// Fits an item of this size?
     pub fn admits(&self, bytes: ByteSize) -> bool {
-        self.max_item.map_or(true, |cap| bytes <= cap)
+        self.max_item.is_none_or(|cap| bytes <= cap)
     }
 }
 

@@ -23,7 +23,7 @@ fn main() {
         let pairs: Vec<(u32, f64)> = (0..20)
             .map(|_| {
                 let idx = rng.index(dim) as u32;
-                let v = rng.normal() + y * 0.4 * f64::from(idx % 2 == 0);
+                let v = rng.normal() + y * 0.4 * f64::from(idx.is_multiple_of(2));
                 (idx, v)
             })
             .collect();
