@@ -14,9 +14,10 @@
 use crate::tablefmt::{f, table};
 use crate::Harness;
 use lml_fleet::{
-    simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, DeadlineAware, FairShare, FleetConfig,
-    FleetMetrics, JobMix, Scheduler, TenantSpec, Trace,
+    simulate, AllFaas, AllIaas, ArrivalProcess, CheckpointPolicy, CostAware, DeadlineAware,
+    FairShare, FleetConfig, FleetMetrics, JobMix, Scheduler, TenantSpec, Trace,
 };
+use lml_sim::SimTime;
 use std::path::PathBuf;
 
 /// A policy row of the sweep: display name + fresh-scheduler factory (each
@@ -249,6 +250,87 @@ pub fn fleet_policies(h: &Harness) -> String {
     out
 }
 
+/// Where the per-run `fleet_recovery` JSON files go.
+fn recovery_out_dir() -> PathBuf {
+    std::env::var_os("LML_FLEET_RECOVERY_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet_recovery"))
+}
+
+/// `fleet_recovery`: the checkpoint-aware spot-recovery sweep — checkpoint
+/// policy × spot fraction × preemption rate on a spot-heavy fair-share
+/// fleet. Shows what epoch-granular checkpoints (priced through the S3
+/// profile) buy back from the market: lost-work-seconds collapse, resumes
+/// replace from-scratch restarts, and the bill shrinks with them. Emits
+/// one byte-stable JSON file per cell (schema `lml-fleet/metrics/v1`);
+/// the CI determinism step runs this twice and compares bytes.
+pub fn fleet_recovery(h: &Harness) -> String {
+    let n_jobs = if h.fast { 150 } else { 600 };
+    let trace = Trace::generate(
+        ArrivalProcess::Poisson { rate: 0.4 },
+        &JobMix::default_mix(),
+        n_jobs,
+        h.seed,
+    );
+    let policies = [
+        CheckpointPolicy::Never,
+        CheckpointPolicy::every(1),
+        CheckpointPolicy::every(4),
+        CheckpointPolicy::Adaptive,
+    ];
+    let spot_fracs = [0.6, 1.0];
+    let mttps = [900.0, 3_600.0];
+
+    let dir = recovery_out_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut rows = Vec::new();
+    for &mttp in &mttps {
+        for &frac in &spot_fracs {
+            for &policy in &policies {
+                let mut cfg = FleetConfig::default();
+                cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
+                cfg.checkpoint = policy;
+                let mut sched = FairShare::for_config(&cfg).with_spot_fraction(frac);
+                let m = simulate(&trace, &cfg, &mut sched, h.seed);
+                let file = dir.join(format!(
+                    "fleet-recovery-seed{}-{}-spot{}-mttp{}.json",
+                    h.seed,
+                    policy.name(),
+                    frac,
+                    mttp
+                ));
+                if let Err(e) = std::fs::write(&file, m.to_json()) {
+                    eprintln!("warning: could not write {}: {e}", file.display());
+                }
+                rows.push(vec![
+                    policy.name(),
+                    format!("{frac}"),
+                    format!("{mttp:.0}"),
+                    f(m.latency.p99),
+                    format!("{:.0}", m.lost_work.as_secs()),
+                    format!("{}", m.resumes),
+                    format!("{}", m.preemptions),
+                    format!("{}", m.checkpoint_writes),
+                    format!("{}", m.total_cost()),
+                ]);
+            }
+        }
+    }
+    let out = table(
+        &format!(
+            "fleet_recovery: {n_jobs}-job spot-heavy fleet, \
+             checkpoint policy x spot fraction x preemption rate"
+        ),
+        &[
+            "policy", "spot", "mttp s", "p99 s", "lost s", "resumes", "preempt", "ckpts", "cost",
+        ],
+        &rows,
+    );
+    println!("{out}");
+    println!("per-run JSON written to {}", dir.display());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +371,45 @@ mod tests {
         let second = std::fs::read_to_string(&one).unwrap();
         std::env::remove_var("LML_FLEET_POLICIES_OUT");
         assert_eq!(first, second, "same seed, same bytes");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn fleet_recovery_runs_and_checkpoints_beat_never() {
+        let tmp = std::env::temp_dir().join("lml_fleet_recovery_test");
+        std::env::set_var("LML_FLEET_RECOVERY_OUT", &tmp);
+        let h = Harness {
+            seed: 13,
+            fast: true,
+        };
+        let out = fleet_recovery(&h);
+        std::env::remove_var("LML_FLEET_RECOVERY_OUT");
+        assert!(out.contains("adaptive") && out.contains("every1"));
+        let read = |policy: &str| {
+            std::fs::read_to_string(
+                tmp.join(format!("fleet-recovery-seed13-{policy}-spot1-mttp900.json")),
+            )
+            .expect("JSON file written")
+        };
+        let lost = |json: &str| {
+            let key = "\"lost_work_s\":";
+            let at = json.find(key).expect("lost_work_s present") + key.len();
+            json[at..]
+                .split(',')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        let never = lost(&read("never"));
+        for policy in ["every1", "every4", "adaptive"] {
+            let l = lost(&read(policy));
+            assert!(
+                l < never,
+                "{policy} lost {l}s must be strictly below never's {never}s"
+            );
+        }
+        assert!(read("never").starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
         let _ = std::fs::remove_dir_all(&tmp);
     }
 }

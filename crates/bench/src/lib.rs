@@ -77,12 +77,14 @@ pub fn run_experiment(name: &str, h: &Harness) -> String {
         "ablations" => ablations::run_all(h),
         "fleet_scale" => fleet::fleet_scale(h),
         "fleet_policies" => fleet::fleet_policies(h),
+        "fleet_recovery" => fleet::fleet_recovery(h),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
-/// All experiment names, in paper order (fleet_scale goes beyond the paper).
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+/// All experiment names, in paper order (the fleet sweeps go beyond the
+/// paper).
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "fig6_datasets",
     "fig7_optimizers",
     "table1_channels",
@@ -102,6 +104,7 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "ablations",
     "fleet_scale",
     "fleet_policies",
+    "fleet_recovery",
 ];
 
 #[cfg(test)]

@@ -47,6 +47,20 @@ pub fn class_for_function(func: &str) -> JobClass {
     JobClass::ALL[(fnv1a(func) % JobClass::ALL.len() as u64) as usize]
 }
 
+/// Is this a header line naming the columns? The public traces (and tools
+/// that re-export them) vary the spelling — `end_timestamp_ms`,
+/// `EndTimestampMs`, `End Timestamp (ms)` — so the check normalizes case
+/// and separators on the first field rather than matching one string.
+fn is_header(line: &str) -> bool {
+    let first = line.split(',').next().unwrap_or("");
+    let normalized: String = first
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    normalized.starts_with("endtimestamp")
+}
+
 fn parse_rows(csv: &str) -> Result<Vec<AzureRow>, String> {
     let mut rows = Vec::new();
     for (lineno, line) in csv.lines().enumerate() {
@@ -54,8 +68,9 @@ fn parse_rows(csv: &str) -> Result<Vec<AzureRow>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        // Skip a header line naming the columns.
-        if line.starts_with("end_timestamp_ms") {
+        // Skip header lines (also mid-file: concatenated shards re-emit
+        // them).
+        if is_header(line) {
             continue;
         }
         let parts: Vec<&str> = line.split(',').map(str::trim).collect();
@@ -201,5 +216,53 @@ mod tests {
         assert!(parse("").unwrap().is_empty());
         let with_header = "# comment\nend_timestamp_ms,owner,app,func,duration_ms\n";
         assert!(parse(with_header).unwrap().is_empty());
+    }
+
+    #[test]
+    fn header_variants_are_all_recognized() {
+        for header in [
+            "end_timestamp_ms,owner,app,func,duration_ms",
+            "EndTimestampMs,Owner,App,Func,DurationMs",
+            "END_TIMESTAMP_MS,OWNER,APP,FUNC,DURATION_MS",
+            "End Timestamp (ms),Owner,App,Func,Duration (ms)",
+            "end-timestamp-ms,owner,app,func,duration-ms",
+        ] {
+            let csv = format!("{header}\n2000,o1,a,f1,1000\n");
+            let t = parse(&csv).unwrap_or_else(|e| panic!("{header:?}: {e}"));
+            assert_eq!(t.len(), 1, "{header:?}");
+        }
+        // A data-looking first field is NOT a header, even if later fields
+        // resemble column names.
+        assert!(parse("1000,end_timestamp_ms,a,f,10\n").is_ok());
+    }
+
+    #[test]
+    fn mid_file_headers_and_crlf_are_tolerated() {
+        // Concatenated shards: each re-emits its header; CRLF line endings
+        // survive `str::lines`.
+        let csv = "end_timestamp_ms,owner,app,func,duration_ms\r\n\
+                   2000,o1,a,f1,1000\r\n\
+                   end_timestamp_ms,owner,app,func,duration_ms\r\n\
+                   5000,o2,a,f2,1000\r\n";
+        let t = parse(csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tenants(), vec![0, 1]);
+    }
+
+    #[test]
+    fn malformed_rows_beyond_the_happy_path_are_rejected() {
+        // Non-finite timestamps and durations.
+        assert!(parse("nan,o,a,f,10\n").is_err());
+        assert!(parse("inf,o,a,f,10\n").is_err());
+        assert!(parse("1000,o,a,f,nan\n").is_err());
+        // Too many fields (a quoted comma would need real CSV parsing —
+        // fail loudly instead of mis-attributing columns).
+        assert!(parse("1000,o,a,f,10,extra\n").is_err());
+        // Whitespace-only fields count as empty ids.
+        assert!(parse("1000,   ,a,f,10\n").is_err());
+        assert!(parse("1000,o,a,   ,10\n").is_err());
+        // Errors carry the 1-based line number of the offending row.
+        let e = parse("2000,o1,a,f1,1000\nbad,o,a,f,10\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
     }
 }

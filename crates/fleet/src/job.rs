@@ -138,6 +138,12 @@ impl JobClass {
         }
     }
 
+    /// Whole epochs the lifecycle machine tracks for this class: `R`
+    /// rounded up to a whole number of epoch-granular checkpoints.
+    pub fn epoch_count(self) -> u32 {
+        (self.default_epochs().ceil() as u32).max(1)
+    }
+
     /// Nominal single-job FaaS runtime (S3 channel, default workers,
     /// startup excluded) — the yardstick deadlines are expressed against:
     /// `deadline = submit + slack × nominal_runtime`.
@@ -258,6 +264,16 @@ mod tests {
     fn zoo_links_back_to_model_and_dataset_ids() {
         assert_eq!(JobClass::LrHiggs.dataset(), DatasetId::Higgs);
         assert_eq!(JobClass::MnCifar.model(), ModelId::MobileNet);
+    }
+
+    #[test]
+    fn epoch_counts_round_up_and_stay_positive() {
+        for c in JobClass::ALL {
+            assert!(c.epoch_count() >= 1, "{c:?}");
+            assert!(c.epoch_count() as f64 >= c.default_epochs(), "{c:?}");
+        }
+        assert_eq!(JobClass::LrHiggs.epoch_count(), 6);
+        assert_eq!(JobClass::RnCifar.epoch_count(), 15);
     }
 
     #[test]

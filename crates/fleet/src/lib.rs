@@ -15,11 +15,17 @@
 //! * [`azure`] — an Azure-Functions-style CSV adapter feeding
 //!   [`Trace::from_text`] (owners → tenants, function ids → job classes);
 //!   a bundled sample lives under `crates/fleet/data/`.
+//! * [`lifecycle`] — the explicit job-lifecycle state machine
+//!   (`Queued → Booting → Running{epochs_done} → … → Done/Rejected`)
+//!   shared by all schedulers and tiers, plus [`CheckpointPolicy`] and the
+//!   epoch-granular attempt arithmetic behind checkpoint-aware spot
+//!   recovery.
 //! * [`platform`] — a FaaS region (account concurrency limit + warm pool +
 //!   pre-paid provisioned-concurrency floor), an IaaS pool (FIFO +
 //!   backfill queueing, Table 6 boot-time autoscaling, idle billing), and
-//!   a preemptible spot tier (discounted, seeded exponential preemption,
-//!   jobs requeue on reclaim).
+//!   a preemptible spot tier (discounted, per-(job, attempt) seeded
+//!   exponential preemption; preempted jobs resume from their last durable
+//!   checkpoint).
 //! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, the
 //!   cost-aware hybrid, deadline-aware EDF (spills to IaaS when FaaS can't
 //!   make the deadline), and weighted fair-share (deficit round-robin
@@ -36,6 +42,7 @@
 pub mod azure;
 pub mod job;
 pub mod json;
+pub mod lifecycle;
 pub mod metrics;
 pub mod platform;
 pub mod scheduler;
@@ -43,6 +50,7 @@ pub mod sim;
 pub mod workload;
 
 pub use job::{JobClass, JobRequest, TenantId};
+pub use lifecycle::{CheckpointPolicy, JobLifecycle};
 pub use metrics::{jain_index, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{

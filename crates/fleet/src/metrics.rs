@@ -31,8 +31,22 @@ pub struct JobRecord {
     pub warm_hits: usize,
     /// Times the spot market reclaimed this job's instances.
     pub preemptions: u32,
+    /// Attempts that restarted from a durable checkpoint instead of from
+    /// scratch.
+    pub resumes: u32,
+    /// Training seconds redone because preemptions struck past the last
+    /// durable checkpoint.
+    pub lost_work: SimTime,
+    /// Checkpoint uploads initiated (durable, interrupted, and on
+    /// successful attempts alike — all billed).
+    pub checkpoint_writes: u32,
+    /// Checkpoint dollars attributed to this job: uploads plus restores.
+    pub checkpoint_cost: Cost,
+    /// Terminal `Rejected`: admission refused (tenant budget exhausted);
+    /// the job never ran.
+    pub rejected: bool,
     /// Attributed job cost: GB-seconds on FaaS, instance-time share on
-    /// IaaS, discounted held-seconds on spot.
+    /// IaaS, discounted held-seconds on spot, plus checkpoint dollars.
     pub cost: Cost,
 }
 
@@ -46,8 +60,25 @@ impl JobRecord {
         self.submit + self.latency()
     }
 
-    /// Did the job meet its deadline? `None` when it had none.
+    /// Completion time of the last job that actually ran — the single
+    /// definition of makespan, shared by the rollup and by the simulator's
+    /// provisioned-floor billing so the two can never diverge. Rejected
+    /// jobs carry only their submit time and don't stretch it.
+    pub fn makespan(records: &[JobRecord]) -> SimTime {
+        records
+            .iter()
+            .filter(|r| !r.rejected)
+            .map(|r| r.finish())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Did the job meet its deadline? `None` when it had none or was
+    /// rejected at admission (it never ran, so "met" is undefined — the
+    /// rejection is surfaced separately).
     pub fn deadline_met(&self) -> Option<bool> {
+        if self.rejected {
+            return None;
+        }
         self.deadline.map(|d| self.finish() <= d)
     }
 }
@@ -118,7 +149,10 @@ pub struct PlatformTotals {
 #[derive(Debug, Clone, Copy)]
 pub struct TenantRow {
     pub tenant: TenantId,
+    /// Jobs submitted (including rejected ones).
     pub jobs: usize,
+    /// Jobs refused admission because the tenant's budget was exhausted.
+    pub rejected: usize,
     pub latency_p99: f64,
     pub cost: Cost,
     /// Worker-seconds of run time delivered to this tenant.
@@ -155,6 +189,17 @@ pub struct FleetMetrics {
     pub spot_peak_instances: usize,
     /// Spot preemption events across the run.
     pub preemptions: u64,
+    /// Attempts that resumed from a durable checkpoint.
+    pub resumes: u64,
+    /// Training seconds redone fleet-wide because preemptions struck past
+    /// the last durable checkpoint.
+    pub lost_work: SimTime,
+    /// Checkpoint uploads initiated fleet-wide.
+    pub checkpoint_writes: u64,
+    /// Checkpoint dollars fleet-wide (uploads plus restores).
+    pub checkpoint_cost: Cost,
+    /// Jobs refused admission on an exhausted tenant budget.
+    pub rejected_jobs: usize,
     /// Jobs that carried a deadline / that met it.
     pub deadline_jobs: usize,
     pub deadline_hits: usize,
@@ -166,17 +211,22 @@ pub struct FleetMetrics {
 
 impl FleetMetrics {
     /// Total dollars: FaaS execution + provisioned floor + reserved-pool
-    /// bill + spot bill.
+    /// bill + spot bill + checkpoint traffic.
     pub fn total_cost(&self) -> Cost {
-        self.faas_cost + self.faas_provisioned_cost + self.iaas_cost + self.spot_cost
+        self.faas_cost
+            + self.faas_provisioned_cost
+            + self.iaas_cost
+            + self.spot_cost
+            + self.checkpoint_cost
     }
 
-    /// Mean sustained throughput over the makespan, jobs/second.
+    /// Mean sustained throughput over the makespan, completed jobs/second
+    /// (rejected jobs never ran, so they don't count as served work).
     pub fn throughput(&self) -> f64 {
         if self.makespan.as_secs() == 0.0 {
             0.0
         } else {
-            self.n_jobs as f64 / self.makespan.as_secs()
+            (self.n_jobs - self.rejected_jobs) as f64 / self.makespan.as_secs()
         }
     }
 
@@ -191,30 +241,33 @@ impl FleetMetrics {
     }
 
     /// Build the rollup from per-job records and platform counters.
+    /// Latency/queue/startup quantiles and route counts cover jobs that
+    /// actually ran; budget-rejected jobs are reported separately.
     pub fn from_records(
         policy: &str,
         seed: u64,
         records: Vec<JobRecord>,
         totals: PlatformTotals,
     ) -> FleetMetrics {
-        let latency =
-            Quantiles::from_values(records.iter().map(|r| r.latency().as_secs()).collect());
-        let queue = Quantiles::from_values(records.iter().map(|r| r.queue.as_secs()).collect());
-        let startup = Quantiles::from_values(records.iter().map(|r| r.startup.as_secs()).collect());
-        let faas_cost: Cost = records
-            .iter()
+        let ran = || records.iter().filter(|r| !r.rejected);
+        let latency = Quantiles::from_values(ran().map(|r| r.latency().as_secs()).collect());
+        let queue = Quantiles::from_values(ran().map(|r| r.queue.as_secs()).collect());
+        let startup = Quantiles::from_values(ran().map(|r| r.startup.as_secs()).collect());
+        let faas_cost: Cost = ran()
             .filter(|r| r.route == Route::Faas)
             .map(|r| r.cost)
             .sum();
-        let makespan = records
-            .iter()
-            .map(|r| r.finish())
-            .fold(SimTime::ZERO, SimTime::max);
-        let deadline_jobs = records.iter().filter(|r| r.deadline.is_some()).count();
+        let makespan = JobRecord::makespan(&records);
+        let deadline_jobs = ran().filter(|r| r.deadline.is_some()).count();
         let deadline_hits = records
             .iter()
             .filter(|r| r.deadline_met() == Some(true))
             .count();
+        let rejected_jobs = records.iter().filter(|r| r.rejected).count();
+        let resumes = records.iter().map(|r| r.resumes as u64).sum();
+        let lost_work = records.iter().map(|r| r.lost_work).sum();
+        let checkpoint_writes = records.iter().map(|r| r.checkpoint_writes as u64).sum();
+        let checkpoint_cost = records.iter().map(|r| r.checkpoint_cost).sum();
         let fairness = jain_index(
             &per_tenant_rows(&records)
                 .iter()
@@ -233,9 +286,9 @@ impl FleetMetrics {
             faas_provisioned_cost: totals.faas_provisioned_cost,
             iaas_cost: totals.iaas_cost,
             spot_cost: totals.spot_cost,
-            jobs_on_faas: records.iter().filter(|r| r.route == Route::Faas).count(),
-            jobs_on_iaas: records.iter().filter(|r| r.route == Route::Iaas).count(),
-            jobs_on_spot: records.iter().filter(|r| r.route == Route::Spot).count(),
+            jobs_on_faas: ran().filter(|r| r.route == Route::Faas).count(),
+            jobs_on_iaas: ran().filter(|r| r.route == Route::Iaas).count(),
+            jobs_on_spot: ran().filter(|r| r.route == Route::Spot).count(),
             warm_hit_rate: totals.warm_hit_rate,
             cold_starts: totals.cold_starts,
             iaas_utilization: totals.iaas_utilization,
@@ -243,6 +296,11 @@ impl FleetMetrics {
             faas_peak_concurrency: totals.faas_peak_concurrency,
             spot_peak_instances: totals.spot_peak_instances,
             preemptions: totals.preemptions,
+            resumes,
+            lost_work,
+            checkpoint_writes,
+            checkpoint_cost,
+            rejected_jobs,
             deadline_jobs,
             deadline_hits,
             fairness,
@@ -250,12 +308,17 @@ impl FleetMetrics {
         }
     }
 
-    /// Per-class (count, p99 latency, mean cost) breakdown, in class order.
+    /// Per-class (count, p99 latency, mean cost) breakdown of the jobs
+    /// that ran, in class order.
     pub fn per_class(&self) -> Vec<(JobClass, usize, f64, f64)> {
         JobClass::ALL
             .into_iter()
             .filter_map(|c| {
-                let rs: Vec<&JobRecord> = self.records.iter().filter(|r| r.class == c).collect();
+                let rs: Vec<&JobRecord> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.class == c && !r.rejected)
+                    .collect();
                 if rs.is_empty() {
                     return None;
                 }
@@ -295,6 +358,7 @@ impl FleetMetrics {
                 JsonObject::new()
                     .u64("tenant", t.tenant as u64)
                     .u64("jobs", t.jobs as u64)
+                    .u64("rejected", t.rejected as u64)
                     .f64("latency_p99_s", t.latency_p99)
                     .f64("cost_usd", t.cost.as_usd())
                     .f64("service_worker_s", t.service)
@@ -329,6 +393,11 @@ impl FleetMetrics {
             .u64("faas_peak_concurrency", self.faas_peak_concurrency as u64)
             .u64("spot_peak_instances", self.spot_peak_instances as u64)
             .u64("preemptions", self.preemptions)
+            .u64("resumes", self.resumes)
+            .f64("lost_work_s", self.lost_work.as_secs())
+            .u64("checkpoint_writes", self.checkpoint_writes)
+            .f64("checkpoint_cost_usd", self.checkpoint_cost.as_usd())
+            .u64("rejected_jobs", self.rejected_jobs as u64)
             .u64("deadline_jobs", self.deadline_jobs as u64)
             .u64("deadline_hits", self.deadline_hits as u64)
             .f64("deadline_hit_rate", self.deadline_hit_rate())
@@ -341,7 +410,7 @@ impl FleetMetrics {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:>14}: {} jobs | p50 {} p95 {} p99 {} | {} total | dl {:.0}% | fair {:.2} | preempt {} | warm {:.0}% | util {:.0}%",
+            "{:>14}: {} jobs | p50 {} p95 {} p99 {} | {} total | dl {:.0}% | fair {:.2} | preempt {} resume {} lost {} | warm {:.0}% | util {:.0}%",
             self.policy,
             self.n_jobs,
             SimTime::secs(self.latency.p50),
@@ -351,6 +420,8 @@ impl FleetMetrics {
             self.deadline_hit_rate() * 100.0,
             self.fairness,
             self.preemptions,
+            self.resumes,
+            self.lost_work,
             self.warm_hit_rate * 100.0,
             self.iaas_utilization * 100.0,
         )
@@ -365,10 +436,16 @@ fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
         .into_iter()
         .map(|t| {
             let rs: Vec<&JobRecord> = records.iter().filter(|r| r.tenant == t).collect();
-            let lat = Quantiles::from_values(rs.iter().map(|r| r.latency().as_secs()).collect());
+            let lat = Quantiles::from_values(
+                rs.iter()
+                    .filter(|r| !r.rejected)
+                    .map(|r| r.latency().as_secs())
+                    .collect(),
+            );
             TenantRow {
                 tenant: t,
                 jobs: rs.len(),
+                rejected: rs.iter().filter(|r| r.rejected).count(),
                 latency_p99: lat.p99,
                 cost: rs.iter().map(|r| r.cost).sum(),
                 service: rs.iter().map(|r| r.workers as f64 * r.run.as_secs()).sum(),
@@ -411,6 +488,11 @@ mod tests {
             run: SimTime::secs(run),
             warm_hits: 0,
             preemptions: 0,
+            resumes: 0,
+            lost_work: SimTime::ZERO,
+            checkpoint_writes: 0,
+            checkpoint_cost: Cost::ZERO,
+            rejected: false,
             cost: Cost::usd(cost),
         }
     }
@@ -496,6 +578,60 @@ mod tests {
         assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
         let skewed = jain_index(&[9.0, 1.0]);
         assert!(skewed > 0.5 && skewed < 1.0, "{skewed}");
+    }
+
+    #[test]
+    fn rejected_jobs_are_excluded_from_run_stats_but_surfaced() {
+        let mut rej = rec(1, Route::Faas, 0.0, 0.0, 0.0);
+        rej.rejected = true;
+        rej.run = SimTime::ZERO;
+        let ran = rec(0, Route::Faas, 0.0, 10.0, 0.5);
+        let m = metrics(vec![ran, rej]);
+        assert_eq!(m.n_jobs, 2);
+        assert_eq!(m.rejected_jobs, 1);
+        assert_eq!(m.jobs_on_faas, 1, "rejected jobs never reach a route");
+        assert!(
+            (m.latency.max - 11.0).abs() < 1e-9,
+            "quantiles skip rejects"
+        );
+        let rows = m.per_tenant();
+        assert_eq!((rows[1].tenant, rows[1].jobs, rows[1].rejected), (1, 1, 1));
+        assert_eq!(rows[0].rejected, 0);
+        let json = m.to_json();
+        assert!(json.contains(r#""rejected_jobs":1"#));
+        assert!(json.contains(r#""rejected":1"#));
+        // A rejected job with a deadline counts as neither hit nor miss.
+        let mut rej_dl = rec(2, Route::Faas, 0.0, 0.0, 0.0);
+        rej_dl.rejected = true;
+        rej_dl.deadline = Some(SimTime::secs(1.0));
+        let m = metrics(vec![rej_dl]);
+        assert_eq!(m.deadline_jobs, 0);
+        assert_eq!(m.deadline_hit_rate(), 1.0, "vacuously met");
+    }
+
+    #[test]
+    fn recovery_counters_roll_up_and_price_in() {
+        let mut a = rec(0, Route::Spot, 0.0, 30.0, 0.2);
+        a.preemptions = 2;
+        a.resumes = 2;
+        a.lost_work = SimTime::secs(7.5);
+        a.checkpoint_writes = 4;
+        a.checkpoint_cost = Cost::usd(0.01);
+        let mut b = rec(1, Route::Spot, 0.0, 20.0, 0.1);
+        b.lost_work = SimTime::secs(2.5);
+        b.checkpoint_writes = 1;
+        b.checkpoint_cost = Cost::usd(0.002);
+        let m = metrics(vec![a, b]);
+        assert_eq!(m.resumes, 2);
+        assert_eq!(m.checkpoint_writes, 5);
+        assert_eq!(m.lost_work, SimTime::secs(10.0));
+        assert!((m.checkpoint_cost.as_usd() - 0.012).abs() < 1e-12);
+        // Checkpoint dollars are part of the total bill.
+        assert!((m.total_cost().as_usd() - (2.0 + 0.012)).abs() < 1e-12);
+        let json = m.to_json();
+        assert!(json.contains(r#""lost_work_s":10.0"#));
+        assert!(json.contains(r#""resumes":2"#));
+        assert!(json.contains(r#""checkpoint_writes":5"#));
     }
 
     #[test]

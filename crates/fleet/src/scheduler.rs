@@ -12,6 +12,7 @@
 //! across weighted tenants.
 
 use crate::job::{JobClass, JobRequest, TenantId};
+use crate::lifecycle::CheckpointPolicy;
 use lml_analytic::estimator::estimate_epochs;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
 use lml_sim::SimTime;
@@ -276,18 +277,32 @@ impl Scheduler for CostAware {
 /// urgent jobs onto Lambda's elasticity. When nothing makes it the
 /// earlier-finishing side wins (minimize tardiness). Deadline-less jobs
 /// route by cost, with a `spot_fraction` share of the IaaS-bound ones
-/// sent to the preemptible tier — never jobs with deadlines, which can't
-/// afford a restart.
+/// sent to the preemptible tier. Jobs with deadlines stay off the market
+/// by default (a restart from zero can't afford it) — unless the fleet
+/// runs checkpoint recovery ([`DeadlineAware::with_spot_recovery`]), in
+/// which case a preemption only re-runs the epochs since the last durable
+/// checkpoint, and deadline jobs whose laxity comfortably covers the
+/// predicted run plus a recovery allowance ride spot too.
 #[derive(Debug, Clone)]
 pub struct DeadlineAware {
     faas_case: AnalyticCase,
     iaas_case: AnalyticCase,
     epochs: BTreeMap<JobClass, f64>,
-    /// Share of deadline-less IaaS-bound jobs routed to spot.
+    /// Share of jobs eligible for the spot market that actually ride it:
+    /// deadline-less IaaS-bound jobs always, slack-rich deadline jobs too
+    /// when `spot_recovery` is on. At 0.0 (the default) nothing routes to
+    /// spot regardless of the recovery setting.
     pub spot_fraction: f64,
     /// Startup cushion subtracted from the laxity before a substrate is
     /// deemed to meet the deadline (covers cold starts / dispatch).
     pub startup_margin: SimTime,
+    /// The fleet resumes preempted jobs from durable checkpoints, so a
+    /// deadline job with enough slack may ride the spot market.
+    pub spot_recovery: bool,
+    /// Laxity must exceed this multiple of the predicted IaaS completion
+    /// before a deadline job is trusted to spot (the allowance for
+    /// re-running checkpointed epochs after preemptions).
+    pub recovery_slack: f64,
 }
 
 impl Default for DeadlineAware {
@@ -304,6 +319,8 @@ impl DeadlineAware {
             epochs: BTreeMap::new(),
             spot_fraction: 0.0,
             startup_margin: SimTime::secs(30.0),
+            spot_recovery: false,
+            recovery_slack: 3.0,
         }
     }
 
@@ -320,6 +337,20 @@ impl DeadlineAware {
     pub fn with_spot_fraction(mut self, f: f64) -> Self {
         assert!((0.0..=1.0).contains(&f));
         self.spot_fraction = f;
+        self
+    }
+
+    /// Trust checkpoint-aware recovery: pass the fleet config's
+    /// [`CheckpointPolicy`] and, if it actually checkpoints, deadline jobs
+    /// whose laxity exceeds `recovery_slack ×` the predicted IaaS
+    /// completion ride the spot market too. Passing
+    /// [`CheckpointPolicy::Never`] keeps deadline jobs off the market —
+    /// without durable checkpoints a preemption restarts from zero, which
+    /// a deadline can't afford. Spot participation is still gated by
+    /// [`DeadlineAware::with_spot_fraction`]: at the default 0.0 no job
+    /// rides the market, recovery or not.
+    pub fn with_spot_recovery(mut self, policy: CheckpointPolicy) -> Self {
+        self.spot_recovery = policy != CheckpointPolicy::Never;
         self
     }
 }
@@ -368,6 +399,16 @@ impl Scheduler for DeadlineAware {
         };
         let iaas_eta = t_i + iaas_wait + margin;
         let budget = laxity.as_secs();
+        // With checkpoint recovery on, a deadline job whose slack swallows
+        // several resume-and-rerun cycles takes the spot discount: the
+        // worst case is no longer "restart from zero", only the epochs
+        // since the last durable checkpoint.
+        if self.spot_recovery
+            && budget >= self.recovery_slack * iaas_eta
+            && spot_pick(job.id, self.spot_fraction)
+        {
+            return Route::Spot;
+        }
         match (faas_eta <= budget, iaas_eta <= budget) {
             // Both make it: take the cheaper option.
             (true, true) => {
@@ -630,6 +671,34 @@ mod tests {
             Route::Spot,
             "deadline jobs never risk it"
         );
+    }
+
+    #[test]
+    fn spot_recovery_lets_slack_deadline_jobs_ride_the_market() {
+        let mut s = DeadlineAware::new()
+            .with_spot_fraction(1.0)
+            .with_spot_recovery(CheckpointPolicy::every(1));
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        let mut j = job(JobClass::LrHiggs);
+        let (_, t_i) = CostAware::new().estimated_run(&j);
+        // Huge slack: recovery makes the discount safe.
+        j.deadline = Some(j.submit + t_i * 100.0);
+        assert_eq!(s.route(&j, &idle), Route::Spot, "slack deadline rides spot");
+        // Tight slack: even with recovery the job stays on firm capacity.
+        j.deadline = Some(j.submit + t_i * 1.5 + SimTime::secs(60.0));
+        assert_ne!(s.route(&j, &idle), Route::Spot, "tight deadline stays firm");
+        // A Never policy can't back recovery: the original never-on-spot
+        // rule holds even when the knob is used.
+        let mut off = DeadlineAware::new()
+            .with_spot_fraction(1.0)
+            .with_spot_recovery(CheckpointPolicy::Never);
+        j.deadline = Some(j.submit + t_i * 100.0);
+        assert_ne!(off.route(&j, &idle), Route::Spot);
     }
 
     #[test]

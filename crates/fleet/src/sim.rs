@@ -11,15 +11,27 @@
 //! Admission queues obey the scheduler's [`QueueDiscipline`]: FIFO, EDF
 //! (earliest deadline first), or deficit round-robin across tenants by
 //! weighted service — the fair-share quota enforcement point.
+//!
+//! Every job moves through the explicit [`JobLifecycle`] state machine
+//! (`Queued → Booting → Running{epochs_done} → … → Done/Rejected`), shared
+//! by all schedulers and all three tiers. Progress is epoch-granular: a
+//! [`CheckpointPolicy`] decides when spot-routed jobs upload recovery
+//! checkpoints (priced through `lml-storage`'s S3 profile), a preemption
+//! rolls the job back to its last durable checkpoint instead of to zero,
+//! and completion events are always scheduled from the *remaining* epochs
+//! — including after a pool fallback. Tenants with a budget in the trace
+//! are cut off once their attributed spend exhausts it ([`JobLifecycle::Rejected`]).
 
 use crate::job::{JobRequest, TenantId};
+use crate::lifecycle::{preempt_outcome, AttemptPlan, CheckpointPolicy, JobLifecycle};
 use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
 use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 use crate::scheduler::{FleetView, QueueDiscipline, Route, Scheduler};
 use crate::workload::Trace;
 use lml_analytic::constants;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, AnalyticParams, Scaling};
-use lml_sim::{Cost, EventQueue, SimTime};
+use lml_sim::{ByteSize, Cost, EventQueue, SimTime};
+use lml_storage::checkpoint::{checkpoint_bytes, CheckpointCosting};
 use std::collections::BTreeMap;
 
 /// Fleet-wide configuration: the three platforms and their channel cases.
@@ -29,6 +41,10 @@ pub struct FleetConfig {
     pub iaas: IaasConfig,
     /// The preemptible tier (only exercised when a policy routes there).
     pub spot: SpotConfig,
+    /// Recovery-checkpoint policy for spot-routed jobs. Uploads go to the
+    /// S3 profile's channel (always-on, flat per-PUT pricing); `Never`
+    /// reproduces the PR 2 lose-everything behaviour.
+    pub checkpoint: CheckpointPolicy,
     /// Analytical channel/pricing case for FaaS jobs (default: S3, 3 GB).
     pub faas_case: AnalyticCase,
     /// Analytical case for IaaS jobs (default: t2.medium network).
@@ -41,6 +57,7 @@ impl Default for FleetConfig {
             faas: FaasConfig::default(),
             iaas: IaasConfig::default(),
             spot: SpotConfig::default(),
+            checkpoint: CheckpointPolicy::Never,
             faas_case: AnalyticCase::faas_s3(),
             iaas_case: AnalyticCase::iaas_t2(),
         }
@@ -82,29 +99,54 @@ enum Event {
 #[derive(Debug, Clone, Copy)]
 struct JobState {
     route: Route,
+    /// The explicit lifecycle machine; every mutation goes through
+    /// [`JobLifecycle::transition`], so illegal paths panic.
+    lifecycle: JobLifecycle,
     queue: SimTime,
     startup: SimTime,
     run: SimTime,
     warm_hits: usize,
     cost: Cost,
     preemptions: u32,
-    done: bool,
+    /// Attempts that restarted from a durable checkpoint (not from zero).
+    resumes: u32,
+    /// Whole epochs this job needs (its class's `R`, rounded up).
+    epochs_total: u32,
+    /// Durable progress: epochs whose checkpoint (or completion) survives
+    /// a preemption.
+    epochs_done: u32,
+    /// Training seconds redone because a preemption struck past the last
+    /// durable checkpoint.
+    lost_work: SimTime,
+    /// Checkpoint uploads initiated (durable, in-flight at preemption, and
+    /// on successful attempts alike — all billed).
+    ckpt_writes: u32,
+    /// Checkpoint dollars: uploads plus restore reads.
+    ckpt_cost: Cost,
     /// When the job last became ready to start (submission, or the moment
     /// a preemption threw it back).
     ready_since: SimTime,
+    /// Spot attempts launched so far (indexes the preemption clock).
+    attempt: u32,
     /// Launch bookkeeping of the in-flight spot attempt.
     attempt_start: SimTime,
     attempt_boot: SimTime,
-    attempt_run: SimTime,
+    attempt_restore: SimTime,
+    attempt_plan: Option<AttemptPlan>,
 }
 
 /// All simulator state, threaded through the event handlers.
 struct Fleet<'a> {
     cfg: &'a FleetConfig,
     jobs: &'a [JobRequest],
+    /// Per-tenant dollar caps from the trace (v3); absent tenants are
+    /// uncapped.
+    budgets: &'a BTreeMap<TenantId, f64>,
     faas: FaasRegion,
     iaas: IaasPool,
     spot: SpotTier,
+    /// Checkpoint channel: S3 write/read time and request dollars.
+    ckpt: CheckpointCosting,
     state: Vec<JobState>,
     events: EventQueue<Event>,
     faas_queue: Vec<usize>,
@@ -112,39 +154,71 @@ struct Fleet<'a> {
     /// Weighted-service ledger behind the deficit-round-robin discipline:
     /// worker-seconds of run time started so far, per tenant.
     tenant_service: BTreeMap<TenantId, f64>,
+    /// Attributed dollars per tenant — the budget-cap enforcement ledger.
+    tenant_spend: BTreeMap<TenantId, f64>,
 }
 
 impl<'a> Fleet<'a> {
-    fn new(cfg: &'a FleetConfig, jobs: &'a [JobRequest], seed: u64) -> Self {
+    fn new(cfg: &'a FleetConfig, trace: &'a Trace, seed: u64) -> Self {
+        let jobs = trace.jobs.as_slice();
         let state = jobs
             .iter()
             .map(|j| JobState {
                 route: Route::Faas,
+                lifecycle: JobLifecycle::Queued,
                 queue: SimTime::ZERO,
                 startup: SimTime::ZERO,
                 run: SimTime::ZERO,
                 warm_hits: 0,
                 cost: Cost::ZERO,
                 preemptions: 0,
-                done: false,
+                resumes: 0,
+                epochs_total: j.class.epoch_count(),
+                epochs_done: 0,
+                lost_work: SimTime::ZERO,
+                ckpt_writes: 0,
+                ckpt_cost: Cost::ZERO,
                 ready_since: j.submit,
+                attempt: 0,
                 attempt_start: SimTime::ZERO,
                 attempt_boot: SimTime::ZERO,
-                attempt_run: SimTime::ZERO,
+                attempt_restore: SimTime::ZERO,
+                attempt_plan: None,
             })
             .collect();
         Fleet {
             cfg,
             jobs,
+            budgets: &trace.budgets,
             faas: FaasRegion::new(cfg.faas),
             iaas: IaasPool::new(cfg.iaas),
             spot: SpotTier::new(cfg.spot, seed),
+            ckpt: CheckpointCosting::s3(),
             state,
             events: EventQueue::new(),
             faas_queue: Vec::new(),
             iaas_queue: Vec::new(),
             tenant_service: BTreeMap::new(),
+            tenant_spend: BTreeMap::new(),
         }
+    }
+
+    /// Attribute `c` dollars to job `i` and its tenant's spend ledger.
+    fn charge(&mut self, i: usize, c: Cost) {
+        self.state[i].cost += c;
+        *self.tenant_spend.entry(self.jobs[i].tenant).or_insert(0.0) += c.as_usd();
+    }
+
+    /// Is this tenant's budget (if any) already exhausted?
+    fn budget_exhausted(&self, tenant: TenantId) -> bool {
+        self.budgets
+            .get(&tenant)
+            .is_some_and(|&cap| self.tenant_spend.get(&tenant).copied().unwrap_or(0.0) >= cap)
+    }
+
+    /// Recovery-checkpoint size for job `i` (model + resumable aux state).
+    fn ckpt_bytes(&self, i: usize) -> ByteSize {
+        checkpoint_bytes(self.jobs[i].class.profile().model_bytes)
     }
 
     fn queued_workers(q: &[usize], jobs: &[JobRequest]) -> usize {
@@ -202,6 +276,7 @@ impl<'a> Fleet<'a> {
     }
 
     /// Try to begin job `i` on FaaS at `now`; schedules its completion.
+    /// FaaS jobs are never preempted, so they always run all their epochs.
     fn start_faas(&mut self, i: usize, now: SimTime) -> bool {
         let job = &self.jobs[i];
         match self.faas.try_start(now, job.workers) {
@@ -213,9 +288,13 @@ impl<'a> Fleet<'a> {
                 s.startup += startup;
                 s.run += run;
                 s.warm_hits = warm_hits;
+                s.lifecycle.transition(JobLifecycle::Booting);
+                s.lifecycle
+                    .transition(JobLifecycle::Running { epochs_done: 0 });
                 // GB-second billing of the execution (Lambda does not bill
                 // provisioning time; the §5.3 cost formula is the same).
-                s.cost += faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
+                let cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
+                self.charge(i, cost);
                 self.events.push(now + startup + run, Event::FaasDone(i));
                 self.credit_service(i, run);
                 true
@@ -224,48 +303,130 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Try to begin job `i` on idle IaaS instances at `now`.
+    /// Try to begin job `i` on idle IaaS instances at `now`. A job thrown
+    /// back by the spot market resumes from its last durable checkpoint:
+    /// only the *remaining* epochs are scheduled (plus the restore read),
+    /// so the pool's completion estimate no longer re-runs finished work.
     fn start_iaas(&mut self, i: usize, now: SimTime) -> bool {
         let job = &self.jobs[i];
         if !self.iaas.try_start(now, job.workers) {
             return false;
         }
         let p = job.class.profile();
-        let run = iaas_run(&p, &self.cfg.iaas_case, job.workers);
-        let startup = self.cfg.iaas.dispatch_latency;
+        let run_full = iaas_run(&p, &self.cfg.iaas_case, job.workers);
+        let total = self.state[i].epochs_total;
+        let epoch_secs = run_full.as_secs() / total as f64;
+        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs);
+        let run = SimTime::secs((total - from) as f64 * epoch_secs);
+        let startup = self.cfg.iaas.dispatch_latency + restore;
         let s = &mut self.state[i];
         s.queue += now - s.ready_since;
         s.startup += startup;
         s.run += run;
+        if from > 0 {
+            s.resumes += 1;
+        }
+        // Keep the durable scalar in lock-step with the attempt's start:
+        // a declined restore abandons the checkpoint for good (the trade
+        // can't improve — epoch length is fixed per job), and the
+        // banked-but-redone epochs count as lost work like any other.
+        s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
+        s.epochs_done = from;
+        s.ckpt_cost += restore_dollars;
+        s.lifecycle.transition(JobLifecycle::Booting);
+        s.lifecycle
+            .transition(JobLifecycle::Running { epochs_done: from });
         // Attributed share of the pool bill; the pool's own integral is
         // authoritative for totals.
-        s.cost += Cost::usd(
+        let cost = Cost::usd(
             job.workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
-        );
+        ) + restore_dollars;
+        self.charge(i, cost);
         self.events.push(now + startup + run, Event::IaasDone(i));
         self.credit_service(i, run);
         true
     }
 
+    /// Where job `i`'s next attempt starts: its last durable checkpoint if
+    /// restoring it beats redoing the epochs, else from scratch. Returns
+    /// (start epoch, restore time, restore dollars).
+    fn resume_point(&self, i: usize, epoch_secs: f64) -> (u32, SimTime, Cost) {
+        let from = self.state[i].epochs_done;
+        if from == 0 {
+            return (0, SimTime::ZERO, Cost::ZERO);
+        }
+        let bytes = self.ckpt_bytes(i);
+        let restore = self.ckpt.read_time(bytes);
+        if restore.as_secs() < from as f64 * epoch_secs {
+            (from, restore, self.ckpt.read_dollars(bytes))
+        } else {
+            (0, SimTime::ZERO, Cost::ZERO)
+        }
+    }
+
     /// Launch (or relaunch after preemption) job `i` on the spot tier.
     /// Spot capacity is market-deep, so launches never queue — but the
-    /// sampled preemption clock may reclaim the cluster mid-run.
+    /// sampled preemption clock may reclaim the cluster mid-run. The
+    /// attempt resumes from the last durable checkpoint and schedules only
+    /// the remaining epochs; checkpoint uploads are asynchronous, so the
+    /// attempt's wall clock is `boot + restore + remaining × epoch`.
     fn start_spot(&mut self, i: usize, now: SimTime) {
         let job = &self.jobs[i];
-        let (boot, preempt_after) = self.spot.start(job.workers);
+        let workers = job.workers;
         let p = job.class.profile();
-        let run = iaas_run(&p, &self.cfg.iaas_case, job.workers);
+        let run_full = iaas_run(&p, &self.cfg.iaas_case, workers);
+        let total = self.state[i].epochs_total;
+        let epoch_secs = run_full.as_secs() / total as f64;
+        let write_secs = self.ckpt.write_time(self.ckpt_bytes(i)).as_secs();
+        let job_mttp = self.cfg.spot.mean_time_to_preempt.as_secs() / workers as f64;
+        let interval = self
+            .cfg
+            .checkpoint
+            .interval_epochs(epoch_secs, write_secs, job_mttp);
+        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs);
+        let plan = AttemptPlan {
+            start_epoch: from,
+            total_epochs: total,
+            epoch_secs,
+            interval,
+            write_secs,
+        };
+        let boot = self.spot.start(workers);
+        let run = SimTime::secs(plan.run_secs());
+        let preempt_after = self
+            .spot
+            .preemption_clock(job.id, self.state[i].attempt, workers);
         let s = &mut self.state[i];
         s.queue += now - s.ready_since;
         s.ready_since = now;
+        s.attempt += 1;
         s.attempt_start = now;
         s.attempt_boot = boot;
-        s.attempt_run = run;
-        if preempt_after < boot + run {
+        s.attempt_restore = restore;
+        s.attempt_plan = Some(plan);
+        if from > 0 {
+            s.resumes += 1;
+        }
+        // As in start_iaas: the attempt's start IS the durable progress,
+        // and epochs a declined restore abandons are redone — lost work.
+        s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
+        s.epochs_done = from;
+        s.ckpt_cost += restore_dollars;
+        s.lifecycle.transition(JobLifecycle::Booting);
+        s.lifecycle
+            .transition(JobLifecycle::Running { epochs_done: from });
+        // Attribute the full planned attempt at launch — the same
+        // charge-at-dispatch timing FaaS and IaaS use, so tenant budget
+        // caps bite route-independently. A preemption settles the
+        // difference between planned and actually-held seconds.
+        let planned = self.spot_attributed(workers, boot + restore + run);
+        self.charge(i, planned + restore_dollars);
+        if preempt_after < boot + restore + run {
             self.events
                 .push(now + preempt_after, Event::SpotPreempted(i));
         } else {
-            self.events.push(now + boot + run, Event::SpotDone(i));
+            self.events
+                .push(now + boot + restore + run, Event::SpotDone(i));
         }
         // Restart attempts consume (and are credited) capacity too.
         self.credit_service(i, run);
@@ -323,6 +484,13 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// Mark job `i` finished: all epochs durable, lifecycle `Done`.
+    fn complete(&mut self, i: usize) {
+        let s = &mut self.state[i];
+        s.epochs_done = s.epochs_total;
+        s.lifecycle.transition(JobLifecycle::Done);
+    }
+
     /// Handle every event type except `Arrive` (which needs the external
     /// scheduler's routing decision and is driven directly by [`simulate`]).
     fn handle(&mut self, now: SimTime, ev: Event, sched: &dyn Scheduler) {
@@ -330,12 +498,12 @@ impl<'a> Fleet<'a> {
             Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
             Event::FaasDone(i) => {
                 self.faas.release(now, self.jobs[i].workers);
-                self.state[i].done = true;
+                self.complete(i);
                 self.drain_faas(now, sched);
             }
             Event::IaasDone(i) => {
                 self.iaas.finish(now, self.jobs[i].workers);
-                self.state[i].done = true;
+                self.complete(i);
                 self.drain_iaas(now, sched);
                 if self.iaas_queue.is_empty() {
                     self.events
@@ -344,34 +512,72 @@ impl<'a> Fleet<'a> {
             }
             Event::SpotDone(i) => {
                 let workers = self.jobs[i].workers;
-                let held = self.state[i].attempt_boot + self.state[i].attempt_run;
+                let s = &self.state[i];
+                let plan = s.attempt_plan.expect("spot completion without a plan");
+                let run = SimTime::secs(plan.run_secs());
+                let held = s.attempt_boot + s.attempt_restore + run;
                 self.spot.finish(workers, held);
-                let cost = self.spot_attributed(workers, held);
+                // The instance-seconds were attributed at launch; only the
+                // uploads the successful attempt initiated remain to bill
+                // — checkpointing is insurance, paid either way.
+                let writes = plan.writes_on_success();
+                let write_dollars = self.ckpt.write_dollars(self.ckpt_bytes(i)) * writes as f64;
+                let cost = write_dollars;
                 let s = &mut self.state[i];
-                s.startup += s.attempt_boot;
-                s.run += s.attempt_run;
-                s.cost += cost;
-                s.done = true;
+                s.startup += s.attempt_boot + s.attempt_restore;
+                s.run += run;
+                s.ckpt_writes += writes;
+                s.ckpt_cost += write_dollars;
+                self.charge(i, cost);
+                self.complete(i);
             }
             Event::SpotPreempted(i) => {
                 let workers = self.jobs[i].workers;
-                let held = now - self.state[i].attempt_start;
+                let s = &self.state[i];
+                let plan = s.attempt_plan.expect("spot preemption without a plan");
+                let held = now - s.attempt_start;
+                let overhead = s.attempt_boot + s.attempt_restore;
+                // Seconds of the run phase actually trained before the
+                // market struck (zero if it struck during boot/restore).
+                let run_elapsed = (held - overhead).as_secs().max(0.0);
+                let outcome = preempt_outcome(&plan, run_elapsed);
                 self.spot.preempted(workers, held);
-                let cost = self.spot_attributed(workers, held);
+                // Every initiated upload is billed — including the partial
+                // write the preemption interrupted. The launch attributed
+                // the full planned hold; settle down to the seconds the
+                // market actually allowed.
+                let write_dollars =
+                    self.ckpt.write_dollars(self.ckpt_bytes(i)) * outcome.writes_started as f64;
+                let planned = overhead + SimTime::secs(plan.run_secs());
+                let settle =
+                    self.spot_attributed(workers, held) - self.spot_attributed(workers, planned);
+                let cost = settle + write_dollars;
                 let s = &mut self.state[i];
                 s.preemptions += 1;
-                // The held time splits into boot and (lost) partial run.
-                if held <= s.attempt_boot {
-                    s.startup += held;
-                } else {
-                    s.startup += s.attempt_boot;
-                    s.run += held - s.attempt_boot;
+                s.startup += held.min(overhead);
+                s.run += SimTime::secs(run_elapsed);
+                s.lost_work += outcome.lost_work;
+                s.ckpt_writes += outcome.writes_started;
+                s.ckpt_cost += write_dollars;
+                let durable = outcome.durable_epochs;
+                if outcome.writes_interrupted > 0 {
+                    s.lifecycle.transition(JobLifecycle::Checkpointing {
+                        epochs_done: durable,
+                    });
                 }
-                s.cost += cost;
+                s.lifecycle.transition(JobLifecycle::Preempted {
+                    epochs_done: durable,
+                });
+                s.lifecycle.transition(JobLifecycle::Requeued {
+                    epochs_done: durable,
+                });
+                s.epochs_done = durable;
                 s.ready_since = now;
-                // Progress is lost: requeue on a fresh spot cluster, or —
-                // once the retry budget is spent — fall back to the
-                // reserved pool (the record keeps its Spot route and its
+                self.charge(i, cost);
+                // Work past the last durable checkpoint is lost: requeue on
+                // a fresh spot cluster, or — once the retry budget is spent
+                // — fall back to the reserved pool, resuming from the
+                // checkpoint there (the record keeps its Spot route and its
                 // preemption history).
                 if self.state[i].preemptions <= self.cfg.spot.max_retries {
                     self.start_spot(i, now);
@@ -400,7 +606,7 @@ pub fn simulate(
     scheduler: &mut dyn Scheduler,
     seed: u64,
 ) -> FleetMetrics {
-    let mut fleet = Fleet::new(cfg, &trace.jobs, seed);
+    let mut fleet = Fleet::new(cfg, trace, seed);
     for (i, j) in trace.jobs.iter().enumerate() {
         fleet.events.push(j.submit, Event::Arrive(i));
     }
@@ -409,6 +615,13 @@ pub fn simulate(
     while let Some((now, ev)) = fleet.events.pop() {
         last_time = now;
         if let Event::Arrive(i) = ev {
+            // Budget cap: a tenant whose attributed spend has exhausted its
+            // trace-declared budget gets no more admissions — the job ends
+            // in the `Rejected` terminal state without touching a platform.
+            if fleet.budget_exhausted(fleet.jobs[i].tenant) {
+                fleet.state[i].lifecycle.transition(JobLifecycle::Rejected);
+                continue;
+            }
             let view = fleet.view();
             let route = scheduler.route(&fleet.jobs[i], &view);
             fleet.state[i].route = route;
@@ -448,17 +661,10 @@ pub fn simulate(
     }
 
     fleet.iaas.finalize(last_time);
-    debug_assert!(fleet.state.iter().all(|s| s.done), "all jobs must complete");
-
-    // The provisioned floor bills over the makespan (last job finish), not
-    // over `last_time` — the trailing IaaS IdleCheck event would otherwise
-    // add phantom idle_after seconds only to policies that touch the pool.
-    let makespan = trace
-        .jobs
-        .iter()
-        .zip(&fleet.state)
-        .map(|(j, s)| j.submit + s.queue + s.startup + s.run)
-        .fold(SimTime::ZERO, SimTime::max);
+    debug_assert!(
+        fleet.state.iter().all(|s| s.lifecycle.is_terminal()),
+        "all jobs must reach a terminal lifecycle state"
+    );
 
     let records: Vec<JobRecord> = trace
         .jobs
@@ -477,9 +683,20 @@ pub fn simulate(
             run: s.run,
             warm_hits: s.warm_hits,
             preemptions: s.preemptions,
+            resumes: s.resumes,
+            lost_work: s.lost_work,
+            checkpoint_writes: s.ckpt_writes,
+            checkpoint_cost: s.ckpt_cost,
+            rejected: s.lifecycle == JobLifecycle::Rejected,
             cost: s.cost,
         })
         .collect();
+
+    // The provisioned floor bills over the makespan (last job finish), not
+    // over `last_time` — the trailing IaaS IdleCheck event would otherwise
+    // add phantom idle_after seconds only to policies that touch the pool.
+    // One definition, shared with the metrics rollup.
+    let makespan = JobRecord::makespan(&records);
 
     FleetMetrics::from_records(
         scheduler.name(),
@@ -591,7 +808,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_fine() {
-        let trace = Trace { jobs: vec![] };
+        let trace = Trace::from_jobs(vec![]);
         let m = simulate(&trace, &FleetConfig::default(), &mut AllFaas, 1);
         assert_eq!(m.n_jobs, 0);
         assert_eq!(m.total_cost().as_usd() + m.latency.p99, 0.0);

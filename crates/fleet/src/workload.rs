@@ -9,6 +9,7 @@
 
 use crate::job::{JobClass, JobRequest, TenantId};
 use lml_sim::{Pcg64, SimTime};
+use std::collections::BTreeMap;
 
 /// How job submissions arrive over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,13 +143,36 @@ impl Default for TenantSpec {
     }
 }
 
-/// A replayable list of job submissions, sorted by submission time.
+/// A replayable list of job submissions, sorted by submission time,
+/// optionally carrying per-tenant dollar budgets (trace text v3). The
+/// simulator rejects a tenant's further admissions once its attributed
+/// spend reaches its budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     pub jobs: Vec<JobRequest>,
+    /// Dollar caps per tenant; tenants absent from the map are uncapped.
+    pub budgets: BTreeMap<TenantId, f64>,
 }
 
 impl Trace {
+    /// A budget-less trace from a job list (the common constructor shape).
+    pub fn from_jobs(jobs: Vec<JobRequest>) -> Trace {
+        Trace {
+            jobs,
+            budgets: BTreeMap::new(),
+        }
+    }
+
+    /// Cap a tenant's total attributed spend (builder style).
+    pub fn with_budget(mut self, tenant: TenantId, usd: f64) -> Trace {
+        assert!(
+            usd.is_finite() && usd >= 0.0,
+            "budget must be finite and >= 0"
+        );
+        self.budgets.insert(tenant, usd);
+        self
+    }
+
     /// Generate `n_jobs` single-tenant, deadline-less arrivals from the
     /// process and mix. Same seed → identical trace, byte for byte.
     pub fn generate(process: ArrivalProcess, mix: &JobMix, n_jobs: usize, seed: u64) -> Trace {
@@ -198,15 +222,27 @@ impl Trace {
                 deadline,
             });
         }
-        Trace { jobs }
+        Trace::from_jobs(jobs)
     }
 
     /// Serialize to the replayable text format: one
     /// `time class workers tenant deadline` line per job, times in shortest
-    /// roundtrip notation, `-` for "no deadline".
+    /// roundtrip notation, `-` for "no deadline". Traces carrying tenant
+    /// budgets emit the v3 header and one `budget <tenant> <usd>` line per
+    /// cap; budget-less traces emit v2 bytes unchanged.
     pub fn to_text(&self) -> String {
-        let mut out =
-            String::from("# lml-fleet trace v2: submit_secs\tclass\tworkers\ttenant\tdeadline\n");
+        let mut out = if self.budgets.is_empty() {
+            String::from("# lml-fleet trace v2: submit_secs\tclass\tworkers\ttenant\tdeadline\n")
+        } else {
+            let mut s = String::from(
+                "# lml-fleet trace v3: [budget\ttenant\tusd]* then \
+                 submit_secs\tclass\tworkers\ttenant\tdeadline\n",
+            );
+            for (&t, &usd) in &self.budgets {
+                s.push_str(&format!("budget\t{t}\t{usd:?}\n"));
+            }
+            s
+        };
         for j in &self.jobs {
             let deadline = match j.deadline {
                 Some(d) => format!("{:?}", d.as_secs()),
@@ -226,15 +262,45 @@ impl Trace {
 
     /// Parse the text format back into a trace (ids re-assigned in file
     /// order). Round-trips [`Trace::to_text`] exactly; also accepts the
-    /// three-column v1 format (tenant 0, no deadline).
+    /// three-column v1 format (tenant 0, no deadline) and the v3 format's
+    /// optional `budget <tenant> <usd>` lines.
     pub fn from_text(text: &str) -> Result<Trace, String> {
         let mut jobs = Vec::new();
+        let mut budgets = BTreeMap::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts[0] == "budget" {
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "line {}: budget line needs `budget <tenant> <usd>`, got {} fields",
+                        lineno + 1,
+                        parts.len()
+                    ));
+                }
+                let tenant: TenantId = parts[1]
+                    .parse()
+                    .map_err(|e| format!("line {}: bad budget tenant id: {e}", lineno + 1))?;
+                let usd: f64 = parts[2]
+                    .parse()
+                    .map_err(|e| format!("line {}: bad budget amount: {e}", lineno + 1))?;
+                if !usd.is_finite() || usd < 0.0 {
+                    return Err(format!(
+                        "line {}: budget must be finite and >= 0",
+                        lineno + 1
+                    ));
+                }
+                if budgets.insert(tenant, usd).is_some() {
+                    return Err(format!(
+                        "line {}: duplicate budget for tenant {tenant}",
+                        lineno + 1
+                    ));
+                }
+                continue;
+            }
             if parts.len() != 3 && parts.len() != 5 {
                 return Err(format!(
                     "line {}: expected 3 (v1) or 5 (v2) fields, got {}",
@@ -290,7 +356,7 @@ impl Trace {
         if !jobs.windows(2).all(|w| w[0].submit <= w[1].submit) {
             return Err("trace not sorted by submission time".into());
         }
-        Ok(Trace { jobs })
+        Ok(Trace { jobs, budgets })
     }
 
     /// Tenant ids appearing in the trace, ascending and deduplicated.
@@ -426,6 +492,49 @@ mod tests {
         let back = Trace::from_text(&text).unwrap();
         assert_eq!(t, back);
         assert_eq!(back.to_text(), text, "v2 round-trip is byte-identical");
+    }
+
+    #[test]
+    fn v3_budget_lines_roundtrip() {
+        let mix = JobMix::default_mix();
+        let t = Trace::generate(ArrivalProcess::Poisson { rate: 1.0 }, &mix, 50, 3)
+            .with_budget(0, 12.5)
+            .with_budget(7, 0.0);
+        let text = t.to_text();
+        assert!(text.starts_with("# lml-fleet trace v3"));
+        assert!(text.contains("budget\t0\t12.5\n"));
+        assert!(text.contains("budget\t7\t0.0\n"));
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.to_text(), text, "v3 round-trip is byte-identical");
+        assert_eq!(back.budgets.get(&0), Some(&12.5));
+    }
+
+    #[test]
+    fn budget_less_traces_still_emit_v2_bytes() {
+        let mix = JobMix::default_mix();
+        let t = Trace::generate(ArrivalProcess::Poisson { rate: 1.0 }, &mix, 20, 3);
+        assert!(t.budgets.is_empty());
+        assert!(t.to_text().starts_with("# lml-fleet trace v2"));
+    }
+
+    #[test]
+    fn malformed_budget_lines_are_rejected() {
+        // Arity, bad tenant, bad/negative/non-finite amounts, duplicates.
+        assert!(Trace::from_text("budget\t0\n").is_err());
+        assert!(Trace::from_text("budget\t0\t1.0\t2.0\n").is_err());
+        assert!(Trace::from_text("budget\tbob\t1.0\n").is_err());
+        assert!(Trace::from_text("budget\t0\tlots\n").is_err());
+        assert!(Trace::from_text("budget\t0\t-1.0\n").is_err());
+        assert!(Trace::from_text("budget\t0\tinf\n").is_err());
+        assert!(Trace::from_text("budget\t0\t1.0\nbudget\t0\t2.0\n").is_err());
+        // Budget-only traces are fine (empty but capped).
+        let t = Trace::from_text("budget\t3\t5.0\n").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.budgets.get(&3), Some(&5.0));
+        // v1/v2 job lines still parse next to budget lines.
+        let t = Trace::from_text("budget\t0\t5.0\n1.0\tlr-higgs\t10\n").unwrap();
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Checkpoint sizing and pricing.
+//!
+//! A training job's recovery checkpoint is the global model plus the
+//! per-epoch auxiliary state the algorithm needs to resume mid-run (ADMM
+//! dual variables, EM sufficient statistics, SGD momentum buffers) — the
+//! same order of magnitude as the model itself, so the checkpoint ships
+//! [`CHECKPOINT_AUX_FACTOR`] × the model's wire size.
+//!
+//! Write/read time and dollars go through the same [`ServiceProfile`]
+//! channel model as every other storage operation in the repository
+//! (`L + m/B`, per-request billing). The fleet simulator prices recovery
+//! checkpoints through the S3 profile: always-on, no node to keep warm,
+//! and the per-PUT price is flat regardless of object size — exactly the
+//! "checkpoint to object storage" pattern serverless frameworks use.
+
+use crate::profile::ServiceProfile;
+use lml_sim::{ByteSize, Cost, SimTime};
+
+/// Checkpoint bytes per model byte: the model itself plus the resumable
+/// optimizer/algorithm state (dual variables, momentum, cluster stats).
+pub const CHECKPOINT_AUX_FACTOR: f64 = 2.0;
+
+/// Size of one recovery checkpoint for a model of `model_bytes` wire size.
+pub fn checkpoint_bytes(model_bytes: f64) -> ByteSize {
+    assert!(
+        model_bytes.is_finite() && model_bytes >= 0.0,
+        "model size must be finite and non-negative"
+    );
+    ByteSize::bytes((model_bytes * CHECKPOINT_AUX_FACTOR).ceil() as u64)
+}
+
+/// Checkpoint write/read pricing against one storage service profile.
+///
+/// The costing is stateless: both operations follow the profile's
+/// single-stream channel model (`latency + bytes / stream_bw`) and its
+/// request billing. Contention is deliberately ignored — checkpoints are
+/// rare, large, sequential uploads from one worker, not the all-workers
+/// gradient storm the [`crate::channel::StorageChannel`] models.
+#[derive(Debug, Clone)]
+pub struct CheckpointCosting {
+    profile: ServiceProfile,
+}
+
+impl CheckpointCosting {
+    pub fn new(profile: ServiceProfile) -> Self {
+        assert!(
+            profile.stream_bw > 0.0,
+            "checkpoint store needs positive bandwidth"
+        );
+        CheckpointCosting { profile }
+    }
+
+    /// The default checkpoint store: S3.
+    pub fn s3() -> Self {
+        CheckpointCosting::new(ServiceProfile::s3())
+    }
+
+    pub fn profile(&self) -> &ServiceProfile {
+        &self.profile
+    }
+
+    /// Does the service admit an object of this size at all?
+    pub fn admits(&self, bytes: ByteSize) -> bool {
+        self.profile.admits(bytes)
+    }
+
+    /// Wall-clock time of one checkpoint upload: `L + m/B`.
+    pub fn write_time(&self, bytes: ByteSize) -> SimTime {
+        self.profile.latency + SimTime::secs(bytes.as_f64() / self.profile.stream_bw)
+    }
+
+    /// Dollars billed for one checkpoint upload (the request is billed when
+    /// issued — an upload interrupted mid-flight still pays it).
+    pub fn write_dollars(&self, bytes: ByteSize) -> Cost {
+        self.profile.put_price.price(bytes)
+    }
+
+    /// Wall-clock time of one checkpoint restore: `L + m/B`.
+    pub fn read_time(&self, bytes: ByteSize) -> SimTime {
+        self.profile.latency + SimTime::secs(bytes.as_f64() / self.profile.stream_bw)
+    }
+
+    /// Dollars billed for one checkpoint restore.
+    pub fn read_dollars(&self, bytes: ByteSize) -> Cost {
+        self.profile.get_price.price(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_size_scales_the_model() {
+        // ResNet50: 89 MB model → 178 MB checkpoint (model + aux state).
+        let b = checkpoint_bytes(89e6);
+        assert_eq!(b, ByteSize::bytes(178_000_000));
+        // LR/Higgs: 224 B model → 448 B checkpoint.
+        assert_eq!(checkpoint_bytes(224.0), ByteSize::bytes(448));
+        assert_eq!(checkpoint_bytes(0.0), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn s3_write_time_follows_the_channel_model() {
+        let c = CheckpointCosting::s3();
+        // 65 MB at 65 MB/s + 80 ms latency = 1.08 s.
+        let t = c.write_time(ByteSize::mb(65.0));
+        assert!((t.as_secs() - 1.08).abs() < 1e-9, "{t}");
+        // Reads pay the same channel.
+        assert_eq!(c.read_time(ByteSize::mb(65.0)), t);
+        // A tiny checkpoint is latency-bound.
+        assert!((c.write_time(ByteSize::bytes(448)).as_secs() - 0.08).abs() < 1e-4);
+    }
+
+    #[test]
+    fn s3_checkpoint_dollars_are_flat_per_request() {
+        let c = CheckpointCosting::s3();
+        assert_eq!(c.write_dollars(ByteSize::gb(1.0)), Cost::usd(5e-6));
+        assert_eq!(c.write_dollars(ByteSize::bytes(1)), Cost::usd(5e-6));
+        assert_eq!(c.read_dollars(ByteSize::mb(178.0)), Cost::usd(4e-7));
+        assert!(c.admits(ByteSize::gb(5.0)));
+    }
+
+    #[test]
+    fn dynamodb_costing_respects_the_item_cap() {
+        let c = CheckpointCosting::new(ServiceProfile::dynamodb());
+        assert!(c.admits(ByteSize::kb(399.0)));
+        assert!(!c.admits(ByteSize::mb(178.0)), "deep checkpoints don't fit");
+    }
+}

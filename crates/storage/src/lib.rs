@@ -18,13 +18,18 @@
 //! * [`channel`] — [`channel::StorageChannel`]: store + profile + contention
 //!   model + request/node billing. All executor communication goes through
 //!   this type.
+//! * [`checkpoint`] — recovery-checkpoint sizing from model dims and
+//!   write/read time+dollar costing through a service profile (the fleet
+//!   simulator's spot recovery prices checkpoints through the S3 profile).
 
 pub mod blob;
 pub mod channel;
+pub mod checkpoint;
 pub mod profile;
 pub mod store;
 
 pub use blob::Blob;
 pub use channel::{StorageChannel, StorageError};
+pub use checkpoint::{checkpoint_bytes, CheckpointCosting, CHECKPOINT_AUX_FACTOR};
 pub use profile::{CacheNode, ServiceKind, ServiceProfile};
 pub use store::ObjectStore;

@@ -197,7 +197,7 @@ fn fair_share_bounds_tenant_shares_in_a_two_tenant_burst() {
             )
         });
     }
-    let trace = Trace { jobs };
+    let trace = Trace::from_jobs(jobs);
     let mut cfg = FleetConfig::default();
     cfg.iaas.min_instances = 10;
     cfg.iaas.max_instances = 40;
