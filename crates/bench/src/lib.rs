@@ -78,13 +78,14 @@ pub fn run_experiment(name: &str, h: &Harness) -> String {
         "fleet_scale" => fleet::fleet_scale(h),
         "fleet_policies" => fleet::fleet_policies(h),
         "fleet_recovery" => fleet::fleet_recovery(h),
+        "fleet_estimator" => fleet::fleet_estimator(h),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// All experiment names, in paper order (the fleet sweeps go beyond the
 /// paper).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "fig6_datasets",
     "fig7_optimizers",
     "table1_channels",
@@ -105,6 +106,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "fleet_scale",
     "fleet_policies",
     "fleet_recovery",
+    "fleet_estimator",
 ];
 
 #[cfg(test)]

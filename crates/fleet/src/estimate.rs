@@ -1,0 +1,737 @@
+//! The prediction layer: a pluggable [`Estimator`] behind every
+//! model-driven scheduling policy.
+//!
+//! Until PR 4 each scheduler trusted the paper's §5.3 analytical model
+//! blindly, through a private `(f64, f64, f64, f64)` tuple helper. This
+//! module makes prediction a first-class subsystem with a feedback loop:
+//!
+//! * [`Estimate`] — the named (runtime, cost) × (FaaS, IaaS) quadruple the
+//!   tuple used to smuggle around;
+//! * [`Estimator`] — `predict(&JobRequest) -> Estimate` consumed by the
+//!   routers, plus `observe(&CompletedJob)` fed by the simulator on every
+//!   `Done` lifecycle transition (preempted/resumed attempts included, so
+//!   an online model learns spot-inflated runtimes);
+//! * [`Analytic`] — the §5.3 model verbatim (extracted from
+//!   `scheduler.rs`), observation-blind;
+//! * [`Online`] — a per-(tenant, job-class) EWMA/deviation blend over
+//!   actual epoch times, dollars, and cold-start draws, seeded from the
+//!   analytic prior so cold-start behaviour is unchanged;
+//! * [`Hybrid`] — analytic prior morphing into the online posterior as
+//!   observations accumulate (`n / (n + prior_weight)` weighting).
+//!
+//! The point: the fleet simulator can now study what happens when the
+//! model is *wrong* (set [`crate::sim::FleetConfig::epoch_scale`] to
+//! perturb the actual epoch counts away from the prior) — the scenario
+//! real fleets live in.
+
+use crate::job::{JobClass, JobRequest, TenantId};
+use crate::scheduler::Route;
+use lml_analytic::estimator::estimate_epochs;
+use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
+use lml_sim::{Cost, SimTime};
+use std::collections::BTreeMap;
+
+/// Runtime/cost estimates for one job on both firm substrates, startup
+/// excluded (the fleet charges the actual simulated startup). Replaces the
+/// anonymous `(t_faas, c_faas, t_iaas, c_iaas)` tuple every policy used to
+/// carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Predicted run seconds on FaaS (data loading + training).
+    pub t_faas: f64,
+    /// Predicted FaaS dollars (GB-second billing of the execution).
+    pub c_faas: f64,
+    /// Predicted run seconds on booted IaaS instances.
+    pub t_iaas: f64,
+    /// Predicted IaaS dollars (instance-seconds for the run).
+    pub c_iaas: f64,
+}
+
+impl Estimate {
+    /// Predicted run seconds on the given route (spot runs on IaaS-class
+    /// instances, so it shares the IaaS prediction).
+    pub fn time(&self, route: Route) -> f64 {
+        match route {
+            Route::Faas => self.t_faas,
+            Route::Iaas | Route::Spot => self.t_iaas,
+        }
+    }
+
+    /// Predicted dollars on the given route.
+    pub fn cost(&self, route: Route) -> f64 {
+        match route {
+            Route::Faas => self.c_faas,
+            Route::Iaas | Route::Spot => self.c_iaas,
+        }
+    }
+}
+
+/// Actuals of one finished job, fed back to the estimator by the simulator
+/// the moment the job's lifecycle reaches `Done`.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedJob {
+    pub id: u64,
+    pub class: JobClass,
+    pub tenant: TenantId,
+    /// Route the scheduler chose (spot jobs keep `Spot` even after a pool
+    /// fallback).
+    pub route: Route,
+    pub workers: usize,
+    /// Actual training seconds — including epochs redone after spot
+    /// preemptions, so online models learn spot-inflated runtimes.
+    pub run: SimTime,
+    /// Actual fleet startup: cold/warm starts, dispatch, boots and
+    /// restores (including boots lost to preemption).
+    pub startup: SimTime,
+    /// Dollars attributed to the job.
+    pub cost: Cost,
+    /// Whole epochs the job needed (actual, i.e. after any zoo
+    /// miscalibration).
+    pub epochs_total: u32,
+    pub preemptions: u32,
+}
+
+/// A runtime/cost prediction model with a closed observation loop.
+pub trait Estimator: std::fmt::Debug {
+    fn name(&self) -> &'static str;
+    /// Predict run seconds and dollars on both substrates for this job.
+    fn predict(&self, job: &JobRequest) -> Estimate;
+    /// Feed back the actuals of a finished job.
+    fn observe(&mut self, done: &CompletedJob);
+    /// Learned startup seconds for (job, route), when the estimator has
+    /// observed any — schedulers may use it in place of a static margin.
+    fn startup_hint(&self, _job: &JobRequest, _route: Route) -> Option<SimTime> {
+        None
+    }
+    /// Pin the analytic prior's epochs-to-threshold for a class (e.g. from
+    /// a §5.3 sampling-estimator run).
+    fn pin_epochs(&mut self, class: JobClass, epochs: f64);
+    /// Clone into a box (lets schedulers holding `Box<dyn Estimator>`
+    /// stay `Clone`).
+    fn clone_box(&self) -> Box<dyn Estimator>;
+}
+
+impl Clone for Box<dyn Estimator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Re-estimate `R` (epochs to threshold) for `class` by training on a
+/// `sample_frac` subsample — the paper's §5.3 estimator. The result can be
+/// pinned into any estimator's analytic prior via
+/// [`Estimator::pin_epochs`].
+pub fn calibrate_epochs(class: JobClass, sample_frac: f64, max_epochs: usize, seed: u64) -> f64 {
+    estimate_epochs(
+        class.dataset(),
+        class.model(),
+        class.algorithm(),
+        class.lr(),
+        class.threshold(),
+        sample_frac,
+        max_epochs,
+        seed,
+    )
+    .epochs
+}
+
+/// The paper's §5.3 analytical model, observation-blind: `observe` is a
+/// no-op, so this reproduces the pre-PR-4 behaviour of every scheduler
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct Analytic {
+    faas_case: AnalyticCase,
+    iaas_case: AnalyticCase,
+    /// Per-class epoch overrides (sampling-estimator calibration).
+    epochs: BTreeMap<JobClass, f64>,
+}
+
+impl Default for Analytic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analytic {
+    /// Priced with the default cases (S3-channel FaaS, t2.medium IaaS) —
+    /// matches [`crate::sim::FleetConfig::default`].
+    pub fn new() -> Self {
+        Analytic {
+            faas_case: AnalyticCase::faas_s3(),
+            iaas_case: AnalyticCase::iaas_t2(),
+            epochs: BTreeMap::new(),
+        }
+    }
+
+    /// Priced with the fleet's own channel/pricing cases, so predictions
+    /// price the same substrates the simulator charges.
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        Analytic {
+            faas_case: cfg.faas_case,
+            iaas_case: cfg.iaas_case,
+            epochs: BTreeMap::new(),
+        }
+    }
+
+    /// Directly pin the epoch estimate for a class (builder style).
+    pub fn with_epochs(mut self, class: JobClass, epochs: f64) -> Self {
+        self.epochs.insert(class, epochs);
+        self
+    }
+
+    /// Epochs-to-threshold the prior assumes for `class`.
+    pub fn epochs_for(&self, class: JobClass) -> f64 {
+        self.epochs
+            .get(&class)
+            .copied()
+            .unwrap_or_else(|| class.default_epochs())
+    }
+}
+
+impl Estimator for Analytic {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn predict(&self, job: &JobRequest) -> Estimate {
+        let mut p = job.class.profile();
+        p.epochs = self.epochs_for(job.class);
+        let w = job.workers;
+        let t_faas = faas_time(&p, &self.faas_case, Scaling::Perfect, w).as_secs()
+            - lml_analytic::constants::t_f().eval(w as f64);
+        let c_faas = faas_cost(&p, &self.faas_case, Scaling::Perfect, w).as_usd();
+        let t_iaas = iaas_time(&p, &self.iaas_case, Scaling::Perfect, w).as_secs()
+            - lml_analytic::constants::t_i().eval(w as f64);
+        // Warm-pool IaaS: bill the instances for the run, not the boot.
+        let c_iaas = w as f64 * self.iaas_case.worker_price_per_s * t_iaas;
+        Estimate {
+            t_faas,
+            c_faas,
+            t_iaas,
+            c_iaas,
+        }
+    }
+
+    fn observe(&mut self, _done: &CompletedJob) {}
+
+    fn pin_epochs(&mut self, class: JobClass, epochs: f64) {
+        self.epochs.insert(class, epochs);
+    }
+
+    fn clone_box(&self) -> Box<dyn Estimator> {
+        Box::new(self.clone())
+    }
+}
+
+/// Learned per-(tenant, class, substrate) state.
+#[derive(Debug, Clone, Copy)]
+struct SubstrateStats {
+    /// Observations folded in so far.
+    n: u64,
+    /// EWMA of observed whole epochs per job (learns zoo miscalibration).
+    epochs: f64,
+    /// EWMA of the per-epoch slowdown vs the prior *at the observed
+    /// width* (learns spot inflation and channel error). Ratios — not
+    /// absolute seconds — so a learned correction transfers across
+    /// worker counts through the prior's own width scaling.
+    epoch_ratio: f64,
+    /// EWMA of |observed/prior − predicted/prior| runtime ratios — the
+    /// relative spread behind the quantile-style margin.
+    dev: f64,
+    /// EWMA of the attributed-dollars ratio vs the prior (firm routes
+    /// only).
+    cost_ratio: f64,
+    /// EWMA of observed startup seconds (cold-start draws, boots,
+    /// restores).
+    startup: f64,
+}
+
+/// Per-(tenant, class) stats, one slot per substrate. Spot observations
+/// fold into the IaaS slot — spot runs on IaaS-class instances and its
+/// preemption-inflated actuals are exactly what the model should learn.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassStats {
+    faas: Option<SubstrateStats>,
+    iaas: Option<SubstrateStats>,
+}
+
+impl ClassStats {
+    fn slot(&self, route: Route) -> Option<SubstrateStats> {
+        match route {
+            Route::Faas => self.faas,
+            Route::Iaas | Route::Spot => self.iaas,
+        }
+    }
+}
+
+/// Online estimator: per-(tenant, job-class) EWMAs over actual epoch
+/// counts, per-epoch slowdown ratios, dollar ratios, and cold-start
+/// draws, seeded from the analytic prior — with zero observations it
+/// predicts exactly what [`Analytic`] would, so cold-start behaviour is
+/// unchanged. Corrections are learned as *ratios against the prior*, so
+/// they transfer across worker counts (a mixed-width trace doesn't see a
+/// 10-wide job's absolute seconds quoted for a 100-wide one). Runtimes
+/// learn from every route (spot's preemption-inflated actuals included);
+/// dollars learn from firm routes only, since spot attributions carry the
+/// market discount and would deflate the quoted reserved-pool price.
+/// The cost posterior deliberately learns *attributed* dollars (startup
+/// and checkpoint charges included) — what a tenant actually pays — so
+/// even on a calibrated zoo it drifts a few percent above the prior's
+/// run-only idealization; that gap is honest model error, and it shows
+/// up as the analytic estimator's residual cost MAPE.
+#[derive(Debug, Clone)]
+pub struct Online {
+    prior: Analytic,
+    /// Weight each new observation gets in the EWMAs.
+    pub alpha: f64,
+    /// Deviations added on top of the mean runtime prediction — a cheap
+    /// quantile blend; 0.0 (the default) predicts the mean.
+    pub margin: f64,
+    state: BTreeMap<(TenantId, JobClass), ClassStats>,
+}
+
+impl Default for Online {
+    fn default() -> Self {
+        Self::new(Analytic::new())
+    }
+}
+
+impl Online {
+    pub fn new(prior: Analytic) -> Self {
+        Online {
+            prior,
+            alpha: 0.3,
+            margin: 0.0,
+            state: BTreeMap::new(),
+        }
+    }
+
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        Self::new(Analytic::for_config(cfg))
+    }
+
+    /// Set the EWMA observation weight (0 < α ≤ 1).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Predict `mean + margin × deviation` instead of the mean — a
+    /// conservative quantile-style runtime estimate.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be >= 0");
+        self.margin = margin;
+        self
+    }
+
+    pub fn prior(&self) -> &Analytic {
+        &self.prior
+    }
+
+    /// Observations folded in for (tenant, class) on the route's substrate.
+    pub fn observations(&self, tenant: TenantId, class: JobClass, route: Route) -> u64 {
+        self.state
+            .get(&(tenant, class))
+            .and_then(|cs| cs.slot(route))
+            .map_or(0, |s| s.n)
+    }
+}
+
+impl Estimator for Online {
+    fn name(&self) -> &'static str {
+        "online"
+    }
+
+    fn predict(&self, job: &JobRequest) -> Estimate {
+        let mut e = self.prior.predict(job);
+        if let Some(cs) = self.state.get(&(job.tenant, job.class)) {
+            let prior_epochs = self.prior.epochs_for(job.class).max(1.0);
+            // Learned corrections apply multiplicatively to the prior at
+            // *this* job's width: epoch-count ratio × per-epoch slowdown,
+            // plus the margin's share of the relative spread.
+            let correct = |t: &mut f64, c: &mut f64, s: &SubstrateStats| {
+                *t *= s.epochs / prior_epochs * s.epoch_ratio + self.margin * s.dev;
+                *c *= s.cost_ratio;
+            };
+            if let Some(s) = cs.faas {
+                correct(&mut e.t_faas, &mut e.c_faas, &s);
+            }
+            if let Some(s) = cs.iaas {
+                correct(&mut e.t_iaas, &mut e.c_iaas, &s);
+            }
+        }
+        e
+    }
+
+    fn observe(&mut self, done: &CompletedJob) {
+        // The prior's view at the observed width normalizes every
+        // observation into ratios (tenant and submit time don't enter the
+        // analytic model).
+        let probe = JobRequest::new(done.id, done.class, SimTime::ZERO, done.workers);
+        let p = self.prior.predict(&probe);
+        let prior_epochs = self.prior.epochs_for(done.class).max(1.0);
+        let t_prior = p.time(done.route).max(f64::MIN_POSITIVE);
+        let c_prior = p.cost(done.route).max(f64::MIN_POSITIVE);
+        let entry = self.state.entry((done.tenant, done.class)).or_default();
+        let slot = match done.route {
+            Route::Faas => &mut entry.faas,
+            Route::Iaas | Route::Spot => &mut entry.iaas,
+        };
+        let s = slot.get_or_insert(SubstrateStats {
+            n: 0,
+            epochs: prior_epochs,
+            epoch_ratio: 1.0,
+            dev: 0.0,
+            cost_ratio: 1.0,
+            // There is no analytic prior for startup: the first cold-start
+            // draw seeds the EWMA directly.
+            startup: done.startup.as_secs(),
+        });
+        let a = self.alpha;
+        let epochs_obs = done.epochs_total.max(1) as f64;
+        let rel_obs = done.run.as_secs() / t_prior;
+        let rel_prev = s.epochs / prior_epochs * s.epoch_ratio;
+        s.dev = (1.0 - a) * s.dev + a * (rel_obs - rel_prev).abs();
+        s.epochs = (1.0 - a) * s.epochs + a * epochs_obs;
+        // Per-epoch slowdown: how much longer one epoch really took than
+        // the prior said it would (at this width).
+        let ratio_obs = rel_obs * prior_epochs / epochs_obs;
+        s.epoch_ratio = (1.0 - a) * s.epoch_ratio + a * ratio_obs;
+        // Spot attributions carry the market discount (and restart
+        // settlements): folding them into the cost EWMA would deflate the
+        // price quoted for the full-price reserved pool, so only firm
+        // routes teach dollars. Runtimes learn from every route — spot's
+        // preemption-inflated actuals are exactly the signal wanted.
+        if done.route != Route::Spot {
+            s.cost_ratio = (1.0 - a) * s.cost_ratio + a * done.cost.as_usd() / c_prior;
+        }
+        if s.n > 0 {
+            s.startup = (1.0 - a) * s.startup + a * done.startup.as_secs();
+        }
+        s.n += 1;
+    }
+
+    fn startup_hint(&self, job: &JobRequest, route: Route) -> Option<SimTime> {
+        self.state
+            .get(&(job.tenant, job.class))
+            .and_then(|cs| cs.slot(route))
+            .map(|s| SimTime::secs(s.startup))
+    }
+
+    fn pin_epochs(&mut self, class: JobClass, epochs: f64) {
+        self.prior.pin_epochs(class, epochs);
+    }
+
+    fn clone_box(&self) -> Box<dyn Estimator> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hybrid estimator: analytic prior morphing into the online posterior as
+/// observations accumulate. Each substrate's prediction is the linear
+/// blend `(1 − w) × prior + w × online` with `w = n / (n + prior_weight)`,
+/// so a handful of noisy completions can't yank routing around, but a
+/// sustained miscalibration is eventually fully corrected.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    online: Online,
+    /// Observation count at which the online posterior carries half the
+    /// weight.
+    pub prior_weight: f64,
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Self::new(Analytic::new())
+    }
+}
+
+impl Hybrid {
+    pub fn new(prior: Analytic) -> Self {
+        Hybrid {
+            online: Online::new(prior),
+            prior_weight: 4.0,
+        }
+    }
+
+    pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
+        Self::new(Analytic::for_config(cfg))
+    }
+
+    /// Observations needed before the online posterior carries half the
+    /// weight (must be > 0).
+    pub fn with_prior_weight(mut self, w: f64) -> Self {
+        assert!(w > 0.0, "prior weight must be > 0");
+        self.prior_weight = w;
+        self
+    }
+
+    fn weight(&self, tenant: TenantId, class: JobClass, route: Route) -> f64 {
+        let n = self.online.observations(tenant, class, route) as f64;
+        n / (n + self.prior_weight)
+    }
+}
+
+fn lerp(a: f64, b: f64, w: f64) -> f64 {
+    a + (b - a) * w
+}
+
+impl Estimator for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn predict(&self, job: &JobRequest) -> Estimate {
+        let prior = self.online.prior().predict(job);
+        let post = self.online.predict(job);
+        let wf = self.weight(job.tenant, job.class, Route::Faas);
+        let wi = self.weight(job.tenant, job.class, Route::Iaas);
+        Estimate {
+            t_faas: lerp(prior.t_faas, post.t_faas, wf),
+            c_faas: lerp(prior.c_faas, post.c_faas, wf),
+            t_iaas: lerp(prior.t_iaas, post.t_iaas, wi),
+            c_iaas: lerp(prior.c_iaas, post.c_iaas, wi),
+        }
+    }
+
+    fn observe(&mut self, done: &CompletedJob) {
+        self.online.observe(done);
+    }
+
+    fn startup_hint(&self, job: &JobRequest, route: Route) -> Option<SimTime> {
+        self.online.startup_hint(job, route)
+    }
+
+    fn pin_epochs(&mut self, class: JobClass, epochs: f64) {
+        self.online.pin_epochs(class, epochs);
+    }
+
+    fn clone_box(&self) -> Box<dyn Estimator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(class: JobClass) -> JobRequest {
+        JobRequest::new(0, class, SimTime::ZERO, class.default_workers())
+    }
+
+    fn done_after(class: JobClass, run_secs: f64, route: Route) -> CompletedJob {
+        CompletedJob {
+            id: 0,
+            class,
+            tenant: 0,
+            route,
+            workers: class.default_workers(),
+            run: SimTime::secs(run_secs),
+            startup: SimTime::secs(5.0),
+            cost: Cost::usd(0.2),
+            epochs_total: class.epoch_count(),
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn estimate_indexes_by_route() {
+        let e = Estimate {
+            t_faas: 1.0,
+            c_faas: 2.0,
+            t_iaas: 3.0,
+            c_iaas: 4.0,
+        };
+        assert_eq!(e.time(Route::Faas), 1.0);
+        assert_eq!(e.cost(Route::Faas), 2.0);
+        assert_eq!(e.time(Route::Iaas), 3.0);
+        assert_eq!(e.time(Route::Spot), 3.0, "spot shares the IaaS numbers");
+        assert_eq!(e.cost(Route::Spot), 4.0);
+    }
+
+    #[test]
+    fn analytic_matches_deep_vs_convex_ordering() {
+        let a = Analytic::new();
+        let deep = a.predict(&job(JobClass::RnCifar));
+        let convex = a.predict(&job(JobClass::LrHiggs));
+        // The paper's §5.2 headline: deep communication-bound jobs are far
+        // slower on FaaS than on IaaS; convex jobs are competitive.
+        assert!(deep.t_faas > deep.t_iaas * 3.0);
+        assert!(convex.t_faas > 0.0 && convex.t_iaas > 0.0);
+        assert!(convex.c_faas > 0.0 && convex.c_iaas > 0.0);
+    }
+
+    #[test]
+    fn analytic_pin_epochs_scales_runtime() {
+        let base = Analytic::new();
+        let mut pinned = Analytic::new();
+        pinned.pin_epochs(JobClass::LrHiggs, JobClass::LrHiggs.default_epochs() * 10.0);
+        let j = job(JobClass::LrHiggs);
+        assert!(pinned.predict(&j).t_faas > base.predict(&j).t_faas * 5.0);
+        assert_eq!(
+            Analytic::new()
+                .with_epochs(JobClass::LrHiggs, 60.0)
+                .epochs_for(JobClass::LrHiggs),
+            60.0
+        );
+    }
+
+    #[test]
+    fn online_cold_start_equals_analytic_prior() {
+        let online = Online::new(Analytic::new());
+        let a = Analytic::new();
+        for class in JobClass::ALL {
+            let j = job(class);
+            assert_eq!(online.predict(&j), a.predict(&j), "{class:?}");
+            assert_eq!(online.startup_hint(&j, Route::Faas), None);
+        }
+    }
+
+    #[test]
+    fn online_converges_to_observed_runtime() {
+        let mut online = Online::new(Analytic::new());
+        let j = job(JobClass::LrHiggs);
+        let prior_t = online.predict(&j).t_iaas;
+        let actual = prior_t * 2.0; // the zoo is miscalibrated ×2
+        for _ in 0..40 {
+            online.observe(&done_after(JobClass::LrHiggs, actual, Route::Iaas));
+        }
+        let t = online.predict(&j).t_iaas;
+        assert!(
+            (t - actual).abs() / actual < 0.02,
+            "EWMA must converge: predicted {t}, actual {actual}"
+        );
+        // The FaaS side is untouched by IaaS observations.
+        assert_eq!(online.predict(&j).t_faas, online.prior().predict(&j).t_faas);
+        assert_eq!(online.observations(0, JobClass::LrHiggs, Route::Iaas), 40);
+        assert_eq!(online.observations(0, JobClass::LrHiggs, Route::Faas), 0);
+    }
+
+    #[test]
+    fn online_learns_per_tenant_and_cold_start_draws() {
+        let mut online = Online::new(Analytic::new());
+        let mut d = done_after(JobClass::SvmRcv1, 100.0, Route::Faas);
+        d.tenant = 3;
+        online.observe(&d);
+        let mut j = job(JobClass::SvmRcv1);
+        j.tenant = 3;
+        assert_eq!(
+            online.startup_hint(&j, Route::Faas),
+            Some(SimTime::secs(5.0)),
+            "first draw seeds the startup EWMA"
+        );
+        j.tenant = 0;
+        assert_eq!(
+            online.startup_hint(&j, Route::Faas),
+            None,
+            "state is per-tenant"
+        );
+    }
+
+    #[test]
+    fn online_margin_is_conservative_under_noise() {
+        let base = Online::new(Analytic::new());
+        let mut plain = base.clone();
+        let mut wide = base.with_margin(1.0);
+        let j = job(JobClass::KmHiggs);
+        let prior_t = plain.predict(&j).t_iaas;
+        for k in 0..20 {
+            // Alternate fast/slow actuals: the mean is ~prior, the spread
+            // is large.
+            let run = if k % 2 == 0 {
+                prior_t * 0.5
+            } else {
+                prior_t * 1.5
+            };
+            let d = done_after(JobClass::KmHiggs, run, Route::Iaas);
+            plain.observe(&d);
+            wide.observe(&d);
+        }
+        assert!(
+            wide.predict(&j).t_iaas > plain.predict(&j).t_iaas,
+            "margin must add spread on top of the mean"
+        );
+    }
+
+    #[test]
+    fn spot_observations_fold_into_the_iaas_slot() {
+        let mut online = Online::new(Analytic::new());
+        let j = job(JobClass::LrHiggs);
+        let prior_t = online.predict(&j).t_iaas;
+        // Spot actuals are preemption-inflated: 3× the prior.
+        for _ in 0..30 {
+            online.observe(&done_after(JobClass::LrHiggs, prior_t * 3.0, Route::Spot));
+        }
+        assert!(online.predict(&j).t_iaas > prior_t * 2.0);
+        assert_eq!(online.observations(0, JobClass::LrHiggs, Route::Spot), 30);
+    }
+
+    #[test]
+    fn learned_corrections_transfer_across_worker_counts() {
+        // Observe a 2× slowdown at width 10; a 100-wide job of the same
+        // class must get the same *relative* correction on top of the
+        // prior's own width scaling — not the 10-wide job's absolute
+        // seconds.
+        let mut online = Online::new(Analytic::new());
+        let narrow = job(JobClass::LrHiggs); // default 10 workers
+        let mut wide = narrow;
+        wide.workers = 100;
+        let prior = Analytic::new();
+        let (pn, pw) = (prior.predict(&narrow), prior.predict(&wide));
+        assert_ne!(pn.t_iaas, pw.t_iaas, "premise: the prior is width-aware");
+        for _ in 0..30 {
+            online.observe(&done_after(JobClass::LrHiggs, pn.t_iaas * 2.0, Route::Iaas));
+        }
+        let (en, ew) = (online.predict(&narrow), online.predict(&wide));
+        let (rn, rw) = (en.t_iaas / pn.t_iaas, ew.t_iaas / pw.t_iaas);
+        assert!((rn - 2.0).abs() < 0.05, "narrow correction converged: {rn}");
+        assert!(
+            (rn - rw).abs() < 1e-9,
+            "the relative correction is width-invariant: {rn} vs {rw}"
+        );
+        assert!((en.c_iaas / pn.c_iaas - ew.c_iaas / pw.c_iaas).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_moves_from_prior_to_posterior() {
+        let mut hybrid = Hybrid::new(Analytic::new()).with_prior_weight(4.0);
+        let j = job(JobClass::LrHiggs);
+        let prior_t = hybrid.predict(&j).t_iaas;
+        let actual = prior_t * 2.0;
+        let mut last = prior_t;
+        for k in 1..=30 {
+            hybrid.observe(&done_after(JobClass::LrHiggs, actual, Route::Iaas));
+            let t = hybrid.predict(&j).t_iaas;
+            assert!(
+                t >= last - 1e-9,
+                "step {k}: prediction must move monotonically toward the actual"
+            );
+            last = t;
+        }
+        assert!(
+            (last - actual).abs() / actual < 0.15,
+            "after 30 observations the posterior dominates: {last} vs {actual}"
+        );
+        // An unseen class still predicts the pure prior.
+        let unseen = job(JobClass::RnCifar);
+        assert_eq!(
+            hybrid.predict(&unseen),
+            Analytic::new().predict(&unseen),
+            "cold start unchanged"
+        );
+    }
+
+    #[test]
+    fn boxed_estimators_clone() {
+        let mut online = Online::new(Analytic::new());
+        online.observe(&done_after(JobClass::LrHiggs, 500.0, Route::Iaas));
+        let boxed: Box<dyn Estimator> = Box::new(online);
+        let copy = boxed.clone();
+        let j = job(JobClass::LrHiggs);
+        assert_eq!(boxed.predict(&j), copy.predict(&j));
+        assert_eq!(copy.name(), "online");
+        assert_eq!(Hybrid::default().name(), "hybrid");
+        assert_eq!(Analytic::new().name(), "analytic");
+    }
+}

@@ -26,10 +26,16 @@
 //!   a preemptible spot tier (discounted, per-(job, attempt) seeded
 //!   exponential preemption; preempted jobs resume from their last durable
 //!   checkpoint).
+//! * [`estimate`] — the prediction layer: the named [`Estimate`] quadruple,
+//!   the pluggable [`Estimator`] trait, and its three impls — the §5.3
+//!   [`Analytic`] model, the per-(tenant, class) [`Online`] EWMA learned
+//!   from the simulator's completion feedback, and the prior-to-posterior
+//!   [`Hybrid`] blend.
 //! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, the
 //!   cost-aware hybrid, deadline-aware EDF (spills to IaaS when FaaS can't
 //!   make the deadline), and weighted fair-share (deficit round-robin
-//!   across tenants), each declaring its admission [`QueueDiscipline`].
+//!   across tenants), each declaring its admission [`QueueDiscipline`] and
+//!   pricing through its estimator.
 //! * [`sim`] — the event-driven fleet loop on the shared
 //!   [`lml_sim::EventQueue`], with discipline-ordered admission queues and
 //!   per-tenant service accounting.
@@ -40,6 +46,7 @@
 //!   [`metrics::FleetMetrics::to_json`].
 
 pub mod azure;
+pub mod estimate;
 pub mod job;
 pub mod json;
 pub mod lifecycle;
@@ -49,13 +56,14 @@ pub mod scheduler;
 pub mod sim;
 pub mod workload;
 
+pub use estimate::{Analytic, CompletedJob, Estimate, Estimator, Hybrid, Online};
 pub use job::{JobClass, JobRequest, TenantId};
 pub use lifecycle::{CheckpointPolicy, JobLifecycle};
-pub use metrics::{jain_index, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
+pub use metrics::{jain_index, ClassRow, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{
     AllFaas, AllIaas, CostAware, DeadlineAware, FairShare, FleetView, QueueDiscipline, Route,
     Scheduler,
 };
-pub use sim::{simulate, FleetConfig};
+pub use sim::{simulate, FleetConfig, CHECKPOINT_TIER_THRESHOLD};
 pub use workload::{ArrivalProcess, JobMix, TenantSpec, Trace};

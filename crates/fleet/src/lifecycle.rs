@@ -7,13 +7,13 @@
 //!
 //! ```text
 //! Queued → Booting → Running{epochs_done} → Done
-//!    │                  │        ↑
-//!    │                  ▼        │ (resume)
-//!    │            Checkpointing  │
-//!    │                  │        │
-//!    │                  ▼        │
-//!    │              Preempted → Requeued → Booting → …
-//!    └→ Rejected                             (retry or pool fallback)
+//!  │  ↑↓               │        ↑
+//!  │ Deferred          ▼        │ (resume)
+//!  │ (budget      Checkpointing │
+//!  │  window)          │        │
+//!  │                   ▼        │
+//!  │               Preempted → Requeued → Booting → …
+//!  └→ Rejected                              (retry or pool fallback)
 //! ```
 //!
 //! Transitions are validated ([`JobLifecycle::transition`] panics on an
@@ -43,6 +43,11 @@ use lml_sim::SimTime;
 pub enum JobLifecycle {
     /// Admitted to a queue (or just arrived), waiting to start.
     Queued,
+    /// Held back because the tenant's budget for the current accounting
+    /// window is exhausted; released back to `Queued` at the next window
+    /// (only entered when the fleet runs budget deferral instead of
+    /// rejection).
+    Deferred,
     /// Containers/instances starting (cold start, cluster boot, restore).
     Booting,
     /// Training; `epochs_done` epochs were durable when the run began.
@@ -66,6 +71,7 @@ impl JobLifecycle {
     pub fn name(self) -> &'static str {
         match self {
             JobLifecycle::Queued => "queued",
+            JobLifecycle::Deferred => "deferred",
             JobLifecycle::Booting => "booting",
             JobLifecycle::Running { .. } => "running",
             JobLifecycle::Checkpointing { .. } => "checkpointing",
@@ -98,7 +104,8 @@ impl JobLifecycle {
         use JobLifecycle::*;
         let forward = |from: u32, to: u32| to >= from;
         match (self, next) {
-            (Queued, Booting) | (Queued, Rejected) => true,
+            (Queued, Booting) | (Queued, Rejected) | (Queued, Deferred) => true,
+            (Deferred, Queued) => true,
             (Booting, Running { .. }) => true,
             (Running { epochs_done: a }, Running { epochs_done: b }) => forward(a, b),
             (Running { epochs_done: a }, Checkpointing { epochs_done: b }) => forward(a, b),
@@ -293,6 +300,31 @@ mod tests {
         r.transition(Rejected);
         assert!(r.is_terminal());
         assert_eq!(r.name(), "rejected");
+    }
+
+    #[test]
+    fn deferral_loops_back_to_queued() {
+        let mut l = Queued;
+        l.transition(Deferred);
+        assert!(!l.is_terminal());
+        assert_eq!(l.name(), "deferred");
+        assert_eq!(l.epochs_done(), None);
+        // Released at the next accounting window, then runs normally.
+        for next in [
+            Queued,
+            Deferred,
+            Queued,
+            Booting,
+            Running { epochs_done: 0 },
+            Done,
+        ] {
+            l.transition(next);
+        }
+        assert!(l.is_terminal());
+        // A deferred job is on hold, not running or rejected.
+        assert!(!Deferred.can_transition(Booting));
+        assert!(!Deferred.can_transition(Rejected));
+        assert!(!Deferred.can_transition(Done));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fleet metrics: per-job breakdowns rolled up into tail latencies, cost,
-//! warm-hit rate, utilization, deadline-hit rate, preemptions, and a
-//! per-tenant fairness view, exported as deterministic JSON.
+//! warm-hit rate, utilization, deadline-hit rate, preemptions,
+//! prediction-error (MAPE on runtime and dollars, overall and per class),
+//! and a per-tenant fairness view, exported as deterministic JSON.
 
 use crate::job::{JobClass, TenantId};
 use crate::json::{array, JsonObject};
@@ -45,6 +46,18 @@ pub struct JobRecord {
     /// Terminal `Rejected`: admission refused (tenant budget exhausted);
     /// the job never ran.
     pub rejected: bool,
+    /// The job sat out at least one budget accounting window before
+    /// admission (budget deferral instead of rejection).
+    pub deferred: bool,
+    /// The scheduler's predicted run time on the routed substrate,
+    /// snapshotted at admission (`None` for constant routers and rejected
+    /// jobs).
+    pub predicted_run: Option<SimTime>,
+    /// The scheduler's predicted dollars on the routed substrate. `None`
+    /// for spot-routed jobs too: their attributed dollars ride the market
+    /// discount the firm-price prediction deliberately ignores, and
+    /// scoring it would report the discount as estimator error.
+    pub predicted_cost: Option<Cost>,
     /// Attributed job cost: GB-seconds on FaaS, instance-time share on
     /// IaaS, discounted held-seconds on spot, plus checkpoint dollars.
     pub cost: Cost,
@@ -80,6 +93,44 @@ impl JobRecord {
             return None;
         }
         self.deadline.map(|d| self.finish() <= d)
+    }
+
+    /// Absolute percentage error of the runtime prediction:
+    /// `|actual − predicted| / actual` over the run component (the
+    /// quantity the estimator predicts — queue and startup are charged
+    /// separately). `None` without a prediction or an actual to score
+    /// against.
+    pub fn runtime_ape(&self) -> Option<f64> {
+        if self.rejected {
+            return None;
+        }
+        let predicted = self.predicted_run?.as_secs();
+        let actual = self.run.as_secs();
+        (actual > 0.0).then(|| (actual - predicted).abs() / actual)
+    }
+
+    /// Absolute percentage error of the cost prediction.
+    pub fn cost_ape(&self) -> Option<f64> {
+        if self.rejected {
+            return None;
+        }
+        let predicted = self.predicted_cost?.as_usd();
+        let actual = self.cost.as_usd();
+        (actual > 0.0).then(|| (actual - predicted).abs() / actual)
+    }
+}
+
+/// Mean of absolute percentage errors; 0.0 when nothing was predicted.
+fn mape(apes: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for e in apes {
+        sum += e;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
     }
 }
 
@@ -153,10 +204,29 @@ pub struct TenantRow {
     pub jobs: usize,
     /// Jobs refused admission because the tenant's budget was exhausted.
     pub rejected: usize,
+    /// Jobs that sat out at least one budget accounting window.
+    pub deferred: usize,
     pub latency_p99: f64,
     pub cost: Cost,
     /// Worker-seconds of run time delivered to this tenant.
     pub service: f64,
+}
+
+/// Per-class rollup row (replaces the old anonymous tuple).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassRow {
+    pub class: JobClass,
+    /// Jobs of this class that actually ran.
+    pub jobs: usize,
+    pub latency_p99: f64,
+    /// Mean attributed dollars per job.
+    pub mean_cost: f64,
+    /// Jobs of this class that carried a runtime prediction.
+    pub predicted: usize,
+    /// Mean absolute percentage error of the runtime predictions.
+    pub runtime_mape: f64,
+    /// Mean absolute percentage error of the cost predictions.
+    pub cost_mape: f64,
 }
 
 /// Fleet-level rollup of one simulation run.
@@ -200,6 +270,17 @@ pub struct FleetMetrics {
     pub checkpoint_cost: Cost,
     /// Jobs refused admission on an exhausted tenant budget.
     pub rejected_jobs: usize,
+    /// Jobs that sat out at least one budget accounting window before
+    /// admission.
+    pub deferred_jobs: usize,
+    /// Jobs whose scheduler made a runtime/cost prediction at admission.
+    pub predicted_jobs: usize,
+    /// Mean absolute percentage error of the runtime predictions
+    /// (|actual − predicted| / actual over the run component); 0.0 when
+    /// nothing was predicted.
+    pub runtime_mape: f64,
+    /// Mean absolute percentage error of the cost predictions.
+    pub cost_mape: f64,
     /// Jobs that carried a deadline / that met it.
     pub deadline_jobs: usize,
     pub deadline_hits: usize,
@@ -264,6 +345,10 @@ impl FleetMetrics {
             .filter(|r| r.deadline_met() == Some(true))
             .count();
         let rejected_jobs = records.iter().filter(|r| r.rejected).count();
+        let deferred_jobs = records.iter().filter(|r| r.deferred).count();
+        let predicted_jobs = records.iter().filter_map(|r| r.runtime_ape()).count();
+        let runtime_mape = mape(records.iter().filter_map(|r| r.runtime_ape()));
+        let cost_mape = mape(records.iter().filter_map(|r| r.cost_ape()));
         let resumes = records.iter().map(|r| r.resumes as u64).sum();
         let lost_work = records.iter().map(|r| r.lost_work).sum();
         let checkpoint_writes = records.iter().map(|r| r.checkpoint_writes as u64).sum();
@@ -301,6 +386,10 @@ impl FleetMetrics {
             checkpoint_writes,
             checkpoint_cost,
             rejected_jobs,
+            deferred_jobs,
+            predicted_jobs,
+            runtime_mape,
+            cost_mape,
             deadline_jobs,
             deadline_hits,
             fairness,
@@ -308,9 +397,28 @@ impl FleetMetrics {
         }
     }
 
-    /// Per-class (count, p99 latency, mean cost) breakdown of the jobs
-    /// that ran, in class order.
-    pub fn per_class(&self) -> Vec<(JobClass, usize, f64, f64)> {
+    /// Runtime MAPE over `k` consecutive windows of the predicted jobs (in
+    /// submission order) — the convergence trajectory of a learning
+    /// estimator. Windows with no predicted jobs report 0.0.
+    pub fn runtime_mape_windows(&self, k: usize) -> Vec<f64> {
+        assert!(k >= 1, "need at least one window");
+        let apes: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.runtime_ape())
+            .collect();
+        (0..k)
+            .map(|w| {
+                let lo = w * apes.len() / k;
+                let hi = (w + 1) * apes.len() / k;
+                mape(apes[lo..hi].iter().copied())
+            })
+            .collect()
+    }
+
+    /// Per-class breakdown of the jobs that ran, in class order — named
+    /// [`ClassRow`]s, prediction error included.
+    pub fn per_class(&self) -> Vec<ClassRow> {
         JobClass::ALL
             .into_iter()
             .filter_map(|c| {
@@ -325,7 +433,15 @@ impl FleetMetrics {
                 let lat =
                     Quantiles::from_values(rs.iter().map(|r| r.latency().as_secs()).collect());
                 let mean_cost = rs.iter().map(|r| r.cost.as_usd()).sum::<f64>() / rs.len() as f64;
-                Some((c, rs.len(), lat.p99, mean_cost))
+                Some(ClassRow {
+                    class: c,
+                    jobs: rs.len(),
+                    latency_p99: lat.p99,
+                    mean_cost,
+                    predicted: rs.iter().filter_map(|r| r.runtime_ape()).count(),
+                    runtime_mape: mape(rs.iter().filter_map(|r| r.runtime_ape())),
+                    cost_mape: mape(rs.iter().filter_map(|r| r.cost_ape())),
+                })
             })
             .collect()
     }
@@ -342,12 +458,15 @@ impl FleetMetrics {
         let per_class: Vec<String> = self
             .per_class()
             .into_iter()
-            .map(|(c, n, p99, mean_cost)| {
+            .map(|c| {
                 JsonObject::new()
-                    .str("class", c.name())
-                    .u64("jobs", n as u64)
-                    .f64("latency_p99_s", p99)
-                    .f64("mean_cost_usd", mean_cost)
+                    .str("class", c.class.name())
+                    .u64("jobs", c.jobs as u64)
+                    .f64("latency_p99_s", c.latency_p99)
+                    .f64("mean_cost_usd", c.mean_cost)
+                    .u64("predicted", c.predicted as u64)
+                    .f64("runtime_mape", c.runtime_mape)
+                    .f64("cost_mape", c.cost_mape)
                     .finish()
             })
             .collect();
@@ -359,6 +478,7 @@ impl FleetMetrics {
                     .u64("tenant", t.tenant as u64)
                     .u64("jobs", t.jobs as u64)
                     .u64("rejected", t.rejected as u64)
+                    .u64("deferred", t.deferred as u64)
                     .f64("latency_p99_s", t.latency_p99)
                     .f64("cost_usd", t.cost.as_usd())
                     .f64("service_worker_s", t.service)
@@ -398,6 +518,10 @@ impl FleetMetrics {
             .u64("checkpoint_writes", self.checkpoint_writes)
             .f64("checkpoint_cost_usd", self.checkpoint_cost.as_usd())
             .u64("rejected_jobs", self.rejected_jobs as u64)
+            .u64("deferred_jobs", self.deferred_jobs as u64)
+            .u64("predicted_jobs", self.predicted_jobs as u64)
+            .f64("runtime_mape", self.runtime_mape)
+            .f64("cost_mape", self.cost_mape)
             .u64("deadline_jobs", self.deadline_jobs as u64)
             .u64("deadline_hits", self.deadline_hits as u64)
             .f64("deadline_hit_rate", self.deadline_hit_rate())
@@ -446,6 +570,7 @@ fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
                 tenant: t,
                 jobs: rs.len(),
                 rejected: rs.iter().filter(|r| r.rejected).count(),
+                deferred: rs.iter().filter(|r| r.deferred).count(),
                 latency_p99: lat.p99,
                 cost: rs.iter().map(|r| r.cost).sum(),
                 service: rs.iter().map(|r| r.workers as f64 * r.run.as_secs()).sum(),
@@ -493,6 +618,9 @@ mod tests {
             checkpoint_writes: 0,
             checkpoint_cost: Cost::ZERO,
             rejected: false,
+            deferred: false,
+            predicted_run: None,
+            predicted_cost: None,
             cost: Cost::usd(cost),
         }
     }
@@ -632,6 +760,54 @@ mod tests {
         assert!(json.contains(r#""lost_work_s":10.0"#));
         assert!(json.contains(r#""resumes":2"#));
         assert!(json.contains(r#""checkpoint_writes":5"#));
+    }
+
+    #[test]
+    fn prediction_error_rolls_up_as_mape() {
+        // Job 0: predicted 8 s for a 10 s run (APE 0.2), cost spot-on.
+        let mut a = rec(0, Route::Faas, 0.0, 10.0, 0.5);
+        a.predicted_run = Some(SimTime::secs(8.0));
+        a.predicted_cost = Some(Cost::usd(0.5));
+        // Job 1: predicted 30 s for a 20 s run (APE 0.5), cost double.
+        let mut b = rec(1, Route::Iaas, 0.0, 20.0, 0.1);
+        b.predicted_run = Some(SimTime::secs(30.0));
+        b.predicted_cost = Some(Cost::usd(0.2));
+        // Job 2: no prediction (constant router) — excluded from MAPE.
+        let c = rec(2, Route::Faas, 0.0, 10.0, 0.1);
+        let m = metrics(vec![a, b, c]);
+        assert_eq!(m.predicted_jobs, 2);
+        assert!((m.runtime_mape - 0.35).abs() < 1e-12, "{}", m.runtime_mape);
+        assert!((m.cost_mape - 0.5).abs() < 1e-12, "{}", m.cost_mape);
+        let json = m.to_json();
+        assert!(json.contains(r#""predicted_jobs":2"#));
+        assert!(json.contains(r#""runtime_mape":0.35"#));
+        assert!(json.contains(r#""cost_mape":0.5"#));
+        // Per-class rows carry their own MAPE (all records are LrHiggs).
+        let rows = m.per_class();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].predicted, 2);
+        assert!((rows[0].runtime_mape - 0.35).abs() < 1e-12);
+        // Windowed MAPE in submission order: [0.2], [0.5].
+        assert_eq!(m.runtime_mape_windows(2), vec![0.2, 0.5]);
+        // Predictions on nothing → MAPE 0, no predicted jobs.
+        let empty = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.1)]);
+        assert_eq!(empty.predicted_jobs, 0);
+        assert_eq!(empty.runtime_mape, 0.0);
+    }
+
+    #[test]
+    fn deferred_jobs_roll_up_per_tenant_and_fleet_wide() {
+        let mut d = rec(1, Route::Iaas, 30.0, 10.0, 0.1); // tenant 1
+        d.deferred = true;
+        let m = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.2), d]);
+        assert_eq!(m.deferred_jobs, 1);
+        assert_eq!(m.rejected_jobs, 0, "deferral is not rejection");
+        let rows = m.per_tenant();
+        assert_eq!((rows[1].tenant, rows[1].deferred), (1, 1));
+        assert_eq!(rows[0].deferred, 0);
+        let json = m.to_json();
+        assert!(json.contains(r#""deferred_jobs":1"#));
+        assert!(json.contains(r#""deferred":1"#));
     }
 
     #[test]

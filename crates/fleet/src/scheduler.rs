@@ -3,18 +3,18 @@
 //! A [`Scheduler`] routes each arriving job to the FaaS region, the IaaS
 //! pool, or the spot tier, and declares the [`QueueDiscipline`] the
 //! simulator's admission queues obey for it. The two degenerate policies
-//! reproduce the paper's single-backend world at fleet scale; [`CostAware`]
-//! prices both options per job with the §5.3 analytical model (optionally
-//! re-calibrating epoch counts with the sampling estimator) and adds a
-//! load-aware escape hatch; [`DeadlineAware`] runs EDF over the predicted
-//! runtimes and spills to IaaS when FaaS can't make the deadline;
-//! [`FairShare`] routes by cost but drains queues deficit-round-robin
-//! across weighted tenants.
+//! reproduce the paper's single-backend world at fleet scale; every
+//! model-driven policy prices both options per job through a pluggable
+//! [`Estimator`] (the §5.3 analytical model by default, or an online /
+//! hybrid model learned from the simulator's completion feedback):
+//! [`CostAware`] takes the cheaper side with a load-aware escape hatch;
+//! [`DeadlineAware`] runs EDF over the predicted runtimes and spills to
+//! IaaS when FaaS can't make the deadline; [`FairShare`] routes by cost
+//! but drains queues deficit-round-robin across weighted tenants.
 
+use crate::estimate::{calibrate_epochs, Analytic, CompletedJob, Estimate, Estimator};
 use crate::job::{JobClass, JobRequest, TenantId};
 use crate::lifecycle::CheckpointPolicy;
-use lml_analytic::estimator::estimate_epochs;
-use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
 use lml_sim::SimTime;
 use std::collections::BTreeMap;
 
@@ -85,6 +85,16 @@ pub trait Scheduler {
     fn tenant_weight(&self, _tenant: TenantId) -> f64 {
         1.0
     }
+    /// The policy's runtime/cost prediction for this job, if it makes one
+    /// — the simulator snapshots it at admission to score prediction
+    /// error. Constant routers predict nothing.
+    fn estimate(&self, _job: &JobRequest) -> Option<Estimate> {
+        None
+    }
+    /// Completion feedback from the simulator: called on every `Done`
+    /// lifecycle transition with the job's actuals. Policies holding an
+    /// [`Estimator`] forward this to it; the default drops it.
+    fn observe(&mut self, _done: &CompletedJob) {}
 }
 
 /// Deterministic spot assignment: a stable per-job hash decides whether an
@@ -97,30 +107,6 @@ pub(crate) fn spot_pick(id: u64, spot_fraction: f64) -> bool {
     }
     let h = (id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < spot_fraction
-}
-
-/// Runtime/cost estimates for one job on both substrates, startup excluded
-/// (the fleet charges the actual simulated startup). Shared by every
-/// model-driven policy so they all price the same quantities.
-fn estimate(
-    job: &JobRequest,
-    faas_case: &AnalyticCase,
-    iaas_case: &AnalyticCase,
-    epochs: &BTreeMap<JobClass, f64>,
-) -> (f64, f64, f64, f64) {
-    let mut p = job.class.profile();
-    if let Some(&e) = epochs.get(&job.class) {
-        p.epochs = e;
-    }
-    let w = job.workers;
-    let t_f = faas_time(&p, faas_case, Scaling::Perfect, w).as_secs()
-        - lml_analytic::constants::t_f().eval(w as f64);
-    let c_f = faas_cost(&p, faas_case, Scaling::Perfect, w).as_usd();
-    let t_i = iaas_time(&p, iaas_case, Scaling::Perfect, w).as_secs()
-        - lml_analytic::constants::t_i().eval(w as f64);
-    // Warm-pool IaaS: bill the instances for the run, not the boot.
-    let c_i = w as f64 * iaas_case.worker_price_per_s * t_i;
-    (t_f, c_f, t_i, c_i)
 }
 
 /// Route everything to Lambda.
@@ -149,16 +135,13 @@ impl Scheduler for AllIaas {
     }
 }
 
-/// Cost-aware hybrid: per job, price both substrates with the analytical
-/// model and take the cheaper one — unless the cheaper side is saturated
-/// and the other side would finish the job sooner, in which case latency
-/// wins (the premium buys down the queue).
+/// Cost-aware hybrid: per job, price both substrates with the estimator
+/// and take the cheaper one — unless the cheaper side is saturated and the
+/// other side would finish the job sooner, in which case latency wins (the
+/// premium buys down the queue).
 #[derive(Debug, Clone)]
 pub struct CostAware {
-    faas_case: AnalyticCase,
-    iaas_case: AnalyticCase,
-    /// Per-class epoch overrides from estimator calibration.
-    epochs: BTreeMap<JobClass, f64>,
+    est: Box<dyn Estimator>,
     /// How much slower the cheaper option may be (vs the other side) before
     /// the router abandons it while it is saturated.
     pub patience: f64,
@@ -171,63 +154,53 @@ impl Default for CostAware {
 }
 
 impl CostAware {
-    /// Router priced with the default cases (S3-channel FaaS, t2.medium
-    /// IaaS) — matches [`crate::sim::FleetConfig::default`]. For any other
-    /// fleet configuration use [`CostAware::for_config`] so the routing
+    /// Router predicting with the analytic model over the default cases
+    /// (S3-channel FaaS, t2.medium IaaS) — matches
+    /// [`crate::sim::FleetConfig::default`]. For any other fleet
+    /// configuration use [`CostAware::for_config`] so the routing
     /// estimates price the same substrates the simulator charges.
     pub fn new() -> Self {
         CostAware {
-            faas_case: AnalyticCase::faas_s3(),
-            iaas_case: AnalyticCase::iaas_t2(),
-            epochs: BTreeMap::new(),
+            est: Box::new(Analytic::new()),
             patience: 2.0,
         }
     }
 
-    /// Router priced with the fleet's own channel/pricing cases.
+    /// Router predicting with the analytic model over the fleet's own
+    /// channel/pricing cases.
     pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
         CostAware {
-            faas_case: cfg.faas_case,
-            iaas_case: cfg.iaas_case,
+            est: Box::new(Analytic::for_config(cfg)),
             ..Self::new()
         }
     }
 
+    /// Swap in a different prediction model (online, hybrid, …).
+    pub fn with_estimator(mut self, est: Box<dyn Estimator>) -> Self {
+        self.est = est;
+        self
+    }
+
     /// Re-estimate `R` (epochs to threshold) for `class` by training on a
-    /// `sample_frac` subsample — the paper's §5.3 estimator — and use the
-    /// result for all future routing decisions on that class.
+    /// `sample_frac` subsample — the paper's §5.3 estimator — and pin the
+    /// result into the estimator's analytic prior.
     pub fn calibrate(&mut self, class: JobClass, sample_frac: f64, max_epochs: usize, seed: u64) {
-        let est = estimate_epochs(
-            class.dataset(),
-            class.model(),
-            class.algorithm(),
-            class.lr(),
-            class.threshold(),
-            sample_frac,
-            max_epochs,
-            seed,
-        );
-        self.epochs.insert(class, est.epochs);
+        let epochs = calibrate_epochs(class, sample_frac, max_epochs, seed);
+        self.est.pin_epochs(class, epochs);
     }
 
     /// Directly pin the epoch estimate for a class (e.g. from an offline
     /// estimator run).
     pub fn with_epochs(mut self, class: JobClass, epochs: f64) -> Self {
-        self.epochs.insert(class, epochs);
+        self.est.pin_epochs(class, epochs);
         self
     }
 
-    /// Estimated (time, cost) of the job on FaaS, startup excluded (the
-    /// warm pool makes fleet startup load-dependent; the simulator charges
-    /// the real value).
-    fn estimate(&self, job: &JobRequest) -> (f64, f64, f64, f64) {
-        estimate(job, &self.faas_case, &self.iaas_case, &self.epochs)
-    }
-
-    /// Public view of the per-job estimate, for reporting.
+    /// Public view of the per-job runtime estimate (FaaS, IaaS), for
+    /// reporting.
     pub fn estimated_run(&self, job: &JobRequest) -> (SimTime, SimTime) {
-        let (t_f, _, t_i, _) = self.estimate(job);
-        (SimTime::secs(t_f), SimTime::secs(t_i))
+        let e = self.est.predict(job);
+        (SimTime::secs(e.t_faas), SimTime::secs(e.t_iaas))
     }
 }
 
@@ -237,11 +210,11 @@ impl Scheduler for CostAware {
     }
 
     fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route {
-        let (t_f, c_f, t_i, c_i) = self.estimate(job);
-        let (cheap, t_cheap, t_other) = if c_i <= c_f {
-            (Route::Iaas, t_i, t_f)
+        let e = self.est.predict(job);
+        let (cheap, t_cheap, t_other) = if e.c_iaas <= e.c_faas {
+            (Route::Iaas, e.t_iaas, e.t_faas)
         } else {
-            (Route::Faas, t_f, t_i)
+            (Route::Faas, e.t_faas, e.t_iaas)
         };
         // Saturation check for the cheaper side (this policy never routes
         // to spot, so only the two firm substrates appear here).
@@ -264,17 +237,25 @@ impl Scheduler for CostAware {
         }
         cheap
     }
+
+    fn estimate(&self, job: &JobRequest) -> Option<Estimate> {
+        Some(self.est.predict(job))
+    }
+
+    fn observe(&mut self, done: &CompletedJob) {
+        self.est.observe(done);
+    }
 }
 
 /// Deadline-aware EDF scheduler.
 ///
 /// Jobs with deadlines are admitted earliest-deadline-first
 /// ([`QueueDiscipline::Edf`]) and routed to the cheapest substrate whose
-/// §5.3-predicted *completion* (run plus a queue-backlog estimate) still
-/// meets the deadline. FaaS can't make it when the predicted run is too
-/// slow (deep, communication-bound jobs) or the region is saturated — the
-/// job spills to the reserved pool; conversely a backlogged pool pushes
-/// urgent jobs onto Lambda's elasticity. When nothing makes it the
+/// predicted *completion* (run plus a queue-backlog estimate) still meets
+/// the deadline. FaaS can't make it when the predicted run is too slow
+/// (deep, communication-bound jobs) or the region is saturated — the job
+/// spills to the reserved pool; conversely a backlogged pool pushes urgent
+/// jobs onto Lambda's elasticity. When nothing makes it the
 /// earlier-finishing side wins (minimize tardiness). Deadline-less jobs
 /// route by cost, with a `spot_fraction` share of the IaaS-bound ones
 /// sent to the preemptible tier. Jobs with deadlines stay off the market
@@ -283,18 +264,24 @@ impl Scheduler for CostAware {
 /// which case a preemption only re-runs the epochs since the last durable
 /// checkpoint, and deadline jobs whose laxity comfortably covers the
 /// predicted run plus a recovery allowance ride spot too.
+///
+/// With a learning estimator plugged in, the startup cushion also adapts
+/// upward: once the model's observed cold-start/dispatch draws for a
+/// (tenant, class) exceed the static `startup_margin` (wide cold
+/// fan-outs), the honest number is used instead. The cushion never
+/// shrinks below the margin — its slack also absorbs queue-model error.
 #[derive(Debug, Clone)]
 pub struct DeadlineAware {
-    faas_case: AnalyticCase,
-    iaas_case: AnalyticCase,
-    epochs: BTreeMap<JobClass, f64>,
+    est: Box<dyn Estimator>,
     /// Share of jobs eligible for the spot market that actually ride it:
     /// deadline-less IaaS-bound jobs always, slack-rich deadline jobs too
     /// when `spot_recovery` is on. At 0.0 (the default) nothing routes to
     /// spot regardless of the recovery setting.
     pub spot_fraction: f64,
     /// Startup cushion subtracted from the laxity before a substrate is
-    /// deemed to meet the deadline (covers cold starts / dispatch).
+    /// deemed to meet the deadline (covers cold starts / dispatch). A
+    /// floor, not a constant: the estimator's learned cold-start draws
+    /// grow it per (tenant, class) when they exceed it, never shrink it.
     pub startup_margin: SimTime,
     /// The fleet resumes preempted jobs from durable checkpoints, so a
     /// deadline job with enough slack may ride the spot market.
@@ -314,9 +301,7 @@ impl Default for DeadlineAware {
 impl DeadlineAware {
     pub fn new() -> Self {
         DeadlineAware {
-            faas_case: AnalyticCase::faas_s3(),
-            iaas_case: AnalyticCase::iaas_t2(),
-            epochs: BTreeMap::new(),
+            est: Box::new(Analytic::new()),
             spot_fraction: 0.0,
             startup_margin: SimTime::secs(30.0),
             spot_recovery: false,
@@ -324,13 +309,19 @@ impl DeadlineAware {
         }
     }
 
-    /// Scheduler priced with the fleet's own channel/pricing cases.
+    /// Scheduler predicting with the analytic model over the fleet's own
+    /// channel/pricing cases.
     pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
         DeadlineAware {
-            faas_case: cfg.faas_case,
-            iaas_case: cfg.iaas_case,
+            est: Box::new(Analytic::for_config(cfg)),
             ..Self::new()
         }
+    }
+
+    /// Swap in a different prediction model (online, hybrid, …).
+    pub fn with_estimator(mut self, est: Box<dyn Estimator>) -> Self {
+        self.est = est;
+        self
     }
 
     /// Send this share of deadline-less IaaS-bound jobs to spot.
@@ -365,10 +356,10 @@ impl Scheduler for DeadlineAware {
     }
 
     fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route {
-        let (t_f, c_f, t_i, c_i) = estimate(job, &self.faas_case, &self.iaas_case, &self.epochs);
+        let e = self.est.predict(job);
         let Some(laxity) = job.laxity() else {
             // No deadline: pure cost routing, spot-eligible.
-            return if c_i <= c_f {
+            return if e.c_iaas <= e.c_faas {
                 if spot_pick(job.id, self.spot_fraction) {
                     Route::Spot
                 } else {
@@ -378,7 +369,19 @@ impl Scheduler for DeadlineAware {
                 Route::Faas
             };
         };
-        let margin = self.startup_margin.as_secs();
+        // Startup cushion per substrate: never below the static margin
+        // (its slack also absorbs queue-model error), but learned
+        // cold-start draws can grow it — a class whose observed boots
+        // exceed the cushion (wide cold fan-outs) gets the honest number.
+        let cushion = |route| {
+            self.est
+                .startup_hint(job, route)
+                .unwrap_or(SimTime::ZERO)
+                .max(self.startup_margin)
+                .as_secs()
+        };
+        let margin_f = cushion(Route::Faas);
+        let margin_i = cushion(Route::Iaas);
         // Predicted completion on FaaS: the run itself (Lambda is elastic)
         // unless the account concurrency limit is already saturated.
         let faas_saturated =
@@ -386,18 +389,18 @@ impl Scheduler for DeadlineAware {
         let faas_eta = if faas_saturated {
             f64::INFINITY
         } else {
-            t_f + margin
+            e.t_faas + margin_f
         };
         // Predicted completion on IaaS: the run plus a backlog estimate —
         // the queue drains roughly one capacity-wide wave per run.
         let backlog = (view.iaas_queued_workers + job.workers)
             .saturating_sub(view.iaas_free + view.iaas_provisioning);
         let iaas_wait = if backlog > 0 {
-            backlog as f64 / view.iaas_capacity.max(1) as f64 * t_i
+            backlog as f64 / view.iaas_capacity.max(1) as f64 * e.t_iaas
         } else {
             0.0
         };
-        let iaas_eta = t_i + iaas_wait + margin;
+        let iaas_eta = e.t_iaas + iaas_wait + margin_i;
         let budget = laxity.as_secs();
         // With checkpoint recovery on, a deadline job whose slack swallows
         // several resume-and-rerun cycles takes the spot discount: the
@@ -412,7 +415,7 @@ impl Scheduler for DeadlineAware {
         match (faas_eta <= budget, iaas_eta <= budget) {
             // Both make it: take the cheaper option.
             (true, true) => {
-                if c_f <= c_i {
+                if e.c_faas <= e.c_iaas {
                     Route::Faas
                 } else {
                     Route::Iaas
@@ -433,6 +436,14 @@ impl Scheduler for DeadlineAware {
             }
         }
     }
+
+    fn estimate(&self, job: &JobRequest) -> Option<Estimate> {
+        Some(self.est.predict(job))
+    }
+
+    fn observe(&mut self, done: &CompletedJob) {
+        self.est.observe(done);
+    }
 }
 
 /// Weighted fair-share scheduler: cost-based routing (like [`CostAware`]
@@ -442,9 +453,7 @@ impl Scheduler for DeadlineAware {
 /// tenant's burst cannot starve the others.
 #[derive(Debug, Clone)]
 pub struct FairShare {
-    faas_case: AnalyticCase,
-    iaas_case: AnalyticCase,
-    epochs: BTreeMap<JobClass, f64>,
+    est: Box<dyn Estimator>,
     weights: BTreeMap<TenantId, f64>,
     /// Share of IaaS-bound jobs routed to spot.
     pub spot_fraction: f64,
@@ -459,21 +468,25 @@ impl Default for FairShare {
 impl FairShare {
     pub fn new() -> Self {
         FairShare {
-            faas_case: AnalyticCase::faas_s3(),
-            iaas_case: AnalyticCase::iaas_t2(),
-            epochs: BTreeMap::new(),
+            est: Box::new(Analytic::new()),
             weights: BTreeMap::new(),
             spot_fraction: 0.0,
         }
     }
 
-    /// Scheduler priced with the fleet's own channel/pricing cases.
+    /// Scheduler predicting with the analytic model over the fleet's own
+    /// channel/pricing cases.
     pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
         FairShare {
-            faas_case: cfg.faas_case,
-            iaas_case: cfg.iaas_case,
+            est: Box::new(Analytic::for_config(cfg)),
             ..Self::new()
         }
+    }
+
+    /// Swap in a different prediction model (online, hybrid, …).
+    pub fn with_estimator(mut self, est: Box<dyn Estimator>) -> Self {
+        self.est = est;
+        self
     }
 
     /// Set a tenant's fair-share weight (tenants not set weigh 1).
@@ -505,8 +518,8 @@ impl Scheduler for FairShare {
     }
 
     fn route(&mut self, job: &JobRequest, _view: &FleetView) -> Route {
-        let (_, c_f, _, c_i) = estimate(job, &self.faas_case, &self.iaas_case, &self.epochs);
-        if c_i <= c_f {
+        let e = self.est.predict(job);
+        if e.c_iaas <= e.c_faas {
             if spot_pick(job.id, self.spot_fraction) {
                 Route::Spot
             } else {
@@ -515,6 +528,14 @@ impl Scheduler for FairShare {
         } else {
             Route::Faas
         }
+    }
+
+    fn estimate(&self, job: &JobRequest) -> Option<Estimate> {
+        Some(self.est.predict(job))
+    }
+
+    fn observe(&mut self, done: &CompletedJob) {
+        self.est.observe(done);
     }
 }
 
@@ -535,7 +556,8 @@ fn queue_penalty(side: Route, view: &FleetView) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lml_sim::SimTime;
+    use crate::estimate::{Hybrid, Online};
+    use lml_sim::{Cost, SimTime};
 
     fn job(class: JobClass) -> JobRequest {
         JobRequest::new(0, class, SimTime::ZERO, class.default_workers())
@@ -546,6 +568,7 @@ mod tests {
         let v = FleetView::default();
         assert_eq!(AllFaas.route(&job(JobClass::LrHiggs), &v), Route::Faas);
         assert_eq!(AllIaas.route(&job(JobClass::MnCifar), &v), Route::Iaas);
+        assert!(AllFaas.estimate(&job(JobClass::LrHiggs)).is_none());
     }
 
     #[test]
@@ -731,5 +754,70 @@ mod tests {
         let (t_base, _) = base.estimated_run(&j);
         let (t_long, _) = long.estimated_run(&j);
         assert!(t_long > t_base * 10.0, "{t_long} vs {t_base}");
+    }
+
+    #[test]
+    fn schedulers_with_fresh_learning_estimators_route_like_analytic() {
+        // Cold-start parity: with zero observations the online and hybrid
+        // estimators ARE the analytic prior, so routing is identical.
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        for class in JobClass::ALL {
+            let j = job(class);
+            let mut analytic = CostAware::new();
+            let mut online =
+                CostAware::new().with_estimator(Box::new(Online::new(Analytic::new())));
+            let mut hybrid = CostAware::new().with_estimator(Box::new(Hybrid::default()));
+            let want = analytic.route(&j, &idle);
+            assert_eq!(online.route(&j, &idle), want, "{class:?}");
+            assert_eq!(hybrid.route(&j, &idle), want, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn observed_slowdowns_reroute_deadline_jobs() {
+        // Teach the online model that IaaS runs of LR/Higgs take 40× the
+        // analytic prior; a deadline that the prior thinks IaaS can meet
+        // must now spill to Lambda.
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        let mut j = job(JobClass::LrHiggs);
+        let (t_f, t_i) = CostAware::new().estimated_run(&j);
+        j.deadline = Some(j.submit + t_f * 2.0 + SimTime::secs(120.0));
+        let mut online = Online::new(Analytic::new()).with_alpha(0.9);
+        for _ in 0..8 {
+            online.observe(&CompletedJob {
+                id: 7,
+                class: JobClass::LrHiggs,
+                tenant: 0,
+                route: Route::Iaas,
+                workers: j.workers,
+                run: t_i * 40.0,
+                startup: SimTime::secs(2.0),
+                cost: Cost::usd(0.5),
+                epochs_total: JobClass::LrHiggs.epoch_count(),
+                preemptions: 0,
+            });
+        }
+        let mut learned = DeadlineAware::new().with_estimator(Box::new(online));
+        assert_eq!(
+            learned.route(&j, &idle),
+            Route::Faas,
+            "learned slowdown must push the job off the slow pool"
+        );
+        let mut blind = DeadlineAware::new();
+        assert_eq!(
+            blind.route(&j, &idle),
+            Route::Iaas,
+            "the blind prior keeps trusting the pool"
+        );
     }
 }

@@ -20,8 +20,21 @@
 //! rolls the job back to its last durable checkpoint instead of to zero,
 //! and completion events are always scheduled from the *remaining* epochs
 //! — including after a pool fallback. Tenants with a budget in the trace
-//! are cut off once their attributed spend exhausts it ([`JobLifecycle::Rejected`]).
+//! are cut off once their attributed spend exhausts it
+//! ([`JobLifecycle::Rejected`]) — or, with a [`FleetConfig::budget_window`]
+//! configured, held in [`JobLifecycle::Deferred`] until the next window's
+//! fresh allowance.
+//!
+//! The loop is closed back to the prediction layer: every `Done`
+//! transition feeds the job's actuals (run, startup, dollars — including
+//! spot-inflated reruns) to the scheduler's [`crate::estimate::Estimator`]
+//! via [`Scheduler::observe`], and the prediction snapshotted at admission
+//! is scored against the actuals in the metrics (MAPE rollups). Setting
+//! [`FleetConfig::epoch_scale`] ≠ 1 miscalibrates the zoo — jobs really
+//! need more (or fewer) epochs than the analytic prior assumes — which is
+//! exactly the regime where learning estimators earn their keep.
 
+use crate::estimate::{CompletedJob, Estimate};
 use crate::job::{JobRequest, TenantId};
 use crate::lifecycle::{preempt_outcome, AttemptPlan, CheckpointPolicy, JobLifecycle};
 use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
@@ -49,7 +62,34 @@ pub struct FleetConfig {
     pub faas_case: AnalyticCase,
     /// Analytical case for IaaS jobs (default: t2.medium network).
     pub iaas_case: AnalyticCase,
+    /// Zoo miscalibration knob: the *actual* epochs every job needs are
+    /// the class's calibrated count times this factor, while schedulers'
+    /// analytic priors keep assuming the unscaled count. 1.0 (the
+    /// default) reproduces a perfectly calibrated zoo; 2.0 is the
+    /// "epoch counts perturbed ×2" study.
+    pub epoch_scale: f64,
+    /// Budget accounting window. `None` (the default) keeps PR 3's hard
+    /// caps: an over-budget tenant's jobs are `Rejected`. With a window,
+    /// trace budgets become per-window allowances — a standing clock
+    /// resets the spend ledgers at every boundary, over-budget tenants'
+    /// jobs are `Deferred`, and a deferred backlog re-admits at each
+    /// boundary only up to the fresh allowance (the remainder waits for
+    /// later windows). Zero-budget tenants are still rejected: no window
+    /// can ever afford them.
+    pub budget_window: Option<SimTime>,
+    /// Checkpoint storage-class threshold: recovery checkpoints at or
+    /// under this size go through the DynamoDB profile (per-unit puts,
+    /// 30 ms latency — right for tiny convex models), larger ones through
+    /// S3. `None` sends everything to S3.
+    pub checkpoint_tier_threshold: Option<ByteSize>,
 }
+
+/// Default checkpoint storage-class threshold: the cost break-even where
+/// DynamoDB's per-KB write units (4 × $1.25e-6) meet S3's flat $5e-6 PUT.
+/// At or under this size DynamoDB is never dearer and always faster
+/// (30 ms vs 80 ms), so tiering is strictly dominant; above it S3's flat
+/// request price wins on dollars.
+pub const CHECKPOINT_TIER_THRESHOLD: ByteSize = ByteSize(4_000);
 
 impl Default for FleetConfig {
     fn default() -> Self {
@@ -60,6 +100,9 @@ impl Default for FleetConfig {
             checkpoint: CheckpointPolicy::Never,
             faas_case: AnalyticCase::faas_s3(),
             iaas_case: AnalyticCase::iaas_t2(),
+            epoch_scale: 1.0,
+            budget_window: None,
+            checkpoint_tier_threshold: Some(CHECKPOINT_TIER_THRESHOLD),
         }
     }
 }
@@ -91,6 +134,9 @@ enum Event {
     Provisioned(usize),
     /// Check whether idle IaaS capacity above the floor should be released.
     IdleCheck,
+    /// A budget accounting window opens: spend ledgers reset and deferred
+    /// jobs are admitted.
+    BudgetWindow,
 }
 
 /// Mutable per-job state built up during the run. The queue/startup/run
@@ -123,6 +169,11 @@ struct JobState {
     ckpt_writes: u32,
     /// Checkpoint dollars: uploads plus restore reads.
     ckpt_cost: Cost,
+    /// The scheduler's prediction for the routed substrate, snapshotted at
+    /// admission (None for constant routers and rejected jobs).
+    predicted: Option<Estimate>,
+    /// The job sat out at least one budget accounting window.
+    deferred: bool,
     /// When the job last became ready to start (submission, or the moment
     /// a preemption threw it back).
     ready_since: SimTime,
@@ -154,8 +205,16 @@ struct Fleet<'a> {
     /// Weighted-service ledger behind the deficit-round-robin discipline:
     /// worker-seconds of run time started so far, per tenant.
     tenant_service: BTreeMap<TenantId, f64>,
-    /// Attributed dollars per tenant — the budget-cap enforcement ledger.
+    /// Attributed dollars per tenant — the budget-cap enforcement ledger
+    /// (reset every accounting window when deferral is on).
     tenant_spend: BTreeMap<TenantId, f64>,
+    /// Jobs held back until the next budget window, in arrival order.
+    deferred_queue: Vec<usize>,
+    /// The standing `BudgetWindow` event chain is armed.
+    window_scheduled: bool,
+    /// Jobs not yet in a terminal lifecycle state (`Done`/`Rejected`) —
+    /// lets the window chain stop instead of ticking forever.
+    unfinished: usize,
 }
 
 impl<'a> Fleet<'a> {
@@ -173,11 +232,13 @@ impl<'a> Fleet<'a> {
                 cost: Cost::ZERO,
                 preemptions: 0,
                 resumes: 0,
-                epochs_total: j.class.epoch_count(),
+                epochs_total: Self::actual_epochs(j.class, cfg.epoch_scale),
                 epochs_done: 0,
                 lost_work: SimTime::ZERO,
                 ckpt_writes: 0,
                 ckpt_cost: Cost::ZERO,
+                predicted: None,
+                deferred: false,
                 ready_since: j.submit,
                 attempt: 0,
                 attempt_start: SimTime::ZERO,
@@ -193,14 +254,39 @@ impl<'a> Fleet<'a> {
             faas: FaasRegion::new(cfg.faas),
             iaas: IaasPool::new(cfg.iaas),
             spot: SpotTier::new(cfg.spot, seed),
-            ckpt: CheckpointCosting::s3(),
+            ckpt: match cfg.checkpoint_tier_threshold {
+                Some(t) => CheckpointCosting::tiered(t),
+                None => CheckpointCosting::s3(),
+            },
             state,
             events: EventQueue::new(),
             faas_queue: Vec::new(),
             iaas_queue: Vec::new(),
             tenant_service: BTreeMap::new(),
             tenant_spend: BTreeMap::new(),
+            deferred_queue: Vec::new(),
+            window_scheduled: false,
+            unfinished: jobs.len(),
         }
+    }
+
+    /// Whole epochs a job of `class` actually needs, after the zoo
+    /// miscalibration knob (≥ 1).
+    fn actual_epochs(class: crate::job::JobClass, scale: f64) -> u32 {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "epoch_scale must be finite and > 0"
+        );
+        ((class.default_epochs() * scale).ceil() as u32).max(1)
+    }
+
+    /// The job's *actual* analytical profile: the class profile with the
+    /// epoch count the zoo miscalibration knob dictates. Service times and
+    /// FaaS bills come from this; scheduler priors keep the unscaled view.
+    fn actual_profile(&self, i: usize) -> AnalyticParams {
+        let mut p = self.jobs[i].class.profile();
+        p.epochs *= self.cfg.epoch_scale;
+        p
     }
 
     /// Attribute `c` dollars to job `i` and its tenant's spend ledger.
@@ -281,7 +367,7 @@ impl<'a> Fleet<'a> {
         let job = &self.jobs[i];
         match self.faas.try_start(now, job.workers) {
             Some((startup, warm_hits)) => {
-                let p = job.class.profile();
+                let p = self.actual_profile(i);
                 let run = faas_run(&p, &self.cfg.faas_case, job.workers);
                 let s = &mut self.state[i];
                 s.queue += now - s.ready_since;
@@ -312,7 +398,7 @@ impl<'a> Fleet<'a> {
         if !self.iaas.try_start(now, job.workers) {
             return false;
         }
-        let p = job.class.profile();
+        let p = self.actual_profile(i);
         let run_full = iaas_run(&p, &self.cfg.iaas_case, job.workers);
         let total = self.state[i].epochs_total;
         let epoch_secs = run_full.as_secs() / total as f64;
@@ -373,7 +459,7 @@ impl<'a> Fleet<'a> {
     fn start_spot(&mut self, i: usize, now: SimTime) {
         let job = &self.jobs[i];
         let workers = job.workers;
-        let p = job.class.profile();
+        let p = self.actual_profile(i);
         let run_full = iaas_run(&p, &self.cfg.iaas_case, workers);
         let total = self.state[i].epochs_total;
         let epoch_secs = run_full.as_secs() / total as f64;
@@ -484,26 +570,104 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Mark job `i` finished: all epochs durable, lifecycle `Done`.
-    fn complete(&mut self, i: usize) {
+    /// Mark job `i` finished: all epochs durable, lifecycle `Done`, and
+    /// the actuals fed back to the scheduler's estimator — the closed
+    /// prediction loop.
+    fn complete(&mut self, i: usize, sched: &mut dyn Scheduler) {
         let s = &mut self.state[i];
         s.epochs_done = s.epochs_total;
         s.lifecycle.transition(JobLifecycle::Done);
+        self.unfinished -= 1;
+        let j = &self.jobs[i];
+        let s = &self.state[i];
+        sched.observe(&CompletedJob {
+            id: j.id,
+            class: j.class,
+            tenant: j.tenant,
+            route: s.route,
+            workers: j.workers,
+            run: s.run,
+            startup: s.startup,
+            cost: s.cost,
+            epochs_total: s.epochs_total,
+            preemptions: s.preemptions,
+        });
+    }
+
+    /// Route job `i` at `now` and enqueue (or launch) it on the chosen
+    /// platform. Shared by fresh arrivals and budget-window releases; the
+    /// scheduler's prediction is snapshotted here so prediction error is
+    /// scored against what the estimator believed *at admission*.
+    fn admit(&mut self, i: usize, now: SimTime, sched: &mut dyn Scheduler) {
+        let view = self.view();
+        // The scheduler sees the job as of *admission*: a job released
+        // from budget deferral has burned part of its slack, so its
+        // submit is advanced to `now` and laxity() measures the deadline
+        // slack actually remaining (fresh arrivals have submit == now and
+        // are unchanged). Record-keeping keeps the original submit.
+        let mut job = self.jobs[i];
+        job.submit = job.submit.max(now);
+        // Snapshot first: the prediction scored later is the one routing
+        // is about to act on (route() may mutate scheduler state).
+        self.state[i].predicted = sched.estimate(&job);
+        let route = sched.route(&job, &view);
+        self.state[i].route = route;
+        // Width is validated against the *routed* platform only: a job
+        // too wide for one substrate is fine as long as its scheduler
+        // never sends it there.
+        match route {
+            Route::Faas => {
+                assert!(
+                    self.jobs[i].workers <= self.cfg.faas.concurrency_limit,
+                    "job {i} routed to FaaS but wider than the account concurrency limit"
+                );
+                self.faas_queue.push(i);
+                self.drain_faas(now, sched);
+            }
+            Route::Iaas => {
+                assert!(
+                    self.jobs[i].workers <= self.cfg.iaas.max_instances,
+                    "job {i} routed to IaaS but wider than the autoscaling ceiling"
+                );
+                self.iaas_queue.push(i);
+                self.drain_iaas(now, sched);
+            }
+            Route::Spot => {
+                assert!(
+                    self.jobs[i].workers <= self.cfg.iaas.max_instances,
+                    "job {i} routed to spot but wider than the reserved pool it may \
+                     fall back to after {} preemptions",
+                    self.cfg.spot.max_retries
+                );
+                self.start_spot(i, now);
+            }
+        }
+    }
+
+    /// Hold job `i` until the next budget window boundary. The standing
+    /// window chain (set up by [`simulate`] whenever the trace carries
+    /// budgets) guarantees a boundary event is already in flight.
+    fn defer(&mut self, i: usize, _now: SimTime) {
+        debug_assert!(self.window_scheduled, "deferral needs the window chain");
+        let s = &mut self.state[i];
+        s.lifecycle.transition(JobLifecycle::Deferred);
+        s.deferred = true;
+        self.deferred_queue.push(i);
     }
 
     /// Handle every event type except `Arrive` (which needs the external
     /// scheduler's routing decision and is driven directly by [`simulate`]).
-    fn handle(&mut self, now: SimTime, ev: Event, sched: &dyn Scheduler) {
+    fn handle(&mut self, now: SimTime, ev: Event, sched: &mut dyn Scheduler) {
         match ev {
             Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
             Event::FaasDone(i) => {
                 self.faas.release(now, self.jobs[i].workers);
-                self.complete(i);
+                self.complete(i, sched);
                 self.drain_faas(now, sched);
             }
             Event::IaasDone(i) => {
                 self.iaas.finish(now, self.jobs[i].workers);
-                self.complete(i);
+                self.complete(i, sched);
                 self.drain_iaas(now, sched);
                 if self.iaas_queue.is_empty() {
                     self.events
@@ -529,7 +693,7 @@ impl<'a> Fleet<'a> {
                 s.ckpt_writes += writes;
                 s.ckpt_cost += write_dollars;
                 self.charge(i, cost);
-                self.complete(i);
+                self.complete(i, sched);
             }
             Event::SpotPreempted(i) => {
                 let workers = self.jobs[i].workers;
@@ -595,6 +759,40 @@ impl<'a> Fleet<'a> {
                     self.iaas.scale_down_idle(now);
                 }
             }
+            Event::BudgetWindow => {
+                // A new accounting window opens: every tenant gets a fresh
+                // allowance, and the jobs that sat out the last window are
+                // admitted (in arrival order). The chain re-arms itself at
+                // every boundary — ledgers reset whether or not anyone was
+                // deferred, so budgets really are per-window allowances —
+                // and stops once all jobs are terminal (the trailing event,
+                // if any, is dropped by `simulate` before it can stretch
+                // the makespan).
+                for spent in self.tenant_spend.values_mut() {
+                    *spent = 0.0;
+                }
+                let held = std::mem::take(&mut self.deferred_queue);
+                for i in held {
+                    // The fresh allowance is a cap, not a floodgate: a
+                    // backlog larger than one window's budget drains at
+                    // the budgeted rate, window over window (spend is
+                    // attributed at dispatch, so jobs admitted here but
+                    // still queueing don't show yet — the same
+                    // charge-at-dispatch approximation arrivals use).
+                    if self.budget_exhausted(self.jobs[i].tenant) {
+                        self.deferred_queue.push(i);
+                        continue;
+                    }
+                    self.state[i].lifecycle.transition(JobLifecycle::Queued);
+                    self.admit(i, now, sched);
+                }
+                if self.unfinished > 0 {
+                    let w = self.cfg.budget_window.expect("chain implies a window");
+                    self.events.push(now + w, Event::BudgetWindow);
+                } else {
+                    self.window_scheduled = false;
+                }
+            }
         }
     }
 }
@@ -610,51 +808,49 @@ pub fn simulate(
     for (i, j) in trace.jobs.iter().enumerate() {
         fleet.events.push(j.submit, Event::Arrive(i));
     }
+    // Budget windows are a standing clock, not a deferral side effect:
+    // ledgers must reset at *every* boundary (a tenant spending a steady
+    // 70% of its allowance per window is never over budget), so arm the
+    // chain up front whenever windowed budgets are in play.
+    if let Some(w) = cfg.budget_window {
+        if !trace.budgets.is_empty() && !trace.jobs.is_empty() {
+            fleet.window_scheduled = true;
+            fleet.events.push(w, Event::BudgetWindow);
+        }
+    }
 
     let mut last_time = SimTime::ZERO;
     while let Some((now, ev)) = fleet.events.pop() {
+        if ev == Event::BudgetWindow && fleet.unfinished == 0 {
+            // The chain's trailing tick after the last job finished:
+            // dropped before it can stretch the makespan or idle billing.
+            continue;
+        }
         last_time = now;
         if let Event::Arrive(i) = ev {
             // Budget cap: a tenant whose attributed spend has exhausted its
-            // trace-declared budget gets no more admissions — the job ends
-            // in the `Rejected` terminal state without touching a platform.
+            // trace-declared budget gets no more admissions this window.
+            // With a budget window configured the job is `Deferred` to the
+            // next window's fresh allowance; without one (or for a tenant
+            // whose cap is zero — no window can ever afford it) the job
+            // ends in the `Rejected` terminal state without touching a
+            // platform.
             if fleet.budget_exhausted(fleet.jobs[i].tenant) {
-                fleet.state[i].lifecycle.transition(JobLifecycle::Rejected);
+                let cap = fleet
+                    .budgets
+                    .get(&fleet.jobs[i].tenant)
+                    .copied()
+                    .unwrap_or(0.0);
+                match cfg.budget_window {
+                    Some(_) if cap > 0.0 => fleet.defer(i, now),
+                    _ => {
+                        fleet.state[i].lifecycle.transition(JobLifecycle::Rejected);
+                        fleet.unfinished -= 1;
+                    }
+                }
                 continue;
             }
-            let view = fleet.view();
-            let route = scheduler.route(&fleet.jobs[i], &view);
-            fleet.state[i].route = route;
-            // Width is validated against the *routed* platform only: a job
-            // too wide for one substrate is fine as long as its scheduler
-            // never sends it there.
-            match route {
-                Route::Faas => {
-                    assert!(
-                        fleet.jobs[i].workers <= cfg.faas.concurrency_limit,
-                        "job {i} routed to FaaS but wider than the account concurrency limit"
-                    );
-                    fleet.faas_queue.push(i);
-                    fleet.drain_faas(now, scheduler);
-                }
-                Route::Iaas => {
-                    assert!(
-                        fleet.jobs[i].workers <= cfg.iaas.max_instances,
-                        "job {i} routed to IaaS but wider than the autoscaling ceiling"
-                    );
-                    fleet.iaas_queue.push(i);
-                    fleet.drain_iaas(now, scheduler);
-                }
-                Route::Spot => {
-                    assert!(
-                        fleet.jobs[i].workers <= cfg.iaas.max_instances,
-                        "job {i} routed to spot but wider than the reserved pool it may \
-                         fall back to after {} preemptions",
-                        cfg.spot.max_retries
-                    );
-                    fleet.start_spot(i, now);
-                }
-            }
+            fleet.admit(i, now, scheduler);
         } else {
             fleet.handle(now, ev, scheduler);
         }
@@ -688,6 +884,17 @@ pub fn simulate(
             checkpoint_writes: s.ckpt_writes,
             checkpoint_cost: s.ckpt_cost,
             rejected: s.lifecycle == JobLifecycle::Rejected,
+            deferred: s.deferred,
+            predicted_run: s.predicted.map(|e| SimTime::secs(e.time(s.route))),
+            // Spot attributions ride the market discount the firm-price
+            // prediction deliberately ignores; scoring them would report
+            // the discount as estimator error, so spot jobs carry no cost
+            // prediction (their runtimes still score — spot inflation IS
+            // estimator error).
+            predicted_cost: match s.route {
+                Route::Spot => None,
+                _ => s.predicted.map(|e| Cost::usd(e.cost(s.route))),
+            },
             cost: s.cost,
         })
         .collect();
@@ -915,6 +1122,232 @@ mod tests {
         assert!(warm.startup.p99 < cold.startup.p99);
         assert_eq!(cold.faas_provisioned_cost.as_usd(), 0.0);
         assert!(warm.faas_provisioned_cost.as_usd() > 0.0);
+    }
+
+    /// On a perfectly calibrated zoo, cost-aware predictions match the
+    /// simulated FaaS runs exactly (identical formulas) — runtime MAPE is
+    /// ~0 — and constant routers predict nothing.
+    #[test]
+    fn predictions_are_snapshotted_and_scored() {
+        let trace = small_trace(80, 0.5, 17);
+        let cfg = FleetConfig::default();
+        let m = simulate(&trace, &cfg, &mut CostAware::new(), 17);
+        assert_eq!(m.predicted_jobs, 80, "every admitted job carries one");
+        let faas_apes: Vec<f64> = m
+            .records
+            .iter()
+            .filter(|r| r.route == Route::Faas)
+            .filter_map(|r| r.runtime_ape())
+            .collect();
+        for ape in &faas_apes {
+            assert!(*ape < 1e-9, "calibrated FaaS prediction is exact: {ape}");
+        }
+        let blind = simulate(&trace, &cfg, &mut AllFaas, 17);
+        assert_eq!(blind.predicted_jobs, 0);
+        assert_eq!(blind.runtime_mape, 0.0);
+        assert!(blind.records.iter().all(|r| r.predicted_run.is_none()));
+    }
+
+    /// The epoch-scale knob stretches actual runtimes while the analytic
+    /// prior stays put: MAPE under the blind estimator ≈ the miscalibration,
+    /// and the online estimator learns it away within the run.
+    #[test]
+    fn miscalibrated_zoo_inflates_blind_mape_and_online_learns_it() {
+        let trace = small_trace(300, 0.5, 23);
+        let cfg = FleetConfig {
+            epoch_scale: 2.0,
+            ..FleetConfig::default()
+        };
+        let blind = simulate(&trace, &cfg, &mut CostAware::new(), 23);
+        assert!(
+            (blind.runtime_mape - 0.5).abs() < 0.05,
+            "actuals are 2× the prediction → MAPE ≈ 0.5, got {}",
+            blind.runtime_mape
+        );
+        let mut learned = CostAware::new().with_estimator(Box::new(crate::estimate::Online::new(
+            crate::estimate::Analytic::new(),
+        )));
+        let online = simulate(&trace, &cfg, &mut learned, 23);
+        assert!(
+            online.runtime_mape < blind.runtime_mape * 0.6,
+            "online feedback must cut MAPE: {} vs blind {}",
+            online.runtime_mape,
+            blind.runtime_mape
+        );
+        let windows = online.runtime_mape_windows(3);
+        assert!(
+            windows[2] < windows[0],
+            "late windows must beat early ones: {windows:?}"
+        );
+        // Sanity: the calibrated zoo keeps near-zero error for both.
+        let calib = simulate(&trace, &FleetConfig::default(), &mut CostAware::new(), 23);
+        assert!(calib.runtime_mape < 0.05, "{}", calib.runtime_mape);
+    }
+
+    /// Budget deferral: with an accounting window, an over-budget tenant's
+    /// jobs wait for the next window instead of dying — nothing is
+    /// rejected, every job eventually completes, and the deferrals are
+    /// surfaced per tenant.
+    #[test]
+    fn budget_window_defers_instead_of_rejecting() {
+        let spec = TenantSpec {
+            n_tenants: 2,
+            deadline_frac: 0.0,
+            deadline_slack: 3.0,
+        };
+        let base = Trace::generate_multi(
+            ArrivalProcess::Poisson { rate: 0.5 },
+            &JobMix::convex_mix(),
+            &spec,
+            200,
+            31,
+        )
+        .with_budget(0, 0.02);
+        let reject_cfg = FleetConfig::default();
+        let rejected = simulate(&base, &reject_cfg, &mut CostAware::new(), 31);
+        assert!(rejected.rejected_jobs > 0, "premise: the cap bites");
+        assert_eq!(rejected.deferred_jobs, 0);
+
+        let defer_cfg = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            ..FleetConfig::default()
+        };
+        let deferred = simulate(&base, &defer_cfg, &mut CostAware::new(), 31);
+        assert_eq!(deferred.rejected_jobs, 0, "deferral replaces rejection");
+        assert!(deferred.deferred_jobs > 0, "the cap must still bite");
+        assert_eq!(deferred.n_jobs, 200, "every job completes eventually");
+        // Deferred jobs belong to the capped tenant and waited at least
+        // until a window boundary.
+        let rows = deferred.per_tenant();
+        let t0 = rows.iter().find(|t| t.tenant == 0).unwrap();
+        let t1 = rows.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!(t0.deferred, deferred.deferred_jobs);
+        assert_eq!(t1.deferred, 0, "the uncapped tenant never waits");
+        for r in deferred.records.iter().filter(|r| r.deferred) {
+            assert_eq!(r.tenant, 0);
+            assert!(
+                r.queue.as_secs() > 0.0,
+                "a deferred job's wait shows up as queue time"
+            );
+        }
+        // A zero budget can never be afforded: still rejected, window or
+        // not (otherwise the job would defer forever).
+        let zero = Trace::generate_multi(
+            ArrivalProcess::Poisson { rate: 0.5 },
+            &JobMix::convex_mix(),
+            &spec,
+            50,
+            31,
+        )
+        .with_budget(0, 0.0);
+        let m = simulate(&zero, &defer_cfg, &mut CostAware::new(), 31);
+        assert!(m.rejected_jobs > 0);
+        assert_eq!(m.deferred_jobs, 0);
+        // Deterministic like everything else.
+        let again = simulate(&base, &defer_cfg, &mut CostAware::new(), 31);
+        assert_eq!(again.to_json(), deferred.to_json());
+    }
+
+    /// Per-window allowance semantics: ledgers reset at *every* window
+    /// boundary, not just after a deferral — a tenant spending under its
+    /// cap per window is never held up, however much it accumulates
+    /// across windows.
+    #[test]
+    fn budget_window_resets_every_boundary() {
+        use crate::job::{JobClass, JobRequest};
+        // One ~$0.007 IaaS job per hourly window; the $0.012 cap covers
+        // any single window but not the cumulative total.
+        let jobs = (0..4)
+            .map(|k| {
+                JobRequest::new(
+                    k,
+                    JobClass::LrHiggs,
+                    SimTime::secs(3_600.0 * k as f64 + 1.0),
+                    10,
+                )
+            })
+            .collect();
+        let trace = Trace::from_jobs(jobs).with_budget(0, 0.012);
+        let hard = simulate(&trace, &FleetConfig::default(), &mut CostAware::new(), 1);
+        assert!(hard.rejected_jobs > 0, "premise: the total blows the cap");
+        let defer_cfg = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            ..FleetConfig::default()
+        };
+        let m = simulate(&trace, &defer_cfg, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 0);
+        assert_eq!(
+            m.deferred_jobs, 0,
+            "steady under-cap-per-window spend must never defer"
+        );
+        assert_eq!(m.n_jobs, 4);
+    }
+
+    /// A backlog bigger than one window's allowance drains at the
+    /// budgeted rate, window over window — the boundary release re-checks
+    /// the fresh allowance instead of flushing everything at once.
+    #[test]
+    fn budget_window_drains_backlog_at_the_budgeted_rate() {
+        use crate::job::{JobClass, JobRequest};
+        // Six ~$0.007 jobs burst at t≈0; the $0.012 cap affords ~2 per
+        // hourly window.
+        let jobs = (0..6)
+            .map(|k| JobRequest::new(k, JobClass::LrHiggs, SimTime::secs(k as f64), 10))
+            .collect();
+        let trace = Trace::from_jobs(jobs).with_budget(0, 0.012);
+        let cfg = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            ..FleetConfig::default()
+        };
+        let m = simulate(&trace, &cfg, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 0);
+        assert_eq!(m.n_jobs, 6, "the whole backlog completes eventually");
+        assert_eq!(m.deferred_jobs, 4, "two run now, four wait");
+        assert!(
+            m.makespan > SimTime::hours(2.0),
+            "the tail needs a third window, makespan {}",
+            m.makespan
+        );
+    }
+
+    /// A job released from deferral has burned part of its slack: the
+    /// scheduler must be routed with the *remaining* laxity, not the
+    /// submit-relative one.
+    #[test]
+    fn deferred_jobs_route_with_remaining_laxity() {
+        use crate::job::{JobClass, JobRequest};
+
+        /// Records the laxity each routed job presents.
+        struct Probe {
+            seen: Vec<Option<f64>>,
+        }
+        impl Scheduler for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn route(&mut self, job: &JobRequest, _view: &FleetView) -> Route {
+                self.seen.push(job.laxity().map(|l| l.as_secs()));
+                Route::Faas
+            }
+        }
+
+        let mut burner = JobRequest::new(0, JobClass::LrHiggs, SimTime::ZERO, 10);
+        burner.tenant = 0;
+        let mut late = JobRequest::new(1, JobClass::LrHiggs, SimTime::secs(5.0), 10);
+        late.tenant = 0;
+        late.deadline = Some(SimTime::secs(10_000.0));
+        let trace = Trace::from_jobs(vec![burner, late]).with_budget(0, 0.001);
+        let cfg = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            ..FleetConfig::default()
+        };
+        let mut probe = Probe { seen: Vec::new() };
+        let m = simulate(&trace, &cfg, &mut probe, 1);
+        assert_eq!(m.deferred_jobs, 1, "the burner exhausts the cap");
+        // The deferred job is released at the t=3600 boundary: the
+        // scheduler must see 10000 − 3600, not 10000 − 5.
+        assert_eq!(probe.seen[0], None);
+        assert_eq!(probe.seen[1], Some(10_000.0 - 3_600.0));
     }
 
     /// EDF admission: on a capacity-capped pool the deadline jobs overtake

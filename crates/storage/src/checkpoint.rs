@@ -8,10 +8,18 @@
 //!
 //! Write/read time and dollars go through the same [`ServiceProfile`]
 //! channel model as every other storage operation in the repository
-//! (`L + m/B`, per-request billing). The fleet simulator prices recovery
-//! checkpoints through the S3 profile: always-on, no node to keep warm,
-//! and the per-PUT price is flat regardless of object size — exactly the
+//! (`L + m/B`, per-request billing). By default recovery checkpoints go
+//! through the S3 profile: always-on, no node to keep warm, and the
+//! per-PUT price is flat regardless of object size — exactly the
 //! "checkpoint to object storage" pattern serverless frameworks use.
+//!
+//! S3's flat per-request price is the wrong deal for *tiny* convex-model
+//! checkpoints, though: DynamoDB bills per KB-unit (a 448 B LR checkpoint
+//! costs one write unit, 4× less than an S3 PUT) and answers in 30 ms
+//! instead of 80 ms — but caps items at 400 KB, so deep-model checkpoints
+//! don't fit. [`CheckpointCosting::tiered`] makes the storage-class
+//! choice per checkpoint: DynamoDB at or under a size threshold, S3
+//! above it.
 
 use crate::profile::ServiceProfile;
 use lml_sim::{ByteSize, Cost, SimTime};
@@ -29,9 +37,10 @@ pub fn checkpoint_bytes(model_bytes: f64) -> ByteSize {
     ByteSize::bytes((model_bytes * CHECKPOINT_AUX_FACTOR).ceil() as u64)
 }
 
-/// Checkpoint write/read pricing against one storage service profile.
+/// Checkpoint write/read pricing against a storage service profile — or
+/// two of them, with a per-checkpoint storage-class choice.
 ///
-/// The costing is stateless: both operations follow the profile's
+/// The costing is stateless: both operations follow the chosen profile's
 /// single-stream channel model (`latency + bytes / stream_bw`) and its
 /// request billing. Contention is deliberately ignored — checkpoints are
 /// rare, large, sequential uploads from one worker, not the all-workers
@@ -39,6 +48,9 @@ pub fn checkpoint_bytes(model_bytes: f64) -> ByteSize {
 #[derive(Debug, Clone)]
 pub struct CheckpointCosting {
     profile: ServiceProfile,
+    /// Small-object tier: checkpoints at or under the threshold (that the
+    /// service also admits) go through this profile instead.
+    small: Option<(ServiceProfile, ByteSize)>,
 }
 
 impl CheckpointCosting {
@@ -47,42 +59,72 @@ impl CheckpointCosting {
             profile.stream_bw > 0.0,
             "checkpoint store needs positive bandwidth"
         );
-        CheckpointCosting { profile }
+        CheckpointCosting {
+            profile,
+            small: None,
+        }
     }
 
-    /// The default checkpoint store: S3.
+    /// The default checkpoint store: S3 for everything.
     pub fn s3() -> Self {
         CheckpointCosting::new(ServiceProfile::s3())
     }
 
+    /// The storage-class choice: DynamoDB for checkpoints at or under
+    /// `threshold` (tiny convex models — cheaper per-unit puts, 30 ms
+    /// latency), S3 for everything larger (deep models blow DynamoDB's
+    /// 400 KB item cap). A zero threshold degenerates to all-S3.
+    pub fn tiered(threshold: ByteSize) -> Self {
+        let dynamo = ServiceProfile::dynamodb();
+        assert!(
+            dynamo.admits(threshold),
+            "threshold must fit DynamoDB's item cap"
+        );
+        CheckpointCosting {
+            profile: ServiceProfile::s3(),
+            small: Some((dynamo, threshold)),
+        }
+    }
+
+    /// The profile a checkpoint of this size is routed through.
+    pub fn profile_for(&self, bytes: ByteSize) -> &ServiceProfile {
+        match &self.small {
+            Some((p, threshold)) if bytes <= *threshold && p.admits(bytes) => p,
+            _ => &self.profile,
+        }
+    }
+
+    /// The large-object (default) profile.
     pub fn profile(&self) -> &ServiceProfile {
         &self.profile
     }
 
-    /// Does the service admit an object of this size at all?
+    /// Does the chosen service admit an object of this size at all?
     pub fn admits(&self, bytes: ByteSize) -> bool {
-        self.profile.admits(bytes)
+        self.profile_for(bytes).admits(bytes)
     }
 
     /// Wall-clock time of one checkpoint upload: `L + m/B`.
     pub fn write_time(&self, bytes: ByteSize) -> SimTime {
-        self.profile.latency + SimTime::secs(bytes.as_f64() / self.profile.stream_bw)
+        let p = self.profile_for(bytes);
+        p.latency + SimTime::secs(bytes.as_f64() / p.stream_bw)
     }
 
     /// Dollars billed for one checkpoint upload (the request is billed when
     /// issued — an upload interrupted mid-flight still pays it).
     pub fn write_dollars(&self, bytes: ByteSize) -> Cost {
-        self.profile.put_price.price(bytes)
+        self.profile_for(bytes).put_price.price(bytes)
     }
 
     /// Wall-clock time of one checkpoint restore: `L + m/B`.
     pub fn read_time(&self, bytes: ByteSize) -> SimTime {
-        self.profile.latency + SimTime::secs(bytes.as_f64() / self.profile.stream_bw)
+        let p = self.profile_for(bytes);
+        p.latency + SimTime::secs(bytes.as_f64() / p.stream_bw)
     }
 
     /// Dollars billed for one checkpoint restore.
     pub fn read_dollars(&self, bytes: ByteSize) -> Cost {
-        self.profile.get_price.price(bytes)
+        self.profile_for(bytes).get_price.price(bytes)
     }
 }
 
@@ -126,5 +168,56 @@ mod tests {
         let c = CheckpointCosting::new(ServiceProfile::dynamodb());
         assert!(c.admits(ByteSize::kb(399.0)));
         assert!(!c.admits(ByteSize::mb(178.0)), "deep checkpoints don't fit");
+    }
+
+    #[test]
+    fn tiered_store_routes_by_size() {
+        use crate::profile::ServiceKind;
+        let c = CheckpointCosting::tiered(ByteSize::kb(400.0));
+        // LR/Higgs: 448 B checkpoint → DynamoDB.
+        let tiny = checkpoint_bytes(224.0);
+        assert_eq!(c.profile_for(tiny).kind, ServiceKind::DynamoDb);
+        // ResNet50: 178 MB checkpoint → S3 (blows the item cap).
+        let deep = checkpoint_bytes(89e6);
+        assert_eq!(c.profile_for(deep).kind, ServiceKind::S3);
+        assert!(c.admits(deep), "the S3 side admits deep checkpoints");
+        // The threshold knob bites below the item cap too: at 100 B even
+        // the tiny checkpoint goes to S3.
+        let strict = CheckpointCosting::tiered(ByteSize::bytes(100));
+        assert_eq!(strict.profile_for(tiny).kind, ServiceKind::S3);
+        // Zero threshold degenerates to all-S3.
+        let off = CheckpointCosting::tiered(ByteSize::ZERO);
+        assert_eq!(off.profile_for(tiny).kind, ServiceKind::S3);
+    }
+
+    #[test]
+    fn tiny_checkpoints_are_cheaper_and_faster_on_dynamodb() {
+        let tiered = CheckpointCosting::tiered(ByteSize::kb(400.0));
+        let s3 = CheckpointCosting::s3();
+        let tiny = checkpoint_bytes(224.0); // 448 B LR/Higgs checkpoint
+                                            // Cost comparison: one DynamoDB write unit ($1.25e-6) vs a flat S3
+                                            // PUT ($5e-6) — 4× cheaper; reads $0.25e-6 vs $4e-7.
+        assert_eq!(tiered.write_dollars(tiny), Cost::usd(1.25e-6));
+        assert_eq!(s3.write_dollars(tiny), Cost::usd(5e-6));
+        assert!(tiered.write_dollars(tiny) < s3.write_dollars(tiny));
+        assert!(tiered.read_dollars(tiny) < s3.read_dollars(tiny));
+        // Latency: 30 ms vs 80 ms dominates a 448 B transfer.
+        assert!(tiered.write_time(tiny) < s3.write_time(tiny));
+        assert!(tiered.read_time(tiny) < s3.read_time(tiny));
+        // Deep checkpoints price identically to plain S3 under the tiered
+        // store — the choice only redirects what DynamoDB can hold.
+        let deep = checkpoint_bytes(89e6);
+        assert_eq!(tiered.write_dollars(deep), s3.write_dollars(deep));
+        assert_eq!(tiered.write_time(deep), s3.write_time(deep));
+        // But a *mid-size* checkpoint under the cap would be dearer on
+        // DynamoDB's per-KB billing: 300 KB = 300 units = $375e-6 ≫ $5e-6.
+        let mid = ByteSize::kb(300.0);
+        assert!(tiered.write_dollars(mid) > s3.write_dollars(mid));
+    }
+
+    #[test]
+    #[should_panic(expected = "item cap")]
+    fn tiered_threshold_must_fit_dynamodb() {
+        CheckpointCosting::tiered(ByteSize::mb(1.0));
     }
 }

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use lml_faas::LambdaSpec;
     pub use lml_fleet::{
         simulate, AllFaas, AllIaas, ArrivalProcess, CheckpointPolicy, CostAware, DeadlineAware,
-        FairShare, FleetConfig, FleetMetrics, JobClass, JobLifecycle, JobMix, Scheduler,
-        SpotConfig, TenantSpec, Trace,
+        Estimate, Estimator, FairShare, FleetConfig, FleetMetrics, JobClass, JobLifecycle, JobMix,
+        Scheduler, SpotConfig, TenantSpec, Trace,
     };
     pub use lml_iaas::{InstanceType, RpcKind, SystemProfile};
     pub use lml_models::ModelId;
