@@ -15,8 +15,8 @@ use crate::tablefmt::{f, table};
 use crate::Harness;
 use lml_fleet::{
     simulate, AllFaas, AllIaas, Analytic, ArrivalProcess, CheckpointPolicy, CostAware,
-    DeadlineAware, Estimator, FairShare, FleetConfig, FleetMetrics, Hybrid, JobMix, Online,
-    Scheduler, TenantSpec, Trace,
+    DeadlineAware, Estimator, FairShare, FleetConfig, FleetMetrics, Hybrid, JobClass, JobMix,
+    Online, Route, Scheduler, TenantSpec, Trace,
 };
 use lml_sim::SimTime;
 use std::path::PathBuf;
@@ -459,6 +459,119 @@ pub fn fleet_estimator(h: &Harness) -> String {
     out
 }
 
+/// Where the per-run `fleet_risk` JSON files go.
+fn risk_out_dir() -> PathBuf {
+    std::env::var_os("LML_FLEET_RISK_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet_risk"))
+}
+
+/// `fleet_risk`: the risk-aware spot-admission sweep — admission variant
+/// (learned preemption posterior vs the frozen static-mean config) ×
+/// configured-prior error (the scheduler is told the per-instance mean
+/// time to preempt is right / 4× too optimistic) × true market hostility.
+///
+/// Deadline jobs are spot-eligible under checkpoint recovery with slack
+/// sitting exactly where the admission call matters: a 4×-optimistic
+/// config makes the static-mean variant keep shipping deadline jobs onto
+/// a market that eats them (reboot after reboot burns the laxity), while
+/// the learned posterior watches the same preemption feed and prices them
+/// back onto firm capacity within the first few reclaims. With a correct
+/// config the two are identical — risk-awareness costs nothing when the
+/// config is honest. Emits one byte-stable JSON file per cell (schema
+/// `lml-fleet/metrics/v1`); the CI determinism step runs this twice and
+/// compares bytes.
+pub fn fleet_risk(h: &Harness) -> String {
+    let n_jobs = if h.fast { 200 } else { 600 };
+    // One convex class and two tenants: the preemption posterior is keyed
+    // per (tenant, class), so a narrow zoo makes the learning visible
+    // within one trace. Slack 6× nominal is the deliberate knife edge —
+    // rich enough that a benign-believing admission takes the discount,
+    // tight enough that a hostile market's reboots blow it.
+    let spec = TenantSpec {
+        n_tenants: 2,
+        deadline_frac: 0.5,
+        deadline_slack: 6.0,
+    };
+    let trace = Trace::generate_multi(
+        ArrivalProcess::Poisson { rate: 0.05 },
+        &JobMix::only(JobClass::LrHiggs),
+        &spec,
+        n_jobs,
+        h.seed,
+    );
+    let admissions: [(&str, bool); 2] = [("learned", false), ("static", true)];
+    let prior_errs = [1.0, 4.0];
+    let mttps = [600.0, 1_800.0];
+
+    let dir = risk_out_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut rows = Vec::new();
+    for &mttp in &mttps {
+        for &err in &prior_errs {
+            for (name, frozen) in &admissions {
+                let mut cfg = FleetConfig::default();
+                cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
+                cfg.checkpoint = CheckpointPolicy::every(1);
+                let mut sched = DeadlineAware::for_config(&cfg)
+                    .with_spot_fraction(1.0)
+                    .with_spot_recovery(cfg.checkpoint)
+                    .with_preemption_prior(SimTime::secs(mttp * err));
+                if *frozen {
+                    sched = sched.with_static_preemption();
+                }
+                let m = simulate(&trace, &cfg, &mut sched, h.seed);
+                let file = dir.join(format!(
+                    "fleet-risk-seed{}-{}-err{}-mttp{}.json",
+                    h.seed, name, err, mttp
+                ));
+                if let Err(e) = std::fs::write(&file, m.to_json()) {
+                    eprintln!("warning: could not write {}: {e}", file.display());
+                }
+                let dl_on_spot = m
+                    .records
+                    .iter()
+                    .filter(|r| r.deadline.is_some() && r.route == Route::Spot)
+                    .count();
+                rows.push(vec![
+                    format!("{mttp:.0}"),
+                    format!("{err}"),
+                    name.to_string(),
+                    format!("{:.1}%", m.deadline_hit_rate() * 100.0),
+                    format!("{dl_on_spot}"),
+                    format!("{}", m.preemptions),
+                    format!("{:.0}", m.lost_work.as_secs()),
+                    f(m.latency.p99),
+                    format!("{:.2}", m.eta_coverage()),
+                    format!("{}", m.total_cost()),
+                ]);
+            }
+        }
+    }
+    let out = table(
+        &format!(
+            "fleet_risk: {n_jobs}-job spot-eligible deadline fleet, \
+             true preemption rate x configured-prior error x admission"
+        ),
+        &[
+            "mttp s",
+            "prior",
+            "admission",
+            "dl-hit",
+            "dl-spot",
+            "preempt",
+            "lost s",
+            "p99 s",
+            "p95-cov",
+            "cost",
+        ],
+        &rows,
+    );
+    println!("{out}");
+    println!("per-run JSON written to {}", dir.display());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +672,43 @@ mod tests {
         assert!(
             read("cost-aware", "online", "1").starts_with(r#"{"schema":"lml-fleet/metrics/v1""#)
         );
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn fleet_risk_learned_admission_beats_static_on_wrong_config() {
+        let tmp = std::env::temp_dir().join("lml_fleet_risk_test");
+        std::env::set_var("LML_FLEET_RISK_OUT", &tmp);
+        let h = Harness {
+            seed: 7,
+            fast: true,
+        };
+        let out = fleet_risk(&h);
+        std::env::remove_var("LML_FLEET_RISK_OUT");
+        assert!(out.contains("learned") && out.contains("static"));
+        let read = |adm: &str, err: &str, mttp: &str| {
+            std::fs::read_to_string(
+                tmp.join(format!("fleet-risk-seed7-{adm}-err{err}-mttp{mttp}.json")),
+            )
+            .expect("JSON file written")
+        };
+        // The acceptance criterion: with the configured mean 4× too
+        // optimistic on the hostile market, the learned posterior strictly
+        // beats the frozen config on deadline-hit rate…
+        let frozen = json_f64(&read("static", "4", "600"), "deadline_hit_rate");
+        let learned = json_f64(&read("learned", "4", "600"), "deadline_hit_rate");
+        assert!(
+            learned > frozen,
+            "learned {learned} must strictly beat static {frozen} on a 4×-wrong config"
+        );
+        // …and with a correct config the two admissions are identical —
+        // risk-awareness is free when the config is honest.
+        assert_eq!(
+            read("learned", "1", "600"),
+            read("static", "1", "600"),
+            "correct config: byte-identical decisions"
+        );
+        assert!(read("static", "4", "600").starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
         let _ = std::fs::remove_dir_all(&tmp);
     }
 

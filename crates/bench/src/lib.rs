@@ -79,13 +79,14 @@ pub fn run_experiment(name: &str, h: &Harness) -> String {
         "fleet_policies" => fleet::fleet_policies(h),
         "fleet_recovery" => fleet::fleet_recovery(h),
         "fleet_estimator" => fleet::fleet_estimator(h),
+        "fleet_risk" => fleet::fleet_risk(h),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// All experiment names, in paper order (the fleet sweeps go beyond the
 /// paper).
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "fig6_datasets",
     "fig7_optimizers",
     "table1_channels",
@@ -107,6 +108,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "fleet_policies",
     "fleet_recovery",
     "fleet_estimator",
+    "fleet_risk",
 ];
 
 #[cfg(test)]

@@ -23,13 +23,36 @@
 //! model is *wrong* (set [`crate::sim::FleetConfig::epoch_scale`] to
 //! perturb the actual epoch counts away from the prior) — the scenario
 //! real fleets live in.
+//!
+//! Since PR 5 the layer also carries the fleet's *risk* state, because the
+//! interesting scheduling decisions (trust a deadline job to spot, defer
+//! vs reject an over-budget tenant) are tail decisions, not mean
+//! decisions:
+//!
+//! * [`Estimate::eta_q`] — a calibrated quantile ETA (P95 by default).
+//!   [`Online`] turns its deviation EWMA into a margin whose multiplier is
+//!   calibrated online (adaptive-conformal style: the multiplier steps up
+//!   on every miss and down on every cover until empirical coverage
+//!   matches the target quantile).
+//! * [`RiskModel`] — learned per-(tenant, class) spot preemption rates: a
+//!   Gamma posterior over (preemption events / held instance-seconds),
+//!   seeded from the configured mean so zero observations reproduce the
+//!   static-config behaviour exactly. The simulator feeds every spot
+//!   attempt outcome back as a [`PreemptionObs`] through
+//!   [`crate::scheduler::Scheduler::observe_preemption`] — preemptions
+//!   *and* clean completions, so the rate estimate is exposure-weighted
+//!   and unbiased, not a count of disasters.
 
 use crate::job::{JobClass, JobRequest, TenantId};
+use crate::platform::SpotConfig;
 use crate::scheduler::Route;
 use lml_analytic::estimator::estimate_epochs;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
 use lml_sim::{Cost, SimTime};
 use std::collections::BTreeMap;
+
+/// The quantile fleet risk decisions are priced at by default: P95.
+pub const ETA_QUANTILE: f64 = 0.95;
 
 /// Runtime/cost estimates for one job on both firm substrates, startup
 /// excluded (the fleet charges the actual simulated startup). Replaces the
@@ -45,9 +68,46 @@ pub struct Estimate {
     pub t_iaas: f64,
     /// Predicted IaaS dollars (instance-seconds for the run).
     pub c_iaas: f64,
+    /// Calibrated [`ETA_QUANTILE`] (P95) runtime margin *above the mean*
+    /// on FaaS, in seconds. Always stored in the P95 convention: an
+    /// estimator calibrating a different target quantile rescales its raw
+    /// margin through the same z-ratio [`Estimate::eta_q`] reads back
+    /// with, so `eta_q(route, target)` returns the calibrated cover point
+    /// exactly. 0 for estimators that carry no spread state (the analytic
+    /// prior, cold-start learners) — their quantile ETA is the mean.
+    pub m_faas: f64,
+    /// Calibrated P95 runtime margin above the mean on IaaS/spot, seconds.
+    pub m_iaas: f64,
+    /// Quantile-invariant tail shift on FaaS, seconds: the gap between
+    /// this estimate's published *mean* and the anchor its spread is
+    /// calibrated around. Zero for estimators whose spread is calibrated
+    /// on their own mean ([`Online`], the blind models); nonzero for
+    /// blends whose mean is dragged toward a prior ([`Hybrid`]) — there
+    /// the tail must still reach the calibrated posterior, so the shift
+    /// is applied to every quantile above the median *without* the
+    /// z-rescaling the spread gets (prior drag is a displacement, not a
+    /// dispersion).
+    pub s_faas: f64,
+    /// Quantile-invariant tail shift on IaaS/spot, seconds.
+    pub s_iaas: f64,
 }
 
 impl Estimate {
+    /// A spread-free estimate (the quantile ETA collapses to the mean) —
+    /// what every observation-blind model produces.
+    pub fn point(t_faas: f64, c_faas: f64, t_iaas: f64, c_iaas: f64) -> Estimate {
+        Estimate {
+            t_faas,
+            c_faas,
+            t_iaas,
+            c_iaas,
+            m_faas: 0.0,
+            m_iaas: 0.0,
+            s_faas: 0.0,
+            s_iaas: 0.0,
+        }
+    }
+
     /// Predicted run seconds on the given route (spot runs on IaaS-class
     /// instances, so it shares the IaaS prediction).
     pub fn time(&self, route: Route) -> f64 {
@@ -63,6 +123,95 @@ impl Estimate {
             Route::Faas => self.c_faas,
             Route::Iaas | Route::Spot => self.c_iaas,
         }
+    }
+
+    /// Calibrated P95 runtime margin on the given route, seconds.
+    pub fn margin(&self, route: Route) -> f64 {
+        match route {
+            Route::Faas => self.m_faas,
+            Route::Iaas | Route::Spot => self.m_iaas,
+        }
+    }
+
+    /// Quantile-invariant tail shift on the given route, seconds.
+    pub fn shift(&self, route: Route) -> f64 {
+        match route {
+            Route::Faas => self.s_faas,
+            Route::Iaas | Route::Spot => self.s_iaas,
+        }
+    }
+
+    /// Quantile runtime ETA on the given route: the mean, plus the tail
+    /// shift (un-rescaled — displacement, not dispersion), plus the
+    /// stored margin rescaled from its [`ETA_QUANTILE`] calibration point
+    /// to `q` through the normal z-ratio (`q = 0.95` uses the margin
+    /// verbatim; `q ≤ 0.5` is the mean). The margin is *calibrated*, not
+    /// assumed normal — the rescaling is only used for off-default
+    /// quantiles.
+    pub fn eta_q(&self, route: Route, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile must be in [0, 1)");
+        if q <= 0.5 {
+            return self.time(route);
+        }
+        self.time(route)
+            + self.shift(route)
+            + self.margin(route) * z_score(q) / z_score(ETA_QUANTILE)
+    }
+
+    /// The default-risk ETA: [`Estimate::eta_q`] at [`ETA_QUANTILE`].
+    pub fn eta_p95(&self, route: Route) -> f64 {
+        self.eta_q(route, ETA_QUANTILE)
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |ε| < 1.2e-9) — the z-score behind [`Estimate::eta_q`]'s quantile
+/// rescaling.
+fn z_score(q: f64) -> f64 {
+    assert!(q > 0.0 && q < 1.0, "z-score needs q in (0, 1), got {q}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if q < P_LOW {
+        let u = (-2.0 * q.ln()).sqrt();
+        (((((C[0] * u + C[1]) * u + C[2]) * u + C[3]) * u + C[4]) * u + C[5])
+            / ((((D[0] * u + D[1]) * u + D[2]) * u + D[3]) * u + 1.0)
+    } else if q <= 1.0 - P_LOW {
+        let u = q - 0.5;
+        let r = u * u;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * u
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let u = (-2.0 * (1.0 - q).ln()).sqrt();
+        -(((((C[0] * u + C[1]) * u + C[2]) * u + C[3]) * u + C[4]) * u + C[5])
+            / ((((D[0] * u + D[1]) * u + D[2]) * u + D[3]) * u + 1.0)
     }
 }
 
@@ -204,12 +353,7 @@ impl Estimator for Analytic {
             - lml_analytic::constants::t_i().eval(w as f64);
         // Warm-pool IaaS: bill the instances for the run, not the boot.
         let c_iaas = w as f64 * self.iaas_case.worker_price_per_s * t_iaas;
-        Estimate {
-            t_faas,
-            c_faas,
-            t_iaas,
-            c_iaas,
-        }
+        Estimate::point(t_faas, c_faas, t_iaas, c_iaas)
     }
 
     fn observe(&mut self, _done: &CompletedJob) {}
@@ -238,9 +382,20 @@ struct SubstrateStats {
     /// EWMA of |observed/prior − predicted/prior| runtime ratios — the
     /// relative spread behind the quantile-style margin.
     dev: f64,
+    /// Calibrated multiplier on `dev` whose product is the
+    /// [`ETA_QUANTILE`] margin. Adapted online (adaptive-conformal step:
+    /// up by `lr·q` on every miss, down by `lr·(1−q)` on every cover), so
+    /// empirical coverage converges to the target quantile regardless of
+    /// the error distribution's shape.
+    q_mult: f64,
     /// EWMA of the attributed-dollars ratio vs the prior (firm routes
     /// only).
     cost_ratio: f64,
+    /// Firm-route observations behind `cost_ratio`. Spot completions
+    /// deliberately never teach dollars, so blend weights for the *cost*
+    /// posterior must count these, not `n` — a spot-heavy tenant's cost
+    /// posterior is really still the seed.
+    n_cost: u64,
     /// EWMA of observed startup seconds (cold-start draws, boots,
     /// restores).
     startup: f64,
@@ -287,8 +442,19 @@ pub struct Online {
     /// Deviations added on top of the mean runtime prediction — a cheap
     /// quantile blend; 0.0 (the default) predicts the mean.
     pub margin: f64,
+    /// Target coverage of the calibrated quantile margin carried in
+    /// [`Estimate::m_faas`]/[`Estimate::m_iaas`] (default
+    /// [`ETA_QUANTILE`]).
+    pub target_q: f64,
+    /// Step size of the online coverage calibration.
+    pub calib_lr: f64,
     state: BTreeMap<(TenantId, JobClass), ClassStats>,
 }
+
+/// Where the calibrated margin multiplier starts: ≈ the normal-theory
+/// z₉₅/MAD ratio, so the very first margins are plausible before the
+/// coverage feedback has anything to say.
+const Q_MULT_SEED: f64 = 2.0;
 
 impl Default for Online {
     fn default() -> Self {
@@ -302,6 +468,8 @@ impl Online {
             prior,
             alpha: 0.3,
             margin: 0.0,
+            target_q: ETA_QUANTILE,
+            calib_lr: 0.25,
             state: BTreeMap::new(),
         }
     }
@@ -325,6 +493,14 @@ impl Online {
         self
     }
 
+    /// Set the target coverage of the calibrated quantile margin
+    /// (0.5 < q < 1).
+    pub fn with_target_q(mut self, q: f64) -> Self {
+        assert!(q > 0.5 && q < 1.0, "target quantile must be in (0.5, 1)");
+        self.target_q = q;
+        self
+    }
+
     pub fn prior(&self) -> &Analytic {
         &self.prior
     }
@@ -335,6 +511,16 @@ impl Online {
             .get(&(tenant, class))
             .and_then(|cs| cs.slot(route))
             .map_or(0, |s| s.n)
+    }
+
+    /// Firm-route *cost* observations for (tenant, class) on the route's
+    /// substrate — the honest sample size behind the cost posterior (spot
+    /// completions never teach dollars).
+    pub fn cost_observations(&self, tenant: TenantId, class: JobClass, route: Route) -> u64 {
+        self.state
+            .get(&(tenant, class))
+            .and_then(|cs| cs.slot(route))
+            .map_or(0, |s| s.n_cost)
     }
 }
 
@@ -347,18 +533,29 @@ impl Estimator for Online {
         let mut e = self.prior.predict(job);
         if let Some(cs) = self.state.get(&(job.tenant, job.class)) {
             let prior_epochs = self.prior.epochs_for(job.class).max(1.0);
+            // The raw margin `dev × q_mult` is calibrated at `target_q`;
+            // the `Estimate` field contract stores margins in the
+            // ETA_QUANTILE (P95) convention, so rescale through the same
+            // z-ratio `eta_q` reads back with — `eta_q(route, target_q)`
+            // then returns exactly the calibrated cover point, whatever
+            // the target. The factor is 1.0 at the default target.
+            let to_p95 = z_score(ETA_QUANTILE) / z_score(self.target_q);
             // Learned corrections apply multiplicatively to the prior at
             // *this* job's width: epoch-count ratio × per-epoch slowdown,
-            // plus the margin's share of the relative spread.
-            let correct = |t: &mut f64, c: &mut f64, s: &SubstrateStats| {
-                *t *= s.epochs / prior_epochs * s.epoch_ratio + self.margin * s.dev;
+            // plus the margin's share of the relative spread. The quantile
+            // margin is the calibrated multiple of the spread, scaled back
+            // into seconds through the prior at this width.
+            let correct = |t: &mut f64, c: &mut f64, m: &mut f64, s: &SubstrateStats| {
+                let t_prior = *t;
+                *t = t_prior * (s.epochs / prior_epochs * s.epoch_ratio + self.margin * s.dev);
                 *c *= s.cost_ratio;
+                *m = (t_prior * s.dev * s.q_mult * to_p95).max(0.0);
             };
             if let Some(s) = cs.faas {
-                correct(&mut e.t_faas, &mut e.c_faas, &s);
+                correct(&mut e.t_faas, &mut e.c_faas, &mut e.m_faas, &s);
             }
             if let Some(s) = cs.iaas {
-                correct(&mut e.t_iaas, &mut e.c_iaas, &s);
+                correct(&mut e.t_iaas, &mut e.c_iaas, &mut e.m_iaas, &s);
             }
         }
         e
@@ -383,7 +580,9 @@ impl Estimator for Online {
             epochs: prior_epochs,
             epoch_ratio: 1.0,
             dev: 0.0,
+            q_mult: Q_MULT_SEED,
             cost_ratio: 1.0,
+            n_cost: 0,
             // There is no analytic prior for startup: the first cold-start
             // draw seeds the EWMA directly.
             startup: done.startup.as_secs(),
@@ -392,6 +591,20 @@ impl Estimator for Online {
         let epochs_obs = done.epochs_total.max(1) as f64;
         let rel_obs = done.run.as_secs() / t_prior;
         let rel_prev = s.epochs / prior_epochs * s.epoch_ratio;
+        // Coverage feedback first, against the quantile this state was
+        // predicting *before* the observation teaches it — the mean
+        // correction (including the legacy `margin` blend, which predict()
+        // folds into the mean) plus the calibrated margin, i.e. exactly
+        // the `eta_q` this state was publishing. Step the multiplier up on
+        // a miss, down on a cover, so the long-run cover rate converges to
+        // `target_q` (adaptive conformal — distribution-free).
+        let covered = rel_obs <= rel_prev + (self.margin + s.q_mult) * s.dev;
+        let step = if covered {
+            self.target_q - 1.0
+        } else {
+            self.target_q
+        };
+        s.q_mult = (s.q_mult + self.calib_lr * step).max(0.0);
         s.dev = (1.0 - a) * s.dev + a * (rel_obs - rel_prev).abs();
         s.epochs = (1.0 - a) * s.epochs + a * epochs_obs;
         // Per-epoch slowdown: how much longer one epoch really took than
@@ -405,6 +618,7 @@ impl Estimator for Online {
         // preemption-inflated actuals are exactly the signal wanted.
         if done.route != Route::Spot {
             s.cost_ratio = (1.0 - a) * s.cost_ratio + a * done.cost.as_usd() / c_prior;
+            s.n_cost += 1;
         }
         if s.n > 0 {
             s.startup = (1.0 - a) * s.startup + a * done.startup.as_secs();
@@ -471,6 +685,16 @@ impl Hybrid {
         let n = self.online.observations(tenant, class, route) as f64;
         n / (n + self.prior_weight)
     }
+
+    /// Blend weight for the *cost* posterior: counts firm-route cost
+    /// observations only. `Online::observe` deliberately never teaches
+    /// `cost_ratio` from spot completions, so counting those toward the
+    /// cost lerp would present the stale seed with full posterior
+    /// confidence for spot-heavy tenants.
+    fn cost_weight(&self, tenant: TenantId, class: JobClass, route: Route) -> f64 {
+        let n = self.online.cost_observations(tenant, class, route) as f64;
+        n / (n + self.prior_weight)
+    }
 }
 
 fn lerp(a: f64, b: f64, w: f64) -> f64 {
@@ -487,11 +711,28 @@ impl Estimator for Hybrid {
         let post = self.online.predict(job);
         let wf = self.weight(job.tenant, job.class, Route::Faas);
         let wi = self.weight(job.tenant, job.class, Route::Iaas);
+        let wcf = self.cost_weight(job.tenant, job.class, Route::Faas);
+        let wci = self.cost_weight(job.tenant, job.class, Route::Iaas);
+        let t_faas = lerp(prior.t_faas, post.t_faas, wf);
+        let t_iaas = lerp(prior.t_iaas, post.t_iaas, wi);
         Estimate {
-            t_faas: lerp(prior.t_faas, post.t_faas, wf),
-            c_faas: lerp(prior.c_faas, post.c_faas, wf),
-            t_iaas: lerp(prior.t_iaas, post.t_iaas, wi),
-            c_iaas: lerp(prior.c_iaas, post.c_iaas, wi),
+            t_faas,
+            c_faas: lerp(prior.c_faas, post.c_faas, wcf),
+            t_iaas,
+            c_iaas: lerp(prior.c_iaas, post.c_iaas, wci),
+            // The calibration loop lives in the posterior: its coverage
+            // feedback tracks `post.t + post.m`. The blend's quantile ETA
+            // must reach that same calibrated point at *every* quantile,
+            // however far the prior drags the blended mean — so the mean
+            // gap travels in the quantile-invariant shift (displacement)
+            // while the posterior's spread stays z-rescalable, and
+            // `eta_q(route, q)` lands exactly on `post.t + post.m·z-ratio`.
+            // The shift is clamped at zero: a pessimistic prior already
+            // over-covers. Cold start: post == prior, shift and margin 0.
+            m_faas: post.m_faas,
+            m_iaas: post.m_iaas,
+            s_faas: (post.t_faas - t_faas).max(0.0),
+            s_iaas: (post.t_iaas - t_iaas).max(0.0),
         }
     }
 
@@ -509,6 +750,157 @@ impl Estimator for Hybrid {
 
     fn clone_box(&self) -> Box<dyn Estimator> {
         Box::new(self.clone())
+    }
+}
+
+/// One spot attempt's outcome, fed back to the scheduler by the simulator
+/// the moment the market settles it — on `SpotPreempted` *and* on
+/// `SpotDone`, so the learned preemption rate is exposure-weighted rather
+/// than a count of disasters.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptionObs {
+    pub class: JobClass,
+    pub tenant: TenantId,
+    pub workers: usize,
+    /// Wall-seconds the spot cluster was held this attempt (boot, restore
+    /// and run — instances are reclaimable in every phase).
+    pub held: SimTime,
+    /// `true` if the market reclaimed the cluster, `false` if the attempt
+    /// ran to completion.
+    pub preempted: bool,
+}
+
+/// Learned per-(tenant, class) spot preemption rates.
+///
+/// The market preempts each instance independently at some rate λ
+/// (exponential lifetimes — see [`crate::platform::SpotTier`]), so the
+/// sufficient statistics per key are (preemption events, held
+/// instance-seconds of exposure). The posterior is Gamma–Poisson: the
+/// configured mean time to preempt enters as `prior_weight` pseudo-events
+/// spread over `prior_weight × mttp` pseudo-exposure, so **zero
+/// observations reproduce the static config exactly** and sustained
+/// evidence overturns it. [`RiskModel::frozen`] pins the posterior at the
+/// prior — the static-mean baseline the risk-aware admission is measured
+/// against.
+#[derive(Debug, Clone)]
+pub struct RiskModel {
+    /// Configured per-instance mean time to preempt — the zero-observation
+    /// prior.
+    prior_mttp: SimTime,
+    /// Pseudo-events the prior is worth: how much evidence it takes for
+    /// the posterior to carry half the weight.
+    pub prior_weight: f64,
+    /// Learning disabled: the posterior never moves off the prior.
+    frozen: bool,
+    state: BTreeMap<(TenantId, JobClass), RateStats>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RateStats {
+    /// Spot attempts observed (preempted or clean).
+    attempts: u64,
+    /// Preemption events.
+    events: f64,
+    /// Held instance-seconds across all observed attempts.
+    exposure: f64,
+}
+
+impl RiskModel {
+    /// Posterior seeded from a per-instance mean time to preempt.
+    pub fn new(prior_mttp: SimTime) -> Self {
+        assert!(
+            prior_mttp.as_secs() > 0.0,
+            "prior mean time to preempt must be positive"
+        );
+        RiskModel {
+            prior_mttp,
+            prior_weight: 4.0,
+            frozen: false,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Posterior seeded from a per-instance preemption rate λ (events per
+    /// instance-second) instead of its inverse.
+    pub fn from_rate(rate_per_instance_s: f64) -> Self {
+        assert!(
+            rate_per_instance_s > 0.0 && rate_per_instance_s.is_finite(),
+            "preemption rate must be positive and finite"
+        );
+        Self::new(SimTime::secs(1.0 / rate_per_instance_s))
+    }
+
+    /// Seeded from the fleet's spot configuration — the prior is exactly
+    /// the tier's advertised exponential-clock parameter
+    /// ([`SpotConfig::preemption_rate_per_instance_s`]), so an unobserved
+    /// posterior and the simulated market speak the same λ.
+    pub fn for_config(cfg: &SpotConfig) -> Self {
+        Self::from_rate(cfg.preemption_rate_per_instance_s())
+    }
+
+    /// Pseudo-events the prior is worth (must be > 0).
+    pub fn with_prior_weight(mut self, w: f64) -> Self {
+        assert!(w > 0.0, "prior weight must be > 0");
+        self.prior_weight = w;
+        self
+    }
+
+    /// Freeze the posterior at the configured prior — the static-mean
+    /// baseline (observations are still counted, never weighed).
+    pub fn frozen(mut self) -> Self {
+        self.frozen = true;
+        self
+    }
+
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Fold in one spot attempt outcome.
+    pub fn observe(&mut self, obs: &PreemptionObs) {
+        let s = self.state.entry((obs.tenant, obs.class)).or_default();
+        s.attempts += 1;
+        s.exposure += obs.workers as f64 * obs.held.as_secs();
+        if obs.preempted {
+            s.events += 1.0;
+        }
+    }
+
+    /// Spot attempts observed for (tenant, class).
+    pub fn observations(&self, tenant: TenantId, class: JobClass) -> u64 {
+        self.state.get(&(tenant, class)).map_or(0, |s| s.attempts)
+    }
+
+    /// Posterior mean preemption rate per instance-second for
+    /// (tenant, class). At zero observations (or frozen) this is exactly
+    /// `1 / prior_mttp`.
+    pub fn rate(&self, tenant: TenantId, class: JobClass) -> f64 {
+        let (events, exposure) = if self.frozen {
+            (0.0, 0.0)
+        } else {
+            self.state
+                .get(&(tenant, class))
+                .map_or((0.0, 0.0), |s| (s.events, s.exposure))
+        };
+        (self.prior_weight + events) / (self.prior_weight * self.prior_mttp.as_secs() + exposure)
+    }
+
+    /// Posterior mean per-instance time to preempt for (tenant, class).
+    pub fn mean_time_to_preempt(&self, tenant: TenantId, class: JobClass) -> SimTime {
+        SimTime::secs(1.0 / self.rate(tenant, class))
+    }
+
+    /// Expected preemptions a `workers`-wide job accumulates over
+    /// `wall_secs` of held time: the cluster dies at `workers × λ` (first
+    /// instance reclaimed kills the attempt).
+    pub fn expected_preemptions(
+        &self,
+        tenant: TenantId,
+        class: JobClass,
+        workers: usize,
+        wall_secs: f64,
+    ) -> f64 {
+        self.rate(tenant, class) * workers as f64 * wall_secs.max(0.0)
     }
 }
 
@@ -542,12 +934,275 @@ mod tests {
             c_faas: 2.0,
             t_iaas: 3.0,
             c_iaas: 4.0,
+            m_faas: 0.5,
+            m_iaas: 1.5,
+            s_faas: 0.2,
+            s_iaas: 0.7,
         };
         assert_eq!(e.time(Route::Faas), 1.0);
         assert_eq!(e.cost(Route::Faas), 2.0);
         assert_eq!(e.time(Route::Iaas), 3.0);
         assert_eq!(e.time(Route::Spot), 3.0, "spot shares the IaaS numbers");
         assert_eq!(e.cost(Route::Spot), 4.0);
+        assert_eq!(e.margin(Route::Spot), 1.5, "spot shares the IaaS margin");
+        assert_eq!(e.shift(Route::Spot), 0.7, "spot shares the IaaS shift");
+    }
+
+    #[test]
+    fn eta_q_prices_the_tail_above_the_mean() {
+        let e = Estimate {
+            t_faas: 10.0,
+            c_faas: 1.0,
+            t_iaas: 20.0,
+            c_iaas: 1.0,
+            m_faas: 2.0,
+            m_iaas: 4.0,
+            s_faas: 0.0,
+            s_iaas: 1.0,
+        };
+        // At the calibration point the margin applies verbatim (plus any
+        // quantile-invariant shift).
+        assert!((e.eta_p95(Route::Faas) - 12.0).abs() < 1e-12);
+        assert!((e.eta_q(Route::Iaas, ETA_QUANTILE) - 25.0).abs() < 1e-12);
+        // Monotone in q; the median collapses to the mean.
+        assert_eq!(e.eta_q(Route::Iaas, 0.5), 20.0);
+        assert!(e.eta_q(Route::Iaas, 0.99) > e.eta_p95(Route::Iaas));
+        assert!(e.eta_q(Route::Iaas, 0.9) < e.eta_p95(Route::Iaas));
+        assert!(e.eta_q(Route::Iaas, 0.9) > e.time(Route::Iaas));
+        // The shift is a displacement, not a dispersion: it survives the
+        // z-rescaling untouched (the spread alone shrinks toward P50).
+        let spread_90 = e.eta_q(Route::Iaas, 0.9) - 20.0 - 1.0;
+        assert!(spread_90 < 4.0 && spread_90 > 0.0);
+        // A spread-free estimate's quantile ETA is the mean at every q.
+        let p = Estimate::point(10.0, 1.0, 20.0, 1.0);
+        assert_eq!(p.eta_q(Route::Faas, 0.99), 10.0);
+    }
+
+    #[test]
+    fn z_score_matches_known_quantiles() {
+        for (q, z) in [(0.95, 1.6449), (0.975, 1.9600), (0.5, 0.0), (0.99, 2.3263)] {
+            assert!(
+                (z_score(q) - z).abs() < 1e-3,
+                "z({q}) = {} want {z}",
+                z_score(q)
+            );
+        }
+        assert!((z_score(0.05) + z_score(0.95)).abs() < 1e-6, "symmetric");
+        assert!(z_score(0.01) < -2.0, "lower tail");
+    }
+
+    #[test]
+    fn online_quantile_margin_calibrates_coverage() {
+        // Deterministic 2×-miscalibrated actuals: the EWMA mean approaches
+        // from below forever, so without a calibrated margin the P95 ETA
+        // would *never* cover. The adaptive multiplier must close the gap.
+        let mut online = Online::new(Analytic::new());
+        let j = job(JobClass::LrHiggs);
+        let actual = online.predict(&j).t_iaas * 2.0;
+        let (mut covered, mut seen) = (0, 0);
+        for k in 0..60 {
+            let e = online.predict(&j);
+            if k >= 10 {
+                seen += 1;
+                if actual <= e.eta_p95(Route::Iaas) + 1e-9 {
+                    covered += 1;
+                }
+            }
+            online.observe(&done_after(JobClass::LrHiggs, actual, Route::Iaas));
+        }
+        let coverage = covered as f64 / seen as f64;
+        assert!(
+            coverage >= 0.9,
+            "calibrated P95 must cover ≥ 90% after warm-up, got {coverage}"
+        );
+        // The margin is honest work, not a blanket: it stays well under
+        // the mean correction itself once converged.
+        let e = online.predict(&j);
+        assert!(e.m_iaas > 0.0);
+        assert!(
+            e.m_iaas < e.t_iaas,
+            "margin {} vs mean {}",
+            e.m_iaas,
+            e.t_iaas
+        );
+    }
+
+    #[test]
+    fn off_default_target_q_round_trips_through_eta_q() {
+        // An estimator calibrating P80 must publish its margin so that
+        // `eta_q(route, 0.8)` returns the *calibrated* cover point — not
+        // the P95-convention margin shrunk by z(0.8)/z(0.95) a second
+        // time. After exactly one 2× observation the raw P80 margin is
+        // computable by hand: dev = α·|2−1| = 0.3 and q_mult stepped once
+        // from its seed on a miss (2.0 + lr·q = 2.2), both scaled by the
+        // prior runtime.
+        let j = job(JobClass::LrHiggs);
+        let prior_t = Analytic::new().predict(&j).t_iaas;
+        let mut o = Online::new(Analytic::new()).with_target_q(0.8);
+        o.observe(&done_after(JobClass::LrHiggs, prior_t * 2.0, Route::Iaas));
+        let e = o.predict(&j);
+        let raw_margin = prior_t * 0.3 * (2.0 + 0.25 * 0.8);
+        assert!(
+            (e.eta_q(Route::Iaas, 0.8) - (e.t_iaas + raw_margin)).abs() < 1e-9,
+            "eta_q at the calibration target must return the calibrated point: {} vs {}",
+            e.eta_q(Route::Iaas, 0.8),
+            e.t_iaas + raw_margin
+        );
+        // Stored in the P95 convention: the field itself is the raw
+        // margin stretched by z(0.95)/z(0.8).
+        assert!(
+            e.m_iaas > raw_margin,
+            "P95 convention stretches a P80 margin"
+        );
+    }
+
+    #[test]
+    fn hybrid_quantile_eta_reaches_the_calibrated_posterior() {
+        // The blend's mean is dragged toward a 2×-optimistic prior, but
+        // its published quantile ETA must still reach the posterior's
+        // calibrated cover point — otherwise the blend's "P95" sits below
+        // the truth and covers nothing.
+        let mut hybrid = Hybrid::new(Analytic::new()).with_prior_weight(4.0);
+        let j = job(JobClass::LrHiggs);
+        let actual = hybrid.predict(&j).t_iaas * 2.0;
+        for _ in 0..12 {
+            hybrid.observe(&done_after(JobClass::LrHiggs, actual, Route::Iaas));
+        }
+        let e = hybrid.predict(&j);
+        let post = {
+            let mut online = Online::new(Analytic::new());
+            for _ in 0..12 {
+                online.observe(&done_after(JobClass::LrHiggs, actual, Route::Iaas));
+            }
+            online.predict(&j)
+        };
+        assert!(
+            e.t_iaas < post.eta_p95(Route::Iaas),
+            "premise: the prior drags the mean"
+        );
+        // At every quantile above the median — not just the calibration
+        // point — the blend lands on the posterior's calibrated ETA: the
+        // mean gap rides the un-rescaled shift, the spread alone rescales.
+        for q in [0.8, 0.9, ETA_QUANTILE, 0.99] {
+            assert!(
+                (e.eta_q(Route::Iaas, q) - post.eta_q(Route::Iaas, q)).abs() < 1e-9,
+                "blend quantile at {q}: {} must reach the calibrated posterior {}",
+                e.eta_q(Route::Iaas, q),
+                post.eta_q(Route::Iaas, q)
+            );
+        }
+        // Cold start still publishes no margin and no shift.
+        let unseen = job(JobClass::RnCifar);
+        assert_eq!(hybrid.predict(&unseen).m_iaas, 0.0);
+        assert_eq!(hybrid.predict(&unseen).s_iaas, 0.0);
+    }
+
+    #[test]
+    fn hybrid_cost_blend_ignores_spot_completions() {
+        // 30 spot completions teach runtimes but not dollars: the hybrid
+        // runtime prediction must move while the cost prediction stays the
+        // pure prior (the seed is all the cost evidence there is).
+        let mut hybrid = Hybrid::new(Analytic::new()).with_prior_weight(4.0);
+        let j = job(JobClass::LrHiggs);
+        let prior = Analytic::new().predict(&j);
+        for _ in 0..30 {
+            hybrid.observe(&done_after(
+                JobClass::LrHiggs,
+                prior.t_iaas * 3.0,
+                Route::Spot,
+            ));
+        }
+        let e = hybrid.predict(&j);
+        assert!(e.t_iaas > prior.t_iaas * 2.0, "runtime posterior moved");
+        assert_eq!(
+            e.c_iaas, prior.c_iaas,
+            "spot-only evidence must leave the cost at the prior"
+        );
+        // A firm completion starts moving the cost blend again.
+        hybrid.observe(&done_after(JobClass::LrHiggs, prior.t_iaas, Route::Iaas));
+        assert_ne!(hybrid.predict(&j).c_iaas, prior.c_iaas);
+    }
+
+    #[test]
+    fn risk_model_zero_observations_reproduce_the_config() {
+        let r = RiskModel::new(SimTime::secs(1_000.0));
+        assert_eq!(
+            r.mean_time_to_preempt(0, JobClass::LrHiggs),
+            SimTime::secs(1_000.0)
+        );
+        assert!((r.rate(0, JobClass::LrHiggs) - 1e-3).abs() < 1e-15);
+        // A 10-wide job over 50 wall-seconds: 500 instance-seconds at
+        // λ = 1/1000 → 0.5 expected preemptions.
+        assert!((r.expected_preemptions(0, JobClass::LrHiggs, 10, 50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(r.observations(0, JobClass::LrHiggs), 0);
+    }
+
+    #[test]
+    fn risk_model_posterior_overturns_a_wrong_prior() {
+        // Config says instances live 4 000 s; the observed market kills a
+        // 10-wide cluster every ~100 s (true per-instance mttp 1 000 s).
+        let mut r = RiskModel::new(SimTime::secs(4_000.0)).with_prior_weight(4.0);
+        for _ in 0..40 {
+            r.observe(&PreemptionObs {
+                class: JobClass::LrHiggs,
+                tenant: 0,
+                workers: 10,
+                held: SimTime::secs(100.0),
+                preempted: true,
+            });
+        }
+        let mttp = r.mean_time_to_preempt(0, JobClass::LrHiggs).as_secs();
+        assert!(
+            (900.0..1_400.0).contains(&mttp),
+            "posterior must converge toward the true 1 000 s, got {mttp}"
+        );
+        // State is per-(tenant, class).
+        assert_eq!(
+            r.mean_time_to_preempt(1, JobClass::LrHiggs),
+            SimTime::secs(4_000.0)
+        );
+        assert_eq!(r.observations(0, JobClass::LrHiggs), 40);
+    }
+
+    #[test]
+    fn risk_model_clean_attempts_pull_the_rate_down() {
+        // A benign market observed through clean completions only: the
+        // posterior rate must drop below an alarmist prior.
+        let mut r = RiskModel::new(SimTime::secs(100.0)).with_prior_weight(2.0);
+        for _ in 0..20 {
+            r.observe(&PreemptionObs {
+                class: JobClass::KmHiggs,
+                tenant: 3,
+                workers: 10,
+                held: SimTime::secs(200.0),
+                preempted: false,
+            });
+        }
+        assert!(
+            r.mean_time_to_preempt(3, JobClass::KmHiggs) > SimTime::secs(1_000.0),
+            "exposure without events must stretch the learned mttp"
+        );
+    }
+
+    #[test]
+    fn frozen_risk_model_never_learns() {
+        let mut r = RiskModel::new(SimTime::secs(500.0)).frozen();
+        assert!(r.is_frozen());
+        for _ in 0..50 {
+            r.observe(&PreemptionObs {
+                class: JobClass::LrHiggs,
+                tenant: 0,
+                workers: 10,
+                held: SimTime::secs(10.0),
+                preempted: true,
+            });
+        }
+        assert_eq!(
+            r.mean_time_to_preempt(0, JobClass::LrHiggs),
+            SimTime::secs(500.0),
+            "the static-mean baseline keeps quoting the config"
+        );
+        assert_eq!(r.observations(0, JobClass::LrHiggs), 50, "still counted");
     }
 
     #[test]

@@ -26,11 +26,15 @@
 //!   a preemptible spot tier (discounted, per-(job, attempt) seeded
 //!   exponential preemption; preempted jobs resume from their last durable
 //!   checkpoint).
-//! * [`estimate`] — the prediction layer: the named [`Estimate`] quadruple,
-//!   the pluggable [`Estimator`] trait, and its three impls — the §5.3
-//!   [`Analytic`] model, the per-(tenant, class) [`Online`] EWMA learned
-//!   from the simulator's completion feedback, and the prior-to-posterior
-//!   [`Hybrid`] blend.
+//! * [`estimate`] — the prediction layer: the named [`Estimate`] quadruple
+//!   (plus calibrated P95 margins, [`Estimate::eta_q`]), the pluggable
+//!   [`Estimator`] trait, and its three impls — the §5.3 [`Analytic`]
+//!   model, the per-(tenant, class) [`Online`] EWMA learned from the
+//!   simulator's completion feedback, and the prior-to-posterior
+//!   [`Hybrid`] blend — plus the risk subsystem: [`RiskModel`]'s learned
+//!   per-(tenant, class) spot preemption-rate posteriors, fed every
+//!   attempt outcome ([`PreemptionObs`]) through
+//!   [`scheduler::Scheduler::observe_preemption`].
 //! * [`scheduler`] — the routing policies: all-FaaS, all-IaaS, the
 //!   cost-aware hybrid, deadline-aware EDF (spills to IaaS when FaaS can't
 //!   make the deadline), and weighted fair-share (deficit round-robin
@@ -56,9 +60,12 @@ pub mod scheduler;
 pub mod sim;
 pub mod workload;
 
-pub use estimate::{Analytic, CompletedJob, Estimate, Estimator, Hybrid, Online};
+pub use estimate::{
+    Analytic, CompletedJob, Estimate, Estimator, Hybrid, Online, PreemptionObs, RiskModel,
+    ETA_QUANTILE,
+};
 pub use job::{JobClass, JobRequest, TenantId};
-pub use lifecycle::{CheckpointPolicy, JobLifecycle};
+pub use lifecycle::{restore_beats_redo, CheckpointPolicy, JobLifecycle};
 pub use metrics::{jain_index, ClassRow, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{

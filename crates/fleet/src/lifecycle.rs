@@ -224,6 +224,30 @@ impl AttemptPlan {
     }
 }
 
+/// Should the next attempt restore the last durable checkpoint, or redo
+/// the banked epochs from scratch?
+///
+/// The pre-PR-5 rule compared *time only* (`restore < redo`), which let a
+/// budget-capped tenant be billed a restore read that costs more dollars
+/// than simply re-running cheap epochs. Both dimensions must win: the
+/// restore has to be faster **and** cheaper, where its dollars are the
+/// storage read *plus* the instance-seconds spent waiting on it (priced at
+/// the route's own rate — spot restores wait on discounted instances,
+/// reserved-pool restores on full-price ones) against the instance-seconds
+/// of redoing the epochs. Ties go to redoing: a restore that buys nothing
+/// shouldn't bill a read.
+pub fn restore_beats_redo(
+    restore: SimTime,
+    read_dollars: lml_sim::Cost,
+    redo: SimTime,
+    rate_per_s: f64,
+) -> bool {
+    assert!(rate_per_s >= 0.0, "instance rate cannot be negative");
+    let restore_usd = restore.as_secs() * rate_per_s + read_dollars.as_usd();
+    let redo_usd = redo.as_secs() * rate_per_s;
+    restore < redo && restore_usd < redo_usd
+}
+
 /// What a preemption `elapsed_run` seconds into the attempt's run phase
 /// left behind.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -392,6 +416,49 @@ mod tests {
     #[should_panic(expected = "interval must be >= 1")]
     fn zero_interval_rejected() {
         CheckpointPolicy::every(0);
+    }
+
+    #[test]
+    fn restore_must_win_on_both_time_and_dollars() {
+        use lml_sim::Cost;
+        let rate = 10.0 / 3_600.0 * 0.0464; // 10 t2.medium workers
+                                            // Fast and cheap: a 1 s restore vs 60 s of redone epochs.
+        assert!(restore_beats_redo(
+            SimTime::secs(1.0),
+            Cost::usd(4e-7),
+            SimTime::secs(60.0),
+            rate
+        ));
+        // THE regression: time-cheap but dollar-expensive — a restore
+        // whose read bill exceeds the instance-seconds of redoing cheap
+        // epochs must be declined, however fast it is.
+        assert!(!restore_beats_redo(
+            SimTime::secs(1.0),
+            Cost::usd(0.05),
+            SimTime::secs(60.0),
+            rate
+        ));
+        // Time-expensive restores were always declined.
+        assert!(!restore_beats_redo(
+            SimTime::secs(120.0),
+            Cost::ZERO,
+            SimTime::secs(60.0),
+            rate
+        ));
+        // Ties go to redoing (nothing to buy, nothing billed).
+        assert!(!restore_beats_redo(
+            SimTime::secs(60.0),
+            Cost::ZERO,
+            SimTime::secs(60.0),
+            rate
+        ));
+        // A free substrate (rate 0) still declines on the read bill alone.
+        assert!(!restore_beats_redo(
+            SimTime::secs(1.0),
+            Cost::usd(1e-9),
+            SimTime::secs(60.0),
+            0.0
+        ));
     }
 
     fn plan(start: u32, total: u32, k: Option<u32>) -> AttemptPlan {

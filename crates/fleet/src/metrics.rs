@@ -35,6 +35,9 @@ pub struct JobRecord {
     /// Attempts that restarted from a durable checkpoint instead of from
     /// scratch.
     pub resumes: u32,
+    /// Spot clusters launched for this job (0 for jobs that never touched
+    /// the market) — the denominator behind per-job preemption risk.
+    pub spot_attempts: u32,
     /// Training seconds redone because preemptions struck past the last
     /// durable checkpoint.
     pub lost_work: SimTime,
@@ -53,6 +56,13 @@ pub struct JobRecord {
     /// snapshotted at admission (`None` for constant routers and rejected
     /// jobs).
     pub predicted_run: Option<SimTime>,
+    /// The calibrated quantile runtime ETA
+    /// ([`crate::estimate::Estimate::eta_q`] at the scheduler's own
+    /// quantile — [`crate::estimate::ETA_QUANTILE`] by default) on the
+    /// routed substrate, snapshotted at admission. Equal to
+    /// `predicted_run` for estimators without spread state; the coverage
+    /// rollup scores it against the actual run.
+    pub predicted_run_q: Option<SimTime>,
     /// The scheduler's predicted dollars on the routed substrate. `None`
     /// for spot-routed jobs too: their attributed dollars ride the market
     /// discount the firm-price prediction deliberately ignores, and
@@ -117,6 +127,21 @@ impl JobRecord {
         let predicted = self.predicted_cost?.as_usd();
         let actual = self.cost.as_usd();
         (actual > 0.0).then(|| (actual - predicted).abs() / actual)
+    }
+
+    /// Did the P95 ETA snapshotted at admission cover the actual run?
+    /// `None` without a quantile prediction or an actual to score — the
+    /// fleet-wide cover rate is the calibration check on
+    /// [`crate::estimate::Estimate::eta_q`] (a calibrated estimator sits
+    /// near the target quantile; a blind one sits wherever its luck put
+    /// it).
+    pub fn eta_covered(&self) -> Option<bool> {
+        if self.rejected {
+            return None;
+        }
+        let q = self.predicted_run_q?.as_secs();
+        let actual = self.run.as_secs();
+        (actual > 0.0).then_some(actual <= q + 1e-9)
     }
 }
 
@@ -281,9 +306,24 @@ pub struct FleetMetrics {
     pub runtime_mape: f64,
     /// Mean absolute percentage error of the cost predictions.
     pub cost_mape: f64,
-    /// Jobs that carried a deadline / that met it.
+    /// Jobs whose admission snapshot carried a P95 runtime ETA and whose
+    /// actual run could score it.
+    pub eta_q_jobs: usize,
+    /// Of those, jobs whose actual run the P95 ETA covered.
+    pub eta_q_covered: usize,
+    /// Spot clusters launched fleet-wide (the exposure denominator behind
+    /// the preemption counters).
+    pub spot_attempts: u64,
+    /// Jobs that carried a deadline / that met it. Rejected jobs never
+    /// ran, so they appear in neither — `deadline_jobs_rejected` surfaces
+    /// them so a policy that refuses doomed work can't read as one that
+    /// improved deadline performance.
     pub deadline_jobs: usize,
     pub deadline_hits: usize,
+    /// Deadline-carrying jobs refused admission (budget caps or the
+    /// deferral-vs-rejection pricing): excluded from the hit-rate
+    /// denominator, counted here.
+    pub deadline_jobs_rejected: usize,
     /// Jain's fairness index over per-tenant delivered service
     /// (worker-seconds): 1 = perfectly even, 1/n = one tenant got it all.
     pub fairness: f64,
@@ -321,6 +361,19 @@ impl FleetMetrics {
         }
     }
 
+    /// Empirical coverage of the admission-time P95 ETA: the fraction of
+    /// scoreable jobs whose actual run it covered. 1.0 when nothing was
+    /// scoreable (vacuously covered — and NaN-free by construction). A
+    /// calibrated estimator sits in [target, 1]; a miscalibrated blind
+    /// prior sits near 0 when the zoo runs long.
+    pub fn eta_coverage(&self) -> f64 {
+        if self.eta_q_jobs == 0 {
+            1.0
+        } else {
+            self.eta_q_covered as f64 / self.eta_q_jobs as f64
+        }
+    }
+
     /// Build the rollup from per-job records and platform counters.
     /// Latency/queue/startup quantiles and route counts cover jobs that
     /// actually ran; budget-rejected jobs are reported separately.
@@ -344,11 +397,21 @@ impl FleetMetrics {
             .iter()
             .filter(|r| r.deadline_met() == Some(true))
             .count();
+        let deadline_jobs_rejected = records
+            .iter()
+            .filter(|r| r.rejected && r.deadline.is_some())
+            .count();
         let rejected_jobs = records.iter().filter(|r| r.rejected).count();
         let deferred_jobs = records.iter().filter(|r| r.deferred).count();
         let predicted_jobs = records.iter().filter_map(|r| r.runtime_ape()).count();
         let runtime_mape = mape(records.iter().filter_map(|r| r.runtime_ape()));
         let cost_mape = mape(records.iter().filter_map(|r| r.cost_ape()));
+        let eta_q_jobs = records.iter().filter_map(|r| r.eta_covered()).count();
+        let eta_q_covered = records
+            .iter()
+            .filter(|r| r.eta_covered() == Some(true))
+            .count();
+        let spot_attempts = records.iter().map(|r| r.spot_attempts as u64).sum();
         let resumes = records.iter().map(|r| r.resumes as u64).sum();
         let lost_work = records.iter().map(|r| r.lost_work).sum();
         let checkpoint_writes = records.iter().map(|r| r.checkpoint_writes as u64).sum();
@@ -390,8 +453,12 @@ impl FleetMetrics {
             predicted_jobs,
             runtime_mape,
             cost_mape,
+            eta_q_jobs,
+            eta_q_covered,
+            spot_attempts,
             deadline_jobs,
             deadline_hits,
+            deadline_jobs_rejected,
             fairness,
             records,
         }
@@ -412,6 +479,29 @@ impl FleetMetrics {
                 let lo = w * apes.len() / k;
                 let hi = (w + 1) * apes.len() / k;
                 mape(apes[lo..hi].iter().copied())
+            })
+            .collect()
+    }
+
+    /// P95-ETA coverage over `k` consecutive windows of the scoreable jobs
+    /// (in submission order) — the calibration trajectory: a learning
+    /// estimator's late windows must land in [target, 1] however wrong the
+    /// zoo is. Windows with nothing to score report 1.0 (vacuous).
+    pub fn eta_coverage_windows(&self, k: usize) -> Vec<f64> {
+        assert!(k >= 1, "need at least one window");
+        let covers: Vec<bool> = self
+            .records
+            .iter()
+            .filter_map(|r| r.eta_covered())
+            .collect();
+        (0..k)
+            .map(|w| {
+                let lo = w * covers.len() / k;
+                let hi = (w + 1) * covers.len() / k;
+                if lo == hi {
+                    return 1.0;
+                }
+                covers[lo..hi].iter().filter(|&&c| c).count() as f64 / (hi - lo) as f64
             })
             .collect()
     }
@@ -522,8 +612,13 @@ impl FleetMetrics {
             .u64("predicted_jobs", self.predicted_jobs as u64)
             .f64("runtime_mape", self.runtime_mape)
             .f64("cost_mape", self.cost_mape)
+            .u64("eta_q_jobs", self.eta_q_jobs as u64)
+            .u64("eta_q_covered", self.eta_q_covered as u64)
+            .f64("eta_q_coverage", self.eta_coverage())
+            .u64("spot_attempts", self.spot_attempts)
             .u64("deadline_jobs", self.deadline_jobs as u64)
             .u64("deadline_hits", self.deadline_hits as u64)
+            .u64("deadline_jobs_rejected", self.deadline_jobs_rejected as u64)
             .f64("deadline_hit_rate", self.deadline_hit_rate())
             .f64("fairness", self.fairness)
             .raw("per_class", &array(&per_class))
@@ -614,12 +709,14 @@ mod tests {
             warm_hits: 0,
             preemptions: 0,
             resumes: 0,
+            spot_attempts: 0,
             lost_work: SimTime::ZERO,
             checkpoint_writes: 0,
             checkpoint_cost: Cost::ZERO,
             rejected: false,
             deferred: false,
             predicted_run: None,
+            predicted_run_q: None,
             predicted_cost: None,
             cost: Cost::usd(cost),
         }
@@ -728,13 +825,17 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains(r#""rejected_jobs":1"#));
         assert!(json.contains(r#""rejected":1"#));
-        // A rejected job with a deadline counts as neither hit nor miss.
+        // A rejected job with a deadline counts as neither hit nor miss —
+        // but it is surfaced, so refusing doomed work can't read as
+        // improving deadline performance.
         let mut rej_dl = rec(2, Route::Faas, 0.0, 0.0, 0.0);
         rej_dl.rejected = true;
         rej_dl.deadline = Some(SimTime::secs(1.0));
         let m = metrics(vec![rej_dl]);
         assert_eq!(m.deadline_jobs, 0);
         assert_eq!(m.deadline_hit_rate(), 1.0, "vacuously met");
+        assert_eq!(m.deadline_jobs_rejected, 1);
+        assert!(m.to_json().contains(r#""deadline_jobs_rejected":1"#));
     }
 
     #[test]
@@ -793,6 +894,37 @@ mod tests {
         let empty = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.1)]);
         assert_eq!(empty.predicted_jobs, 0);
         assert_eq!(empty.runtime_mape, 0.0);
+    }
+
+    #[test]
+    fn eta_coverage_rolls_up_and_windows() {
+        // Job 0: P95 ETA 12 s covers the 10 s run; job 1: ETA 15 s misses
+        // the 20 s run; job 2: no quantile snapshot — not scoreable.
+        let mut a = rec(0, Route::Faas, 0.0, 10.0, 0.5);
+        a.predicted_run_q = Some(SimTime::secs(12.0));
+        let mut b = rec(1, Route::Iaas, 0.0, 20.0, 0.1);
+        b.predicted_run_q = Some(SimTime::secs(15.0));
+        b.spot_attempts = 2;
+        let c = rec(2, Route::Faas, 0.0, 10.0, 0.1);
+        let m = metrics(vec![a, b, c]);
+        assert_eq!(m.eta_q_jobs, 2);
+        assert_eq!(m.eta_q_covered, 1);
+        assert!((m.eta_coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(m.spot_attempts, 2);
+        assert_eq!(m.eta_coverage_windows(2), vec![1.0, 0.0]);
+        let json = m.to_json();
+        assert!(json.contains(r#""eta_q_jobs":2"#));
+        assert!(json.contains(r#""eta_q_covered":1"#));
+        assert!(json.contains(r#""eta_q_coverage":0.5"#));
+        assert!(json.contains(r#""spot_attempts":2"#));
+        // Nothing scoreable → vacuously covered, never NaN.
+        let empty = metrics(vec![rec(0, Route::Faas, 0.0, 10.0, 0.1)]);
+        assert_eq!(empty.eta_coverage(), 1.0);
+        assert_eq!(empty.eta_coverage_windows(3), vec![1.0, 1.0, 1.0]);
+        // An exact prediction (zero-margin estimator) counts as covered.
+        let mut exact = rec(0, Route::Faas, 0.0, 10.0, 0.1);
+        exact.predicted_run_q = Some(SimTime::secs(10.0));
+        assert_eq!(exact.eta_covered(), Some(true));
     }
 
     #[test]

@@ -371,6 +371,19 @@ pub struct SpotConfig {
     pub max_retries: u32,
 }
 
+impl SpotConfig {
+    /// The per-instance exponential-clock parameter λ = 1 / mean time to
+    /// preempt — the single definition of the market's hostility, shared
+    /// by [`SpotTier::preemption_clock`]'s sampler and the
+    /// zero-observation prior of [`crate::estimate::RiskModel`]. A
+    /// `workers`-wide cluster dies at `workers × λ` (first instance
+    /// reclaimed kills the attempt).
+    pub fn preemption_rate_per_instance_s(&self) -> f64 {
+        assert!(self.mean_time_to_preempt.as_secs() > 0.0);
+        1.0 / self.mean_time_to_preempt.as_secs()
+    }
+}
+
 impl Default for SpotConfig {
     fn default() -> Self {
         SpotConfig {
@@ -684,6 +697,30 @@ mod tests {
                 "width {workers}: empirical mean {mean:.1} vs {expect}"
             );
         }
+    }
+
+    /// The config's rate helper and the tier's sampled clocks agree: the
+    /// empirical per-instance mean lifetime inverts the advertised λ.
+    #[test]
+    fn preemption_rate_inverts_the_sampled_mean() {
+        let cfg = SpotConfig {
+            mean_time_to_preempt: SimTime::secs(5_000.0),
+            ..Default::default()
+        };
+        assert!((cfg.preemption_rate_per_instance_s() - 2e-4).abs() < 1e-15);
+        let s = SpotTier::new(cfg, 9);
+        let n = 4_000u64;
+        let mean: f64 = (0..n)
+            .map(|j| s.preemption_clock(j, 0, 1).as_secs())
+            .sum::<f64>()
+            / n as f64;
+        let implied_rate = 1.0 / mean;
+        assert!(
+            (implied_rate - cfg.preemption_rate_per_instance_s()).abs()
+                < cfg.preemption_rate_per_instance_s() * 0.1,
+            "sampled clocks imply λ = {implied_rate}, config advertises {}",
+            cfg.preemption_rate_per_instance_s()
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! IaaS when FaaS can't make the deadline; [`FairShare`] routes by cost
 //! but drains queues deficit-round-robin across weighted tenants.
 
-use crate::estimate::{calibrate_epochs, Analytic, CompletedJob, Estimate, Estimator};
+use crate::estimate::{
+    calibrate_epochs, Analytic, CompletedJob, Estimate, Estimator, PreemptionObs, RiskModel,
+    ETA_QUANTILE,
+};
 use crate::job::{JobClass, JobRequest, TenantId};
 use crate::lifecycle::CheckpointPolicy;
 use lml_sim::SimTime;
@@ -95,6 +98,19 @@ pub trait Scheduler {
     /// lifecycle transition with the job's actuals. Policies holding an
     /// [`Estimator`] forward this to it; the default drops it.
     fn observe(&mut self, _done: &CompletedJob) {}
+    /// Spot-market feedback from the simulator: every spot attempt's
+    /// outcome — `SpotPreempted` *and* clean `SpotDone`, so rates are
+    /// exposure-weighted — the moment it settles. Risk-aware policies
+    /// forward this to their [`RiskModel`]; the default drops it.
+    fn observe_preemption(&mut self, _obs: &PreemptionObs) {}
+    /// The quantile this policy prices runtime tails at. The simulator
+    /// snapshots admission-time quantile ETAs (scored as coverage in the
+    /// metrics) and prices deferral-vs-rejection at the same tail the
+    /// policy routes with, so the two subsystems can't judge one job at
+    /// different quantiles. Defaults to [`ETA_QUANTILE`].
+    fn eta_quantile(&self) -> f64 {
+        ETA_QUANTILE
+    }
 }
 
 /// Deterministic spot assignment: a stable per-job hash decides whether an
@@ -262,8 +278,20 @@ impl Scheduler for CostAware {
 /// by default (a restart from zero can't afford it) — unless the fleet
 /// runs checkpoint recovery ([`DeadlineAware::with_spot_recovery`]), in
 /// which case a preemption only re-runs the epochs since the last durable
-/// checkpoint, and deadline jobs whose laxity comfortably covers the
-/// predicted run plus a recovery allowance ride spot too.
+/// checkpoint, and deadline jobs whose laxity covers the *risk-adjusted*
+/// spot ETA ride the market too.
+///
+/// Deadline tests price runtimes at a quantile, not the mean: every ETA
+/// uses [`Estimate::eta_q`] at `eta_quantile` (P95 by default), so an
+/// estimator that has learned its spread makes the laxity test honest
+/// about the tail. Spot admission is risk-aware: the expected
+/// resume-and-rerun cycles come from the [`RiskModel`]'s learned
+/// preemption-rate posterior (per tenant and class, fed by
+/// [`Scheduler::observe_preemption`]), falling back to the configured
+/// `mean_time_to_preempt` at zero observations. The pre-PR-5 static
+/// behaviour is [`DeadlineAware::with_static_preemption`], which freezes
+/// the posterior at the config — the baseline the learned variant is
+/// measured against.
 ///
 /// With a learning estimator plugged in, the startup cushion also adapts
 /// upward: once the model's observed cold-start/dispatch draws for a
@@ -273,6 +301,9 @@ impl Scheduler for CostAware {
 #[derive(Debug, Clone)]
 pub struct DeadlineAware {
     est: Box<dyn Estimator>,
+    /// Learned spot preemption-rate posterior behind the risk-aware spot
+    /// admission (fed by the simulator's `observe_preemption` loop).
+    risk: RiskModel,
     /// Share of jobs eligible for the spot market that actually ride it:
     /// deadline-less IaaS-bound jobs always, slack-rich deadline jobs too
     /// when `spot_recovery` is on. At 0.0 (the default) nothing routes to
@@ -286,10 +317,17 @@ pub struct DeadlineAware {
     /// The fleet resumes preempted jobs from durable checkpoints, so a
     /// deadline job with enough slack may ride the spot market.
     pub spot_recovery: bool,
-    /// Laxity must exceed this multiple of the predicted IaaS completion
-    /// before a deadline job is trusted to spot (the allowance for
-    /// re-running checkpointed epochs after preemptions).
+    /// Safety multiple on the risk-adjusted spot ETA before a deadline job
+    /// is trusted to the market (absorbs queue-model and posterior error).
     pub recovery_slack: f64,
+    /// Quantile the deadline tests price runtimes at ([`ETA_QUANTILE`] by
+    /// default; 0.5 degrades every ETA to the mean).
+    pub eta_quantile: f64,
+    /// Fraction of the quantile run redone per expected preemption, on top
+    /// of a re-boot — the per-cycle resume-and-rerun allowance (with
+    /// epoch-granular checkpoints the redo slice is bounded by the
+    /// checkpoint interval; half the run is deliberately conservative).
+    pub rerun_overhead: f64,
 }
 
 impl Default for DeadlineAware {
@@ -302,18 +340,23 @@ impl DeadlineAware {
     pub fn new() -> Self {
         DeadlineAware {
             est: Box::new(Analytic::new()),
+            risk: RiskModel::for_config(&crate::platform::SpotConfig::default()),
             spot_fraction: 0.0,
             startup_margin: SimTime::secs(30.0),
             spot_recovery: false,
             recovery_slack: 3.0,
+            eta_quantile: ETA_QUANTILE,
+            rerun_overhead: 0.5,
         }
     }
 
     /// Scheduler predicting with the analytic model over the fleet's own
-    /// channel/pricing cases.
+    /// channel/pricing cases, and the preemption-rate prior seeded from
+    /// the fleet's spot configuration.
     pub fn for_config(cfg: &crate::sim::FleetConfig) -> Self {
         DeadlineAware {
             est: Box::new(Analytic::for_config(cfg)),
+            risk: RiskModel::for_config(&cfg.spot),
             ..Self::new()
         }
     }
@@ -333,16 +376,66 @@ impl DeadlineAware {
 
     /// Trust checkpoint-aware recovery: pass the fleet config's
     /// [`CheckpointPolicy`] and, if it actually checkpoints, deadline jobs
-    /// whose laxity exceeds `recovery_slack ×` the predicted IaaS
-    /// completion ride the spot market too. Passing
-    /// [`CheckpointPolicy::Never`] keeps deadline jobs off the market —
-    /// without durable checkpoints a preemption restarts from zero, which
-    /// a deadline can't afford. Spot participation is still gated by
+    /// whose laxity exceeds `recovery_slack ×` the risk-adjusted spot ETA
+    /// ride the spot market too. Passing [`CheckpointPolicy::Never`]
+    /// keeps deadline jobs off the market — without durable checkpoints a
+    /// preemption restarts from zero, which a deadline can't afford. Spot
+    /// participation is still gated by
     /// [`DeadlineAware::with_spot_fraction`]: at the default 0.0 no job
     /// rides the market, recovery or not.
     pub fn with_spot_recovery(mut self, policy: CheckpointPolicy) -> Self {
         self.spot_recovery = policy != CheckpointPolicy::Never;
         self
+    }
+
+    /// Re-seed the preemption-rate prior (what the scheduler *believes*
+    /// the per-instance mean time to preempt is — deliberately separate
+    /// from the simulated market's true value, so miscalibrated-config
+    /// studies can lie to the scheduler).
+    pub fn with_preemption_prior(mut self, mttp: SimTime) -> Self {
+        let frozen = self.risk.is_frozen();
+        self.risk = RiskModel::new(mttp);
+        if frozen {
+            self.risk = self.risk.frozen();
+        }
+        self
+    }
+
+    /// Freeze the preemption posterior at the configured mean — the
+    /// static-config baseline (pre-PR-5 behaviour) the learned admission
+    /// is measured against.
+    pub fn with_static_preemption(mut self) -> Self {
+        self.risk = self.risk.frozen();
+        self
+    }
+
+    /// Set the quantile deadline tests price runtimes at (must be in
+    /// [0, 1); 0.5 or below degrades every ETA to the mean). Validated
+    /// here so a bad knob fails at configuration time, not deep inside
+    /// `route()`.
+    pub fn with_eta_quantile(mut self, q: f64) -> Self {
+        assert!((0.0..1.0).contains(&q), "eta quantile must be in [0, 1)");
+        self.eta_quantile = q;
+        self
+    }
+
+    /// The learned preemption-rate posterior, for reporting.
+    pub fn risk(&self) -> &RiskModel {
+        &self.risk
+    }
+
+    /// The risk-adjusted spot ETA for a job: one clean attempt (startup
+    /// cushion + quantile run) plus the expected resume-and-rerun cycles
+    /// from the preemption posterior, each costing a re-boot and a redo
+    /// slice. This is what the laxity must cover (times
+    /// `recovery_slack`) before a deadline job rides the market.
+    pub fn spot_eta(&self, job: &JobRequest, e: &Estimate, cushion_secs: f64) -> f64 {
+        let run_q = e.eta_q(Route::Spot, self.eta_quantile);
+        let attempt = cushion_secs + run_q;
+        let cycles = self
+            .risk
+            .expected_preemptions(job.tenant, job.class, job.workers, attempt);
+        attempt + cycles * (cushion_secs + self.rerun_overhead * run_q)
     }
 }
 
@@ -382,6 +475,10 @@ impl Scheduler for DeadlineAware {
         };
         let margin_f = cushion(Route::Faas);
         let margin_i = cushion(Route::Iaas);
+        // Every deadline test prices the run at the estimator's calibrated
+        // quantile (P95 by default): tails miss deadlines, means don't.
+        let t_faas_q = e.eta_q(Route::Faas, self.eta_quantile);
+        let t_iaas_q = e.eta_q(Route::Iaas, self.eta_quantile);
         // Predicted completion on FaaS: the run itself (Lambda is elastic)
         // unless the account concurrency limit is already saturated.
         let faas_saturated =
@@ -389,7 +486,7 @@ impl Scheduler for DeadlineAware {
         let faas_eta = if faas_saturated {
             f64::INFINITY
         } else {
-            e.t_faas + margin_f
+            t_faas_q + margin_f
         };
         // Predicted completion on IaaS: the run plus a backlog estimate —
         // the queue drains roughly one capacity-wide wave per run.
@@ -400,15 +497,17 @@ impl Scheduler for DeadlineAware {
         } else {
             0.0
         };
-        let iaas_eta = e.t_iaas + iaas_wait + margin_i;
+        let iaas_eta = t_iaas_q + iaas_wait + margin_i;
         let budget = laxity.as_secs();
         // With checkpoint recovery on, a deadline job whose slack swallows
-        // several resume-and-rerun cycles takes the spot discount: the
-        // worst case is no longer "restart from zero", only the epochs
-        // since the last durable checkpoint.
+        // the *risk-adjusted* spot ETA takes the discount: one clean
+        // attempt plus the expected resume-and-rerun cycles from the
+        // learned preemption posterior (the configured mean at zero
+        // observations). A market the posterior has seen eat clusters
+        // alive prices itself out; a benign one prices itself in.
         if self.spot_recovery
-            && budget >= self.recovery_slack * iaas_eta
             && spot_pick(job.id, self.spot_fraction)
+            && budget >= self.recovery_slack * self.spot_eta(job, &e, cushion(Route::Spot))
         {
             return Route::Spot;
         }
@@ -443,6 +542,14 @@ impl Scheduler for DeadlineAware {
 
     fn observe(&mut self, done: &CompletedJob) {
         self.est.observe(done);
+    }
+
+    fn observe_preemption(&mut self, obs: &PreemptionObs) {
+        self.risk.observe(obs);
+    }
+
+    fn eta_quantile(&self) -> f64 {
+        self.eta_quantile
     }
 }
 
@@ -722,6 +829,122 @@ mod tests {
             .with_spot_recovery(CheckpointPolicy::Never);
         j.deadline = Some(j.submit + t_i * 100.0);
         assert_ne!(off.route(&j, &idle), Route::Spot);
+    }
+
+    #[test]
+    fn learned_hostile_market_prices_deadline_jobs_off_spot() {
+        use crate::estimate::PreemptionObs;
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        let mut j = job(JobClass::LrHiggs);
+        let build = || {
+            DeadlineAware::new()
+                .with_spot_fraction(1.0)
+                .with_spot_recovery(CheckpointPolicy::every(1))
+        };
+        let mut learned = build();
+        let mut frozen = build().with_static_preemption();
+        // The market eats 10-wide clusters every ~20 s — both schedulers
+        // watch the same carnage, only one is allowed to believe it.
+        for _ in 0..200 {
+            let obs = PreemptionObs {
+                class: JobClass::LrHiggs,
+                tenant: 0,
+                workers: 10,
+                held: SimTime::secs(20.0),
+                preempted: true,
+            };
+            learned.observe_preemption(&obs);
+            frozen.observe_preemption(&obs);
+        }
+        // The evidence must widen the risk-adjusted ETA…
+        let e = Analytic::new().predict(&j);
+        let eta_learned = learned.spot_eta(&j, &e, 30.0);
+        let eta_frozen = frozen.spot_eta(&j, &e, 30.0);
+        assert!(
+            eta_learned > eta_frozen * 1.5,
+            "posterior must widen the spot ETA: {eta_learned} vs {eta_frozen}"
+        );
+        // …and flip the admission for a deadline sitting between the two
+        // risk-adjusted requirements.
+        let budget = 3.0 * (eta_frozen + eta_learned) / 2.0;
+        j.deadline = Some(j.submit + SimTime::secs(budget));
+        assert_eq!(
+            frozen.route(&j, &idle),
+            Route::Spot,
+            "the static-mean baseline keeps trusting the config"
+        );
+        assert_ne!(
+            learned.route(&j, &idle),
+            Route::Spot,
+            "the learned posterior must price the job off the market"
+        );
+        // Deadline-less jobs still ride spot — risk only gates deadlines.
+        let free = job(JobClass::LrHiggs);
+        assert_eq!(learned.route(&free, &idle), Route::Spot);
+    }
+
+    #[test]
+    fn preemption_prior_seeds_the_admission_test() {
+        // Same job, same market knowledge (none) — only the configured
+        // prior differs. An alarmist prior declines what a benign one
+        // admits, exactly the static-config sensitivity the learned
+        // posterior exists to fix.
+        let idle = FleetView {
+            iaas_free: 100,
+            iaas_capacity: 100,
+            faas_limit: 1_000,
+            ..Default::default()
+        };
+        let mut j = job(JobClass::LrHiggs);
+        let build = |mttp: f64| {
+            DeadlineAware::new()
+                .with_spot_fraction(1.0)
+                .with_spot_recovery(CheckpointPolicy::every(1))
+                .with_preemption_prior(SimTime::secs(mttp))
+        };
+        let e = Analytic::new().predict(&j);
+        let req_benign = 3.0 * build(14_400.0).spot_eta(&j, &e, 30.0);
+        let req_alarmist = 3.0 * build(50.0).spot_eta(&j, &e, 30.0);
+        assert!(
+            req_alarmist > req_benign,
+            "premise: the prior moves the bar"
+        );
+        j.deadline = Some(j.submit + SimTime::secs((req_benign + req_alarmist) / 2.0));
+        assert_eq!(build(14_400.0).route(&j, &idle), Route::Spot);
+        assert_ne!(build(50.0).route(&j, &idle), Route::Spot);
+        // The prior survives freezing order in the builder chain.
+        let frozen = build(50.0).with_static_preemption();
+        assert!(frozen.risk().is_frozen());
+        assert_eq!(
+            frozen.risk().mean_time_to_preempt(0, JobClass::LrHiggs),
+            SimTime::secs(50.0)
+        );
+    }
+
+    #[test]
+    fn eta_quantile_knob_is_validated_and_published() {
+        let s = DeadlineAware::new().with_eta_quantile(0.9);
+        assert_eq!(
+            Scheduler::eta_quantile(&s),
+            0.9,
+            "policy publishes its tail"
+        );
+        assert_eq!(
+            Scheduler::eta_quantile(&AllFaas),
+            crate::estimate::ETA_QUANTILE,
+            "constant routers default to the fleet standard"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eta quantile")]
+    fn eta_quantile_knob_rejects_out_of_range() {
+        DeadlineAware::new().with_eta_quantile(1.0);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 //! need more (or fewer) epochs than the analytic prior assumes — which is
 //! exactly the regime where learning estimators earn their keep.
 
-use crate::estimate::{CompletedJob, Estimate};
+use crate::estimate::{CompletedJob, Estimate, PreemptionObs};
 use crate::job::{JobRequest, TenantId};
-use crate::lifecycle::{preempt_outcome, AttemptPlan, CheckpointPolicy, JobLifecycle};
+use crate::lifecycle::{
+    preempt_outcome, restore_beats_redo, AttemptPlan, CheckpointPolicy, JobLifecycle,
+};
 use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
 use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 use crate::scheduler::{FleetView, QueueDiscipline, Route, Scheduler};
@@ -82,6 +84,18 @@ pub struct FleetConfig {
     /// 30 ms latency — right for tiny convex models), larger ones through
     /// S3. `None` sends everything to S3.
     pub checkpoint_tier_threshold: Option<ByteSize>,
+    /// What a missed deadline is deemed to cost, in dollars — one side of
+    /// the deferral-vs-rejection pricing when a tenant is over its
+    /// windowed allowance. Deferring a job whose P95 ETA after the next
+    /// window boundary still makes its deadline costs nothing; deferring
+    /// one that will (at P95) miss costs this.
+    pub deadline_miss_cost: f64,
+    /// What rejecting a job outright is deemed to cost, in dollars — the
+    /// other side of the pricing. With the defaults (equal costs, ties
+    /// defer) every over-allowance job defers, reproducing the PR 4
+    /// behaviour; price rejection *below* a miss and admission starts
+    /// rejecting the jobs deferral can only doom.
+    pub rejection_cost: f64,
 }
 
 /// Default checkpoint storage-class threshold: the cost break-even where
@@ -103,6 +117,8 @@ impl Default for FleetConfig {
             epoch_scale: 1.0,
             budget_window: None,
             checkpoint_tier_threshold: Some(CHECKPOINT_TIER_THRESHOLD),
+            deadline_miss_cost: 1.0,
+            rejection_cost: 1.0,
         }
     }
 }
@@ -371,6 +387,8 @@ impl<'a> Fleet<'a> {
                 let run = faas_run(&p, &self.cfg.faas_case, job.workers);
                 let s = &mut self.state[i];
                 s.queue += now - s.ready_since;
+                // Queue time accumulates exactly once per wait interval.
+                s.ready_since = now;
                 s.startup += startup;
                 s.run += run;
                 s.warm_hits = warm_hits;
@@ -402,11 +420,17 @@ impl<'a> Fleet<'a> {
         let run_full = iaas_run(&p, &self.cfg.iaas_case, job.workers);
         let total = self.state[i].epochs_total;
         let epoch_secs = run_full.as_secs() / total as f64;
-        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs);
+        // Restore-vs-redo priced at the reserved pool's own rate.
+        let rate = job.workers as f64 * self.cfg.iaas_case.worker_price_per_s;
+        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs, rate);
         let run = SimTime::secs((total - from) as f64 * epoch_secs);
         let startup = self.cfg.iaas.dispatch_latency + restore;
         let s = &mut self.state[i];
         s.queue += now - s.ready_since;
+        // Close the wait interval: queue seconds accumulate exactly once
+        // per wait, however the job got here (fresh admission or the
+        // Requeued→pool-fallback path).
+        s.ready_since = now;
         s.startup += startup;
         s.run += run;
         if from > 0 {
@@ -434,16 +458,21 @@ impl<'a> Fleet<'a> {
     }
 
     /// Where job `i`'s next attempt starts: its last durable checkpoint if
-    /// restoring it beats redoing the epochs, else from scratch. Returns
-    /// (start epoch, restore time, restore dollars).
-    fn resume_point(&self, i: usize, epoch_secs: f64) -> (u32, SimTime, Cost) {
+    /// restoring it beats redoing the epochs on *both* time and dollars
+    /// ([`restore_beats_redo`] — `rate_per_s` is the routed substrate's
+    /// instance rate for the whole job), else from scratch. Returns
+    /// (start epoch, restore time, restore dollars). The dollar check
+    /// matters for budget-capped tenants: a restore read that costs more
+    /// than redoing cheap epochs must not be billed.
+    fn resume_point(&self, i: usize, epoch_secs: f64, rate_per_s: f64) -> (u32, SimTime, Cost) {
         let from = self.state[i].epochs_done;
         if from == 0 {
             return (0, SimTime::ZERO, Cost::ZERO);
         }
         let bytes = self.ckpt_bytes(i);
         let restore = self.ckpt.read_time(bytes);
-        if restore.as_secs() < from as f64 * epoch_secs {
+        let redo = SimTime::secs(from as f64 * epoch_secs);
+        if restore_beats_redo(restore, self.ckpt.read_dollars(bytes), redo, rate_per_s) {
             (from, restore, self.ckpt.read_dollars(bytes))
         } else {
             (0, SimTime::ZERO, Cost::ZERO)
@@ -469,7 +498,9 @@ impl<'a> Fleet<'a> {
             .cfg
             .checkpoint
             .interval_epochs(epoch_secs, write_secs, job_mttp);
-        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs);
+        // Restore-vs-redo priced at the market's discounted rate.
+        let rate = self.spot_attributed(workers, SimTime::secs(1.0)).as_usd();
+        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs, rate);
         let plan = AttemptPlan {
             start_epoch: from,
             total_epochs: total,
@@ -644,6 +675,43 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// Deferral-vs-rejection pricing for an over-allowance arrival: defer
+    /// costs nothing when the job's P95 completion after the next window
+    /// boundary still makes its deadline, and `deadline_miss_cost` when it
+    /// (at P95) cannot; rejection always costs `rejection_cost`. Returns
+    /// `true` when rejecting is strictly cheaper — i.e. the job is doomed
+    /// at the tail and the platform prices a clean refusal below a late
+    /// finish. Deadline-less jobs (and constant routers, which predict
+    /// nothing) always defer.
+    fn rejection_is_cheaper(&self, i: usize, now: SimTime, sched: &dyn Scheduler) -> bool {
+        let Some(deadline) = self.jobs[i].deadline else {
+            return false;
+        };
+        let Some(w) = self.cfg.budget_window else {
+            return false;
+        };
+        // The standing window chain ticks at multiples of `w`: the job
+        // would be released at the next boundary.
+        let release = SimTime::secs(((now.as_secs() / w.as_secs()).floor() + 1.0) * w.as_secs());
+        let mut probe = self.jobs[i];
+        probe.submit = release;
+        let Some(e) = sched.estimate(&probe) else {
+            return false;
+        };
+        // Best-substrate quantile run after release, priced at the same
+        // tail the scheduler routes with (queue/startup slack is the
+        // deadline's own business — the pricing only needs the tail run).
+        let q = sched.eta_quantile();
+        let eta = e.eta_q(Route::Faas, q).min(e.eta_q(Route::Iaas, q));
+        let misses = release + SimTime::secs(eta) > deadline;
+        let defer_cost = if misses {
+            self.cfg.deadline_miss_cost
+        } else {
+            0.0
+        };
+        self.cfg.rejection_cost < defer_cost
+    }
+
     /// Hold job `i` until the next budget window boundary. The standing
     /// window chain (set up by [`simulate`] whenever the trace carries
     /// budgets) guarantees a boundary event is already in flight.
@@ -681,6 +749,15 @@ impl<'a> Fleet<'a> {
                 let run = SimTime::secs(plan.run_secs());
                 let held = s.attempt_boot + s.attempt_restore + run;
                 self.spot.finish(workers, held);
+                // Clean attempts feed the risk loop too: exposure without
+                // an event is what keeps the learned rate unbiased.
+                sched.observe_preemption(&PreemptionObs {
+                    class: self.jobs[i].class,
+                    tenant: self.jobs[i].tenant,
+                    workers,
+                    held,
+                    preempted: false,
+                });
                 // The instance-seconds were attributed at launch; only the
                 // uploads the successful attempt initiated remain to bill
                 // — checkpointing is insurance, paid either way.
@@ -706,6 +783,16 @@ impl<'a> Fleet<'a> {
                 let run_elapsed = (held - overhead).as_secs().max(0.0);
                 let outcome = preempt_outcome(&plan, run_elapsed);
                 self.spot.preempted(workers, held);
+                // The risk loop the tentpole closes: every reclaim reaches
+                // the scheduler's preemption posterior the moment it lands,
+                // not only when (if) the job finally completes.
+                sched.observe_preemption(&PreemptionObs {
+                    class: self.jobs[i].class,
+                    tenant: self.jobs[i].tenant,
+                    workers,
+                    held,
+                    preempted: true,
+                });
                 // Every initiated upload is billed — including the partial
                 // write the preemption interrupted. The launch attributed
                 // the full planned hold; settle down to the seconds the
@@ -780,7 +867,18 @@ impl<'a> Fleet<'a> {
                     // still queueing don't show yet — the same
                     // charge-at-dispatch approximation arrivals use).
                     if self.budget_exhausted(self.jobs[i].tenant) {
-                        self.deferred_queue.push(i);
+                        // Re-price before holding the job another window:
+                        // a deadline that was viable at arrival may have
+                        // become doomed while the job waited — the exact
+                        // case the pricing exists to refuse cleanly.
+                        if self.rejection_is_cheaper(i, now, &*sched) {
+                            let s = &mut self.state[i];
+                            s.lifecycle.transition(JobLifecycle::Queued);
+                            s.lifecycle.transition(JobLifecycle::Rejected);
+                            self.unfinished -= 1;
+                        } else {
+                            self.deferred_queue.push(i);
+                        }
                         continue;
                     }
                     self.state[i].lifecycle.transition(JobLifecycle::Queued);
@@ -830,11 +928,13 @@ pub fn simulate(
         if let Event::Arrive(i) = ev {
             // Budget cap: a tenant whose attributed spend has exhausted its
             // trace-declared budget gets no more admissions this window.
-            // With a budget window configured the job is `Deferred` to the
-            // next window's fresh allowance; without one (or for a tenant
-            // whose cap is zero — no window can ever afford it) the job
-            // ends in the `Rejected` terminal state without touching a
-            // platform.
+            // With a budget window configured the job is priced per job —
+            // `Deferred` to the next window's fresh allowance when that
+            // can still work (or costs less than refusing), `Rejected`
+            // when a P95 deadline miss is already locked in and the
+            // platform prices rejection below it. Without a window (or for
+            // a tenant whose cap is zero — no window can ever afford it)
+            // the job ends `Rejected` without touching a platform.
             if fleet.budget_exhausted(fleet.jobs[i].tenant) {
                 let cap = fleet
                     .budgets
@@ -842,7 +942,9 @@ pub fn simulate(
                     .copied()
                     .unwrap_or(0.0);
                 match cfg.budget_window {
-                    Some(_) if cap > 0.0 => fleet.defer(i, now),
+                    Some(_) if cap > 0.0 && !fleet.rejection_is_cheaper(i, now, &*scheduler) => {
+                        fleet.defer(i, now)
+                    }
                     _ => {
                         fleet.state[i].lifecycle.transition(JobLifecycle::Rejected);
                         fleet.unfinished -= 1;
@@ -862,6 +964,10 @@ pub fn simulate(
         "all jobs must reach a terminal lifecycle state"
     );
 
+    // The tail the scheduler priced its decisions at — the quantile the
+    // admission snapshots are scored at, so coverage measures the ETA the
+    // fleet actually routed with.
+    let eta_quantile = scheduler.eta_quantile();
     let records: Vec<JobRecord> = trace
         .jobs
         .iter()
@@ -880,12 +986,19 @@ pub fn simulate(
             warm_hits: s.warm_hits,
             preemptions: s.preemptions,
             resumes: s.resumes,
+            spot_attempts: s.attempt,
             lost_work: s.lost_work,
             checkpoint_writes: s.ckpt_writes,
             checkpoint_cost: s.ckpt_cost,
             rejected: s.lifecycle == JobLifecycle::Rejected,
             deferred: s.deferred,
             predicted_run: s.predicted.map(|e| SimTime::secs(e.time(s.route))),
+            // The calibrated quantile ETA snapshotted at admission, at the
+            // tail the scheduler itself routed with (P95 by default) —
+            // what the coverage rollup scores against the actual run.
+            predicted_run_q: s
+                .predicted
+                .map(|e| SimTime::secs(e.eta_q(s.route, eta_quantile))),
             // Spot attributions ride the market discount the firm-price
             // prediction deliberately ignores; scoring them would report
             // the discount as estimator error, so spot jobs carry no cost
@@ -1348,6 +1461,139 @@ mod tests {
         // scheduler must see 10000 − 3600, not 10000 − 5.
         assert_eq!(probe.seen[0], None);
         assert_eq!(probe.seen[1], Some(10_000.0 - 3_600.0));
+    }
+
+    /// The Requeued→pool-fallback path accounts queue time exactly once
+    /// per wait interval: the latency components must tile submit→finish
+    /// even when a job is preempted off spot, waits for a busy reserved
+    /// pool, and resumes there. (A double-counted wait would make
+    /// queue + startup + run overshoot the physical finish time.)
+    #[test]
+    fn fallback_queue_time_accumulates_once_per_wait() {
+        let mut cfg = FleetConfig::default();
+        cfg.spot.mean_time_to_preempt = SimTime::secs(100.0); // ~10 s for 10-wide
+        cfg.spot.max_retries = 0; // first preemption falls back to the pool
+        cfg.checkpoint = CheckpointPolicy::every(1);
+        cfg.iaas.min_instances = 10;
+        cfg.iaas.max_instances = 10; // one 10-wide job at a time: fallback queues
+        let jobs = (0..4)
+            .map(|k| JobRequest::new(k, JobClass::LrHiggs, SimTime::secs(k as f64), 10))
+            .collect();
+        let trace = Trace::from_jobs(jobs);
+        let mut sched = FairShare::new().with_spot_fraction(1.0);
+        let m = simulate(&trace, &cfg, &mut sched, 5);
+        assert_eq!(m.n_jobs, 4);
+        assert!(m.preemptions > 0, "premise: the market strikes");
+        let mut someone_waited = false;
+        for r in &m.records {
+            assert!(
+                (r.finish() - r.submit - r.latency()).as_secs().abs() < 1e-6,
+                "job {}: queue {} + startup {} + run {} must tile submit→finish",
+                r.id,
+                r.queue,
+                r.startup,
+                r.run
+            );
+            someone_waited |= r.queue.as_secs() > 1.0;
+        }
+        assert!(
+            someone_waited,
+            "premise: the capped pool makes a fallback job actually wait"
+        );
+    }
+
+    /// Deferral-vs-rejection pricing: with rejection priced below a P95
+    /// deadline miss, an over-allowance job whose deadline is already
+    /// doomed at the next window boundary is rejected, while a viable one
+    /// still defers. With the default (equal) prices every job defers —
+    /// the PR 4 behaviour.
+    #[test]
+    fn admission_prices_deferral_against_rejection_per_job() {
+        use crate::job::JobRequest;
+        let window = SimTime::hours(1.0);
+        let mk_trace = || {
+            let mut burner = JobRequest::new(0, JobClass::LrHiggs, SimTime::ZERO, 10);
+            burner.tenant = 0;
+            // Doomed: over-allowance and its deadline lands *before* the
+            // next window boundary — deferral can only deliver it late.
+            let mut doomed = JobRequest::new(1, JobClass::LrHiggs, SimTime::secs(5.0), 10);
+            doomed.tenant = 0;
+            doomed.deadline = Some(SimTime::secs(600.0));
+            // Viable: the boundary release still makes this deadline.
+            let mut viable = JobRequest::new(2, JobClass::LrHiggs, SimTime::secs(6.0), 10);
+            viable.tenant = 0;
+            viable.deadline = Some(SimTime::secs(20_000.0));
+            Trace::from_jobs(vec![burner, doomed, viable]).with_budget(0, 0.001)
+        };
+        let priced_cfg = FleetConfig {
+            budget_window: Some(window),
+            rejection_cost: 0.1,
+            deadline_miss_cost: 1.0,
+            ..FleetConfig::default()
+        };
+        let m = simulate(&mk_trace(), &priced_cfg, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 1, "the doomed job is refused cleanly");
+        assert_eq!(m.deferred_jobs, 1, "the viable job waits for its window");
+        assert!(m.records[1].rejected && !m.records[2].rejected);
+        assert!(m.records[2].deferred);
+        // Default prices tie → ties defer → PR 4 behaviour byte-for-byte.
+        let default_cfg = FleetConfig {
+            budget_window: Some(window),
+            ..FleetConfig::default()
+        };
+        let m = simulate(&mk_trace(), &default_cfg, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 0);
+        assert_eq!(m.deferred_jobs, 2);
+        // Constant routers predict nothing: pricing degrades to deferral
+        // rather than rejecting on a guess.
+        let m = simulate(&mk_trace(), &priced_cfg, &mut AllFaas, 1);
+        assert_eq!(m.rejected_jobs, 0);
+    }
+
+    /// Jobs that become doomed *while deferred* are re-priced at every
+    /// window boundary: a deadline that was viable at arrival but slips
+    /// past the P95 miss point during the wait is rejected (when rejection
+    /// is priced below a miss) instead of deferring window after window
+    /// toward a guaranteed late finish.
+    #[test]
+    fn boundary_release_reprices_jobs_doomed_while_deferred() {
+        use crate::job::JobRequest;
+        let mk_trace = || {
+            // The burner exhausts the tiny allowance; J1 and J2 arrive
+            // over-allowance, both viable for the first boundary (release
+            // 3 600 + short run < 5 000). At the boundary J1 drains the
+            // fresh allowance first (arrival order), so J2 is still over
+            // — and its deadline now falls before the *next* boundary at
+            // 7 200: doomed.
+            let mut burner = JobRequest::new(0, JobClass::LrHiggs, SimTime::ZERO, 10);
+            burner.tenant = 0;
+            let mut j1 = JobRequest::new(1, JobClass::LrHiggs, SimTime::secs(5.0), 10);
+            j1.tenant = 0;
+            j1.deadline = Some(SimTime::secs(5_000.0));
+            let mut j2 = JobRequest::new(2, JobClass::LrHiggs, SimTime::secs(6.0), 10);
+            j2.tenant = 0;
+            j2.deadline = Some(SimTime::secs(5_000.0));
+            Trace::from_jobs(vec![burner, j1, j2]).with_budget(0, 0.005)
+        };
+        let cfg = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            rejection_cost: 0.1,
+            deadline_miss_cost: 1.0,
+            ..FleetConfig::default()
+        };
+        let m = simulate(&mk_trace(), &cfg, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 1, "J2 is refused at the boundary");
+        assert!(m.records[2].rejected, "the doomed job is the one rejected");
+        assert!(m.records[1].deferred && !m.records[1].rejected);
+        // Default (tied) prices keep the old behaviour: J2 re-defers and
+        // is delivered late instead.
+        let defaults = FleetConfig {
+            budget_window: Some(SimTime::hours(1.0)),
+            ..FleetConfig::default()
+        };
+        let m = simulate(&mk_trace(), &defaults, &mut CostAware::new(), 1);
+        assert_eq!(m.rejected_jobs, 0);
+        assert_eq!(m.n_jobs, 3, "everything still completes, just late");
     }
 
     /// EDF admission: on a capacity-capped pool the deadline jobs overtake

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use lml_fleet::{
         simulate, AllFaas, AllIaas, ArrivalProcess, CheckpointPolicy, CostAware, DeadlineAware,
         Estimate, Estimator, FairShare, FleetConfig, FleetMetrics, JobClass, JobLifecycle, JobMix,
-        Scheduler, SpotConfig, TenantSpec, Trace,
+        PreemptionObs, RiskModel, Scheduler, SpotConfig, TenantSpec, Trace,
     };
     pub use lml_iaas::{InstanceType, RpcKind, SystemProfile};
     pub use lml_models::ModelId;
