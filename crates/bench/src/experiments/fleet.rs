@@ -14,12 +14,21 @@
 use crate::tablefmt::{f, table};
 use crate::Harness;
 use lml_fleet::{
-    simulate, AllFaas, AllIaas, Analytic, ArrivalProcess, CheckpointPolicy, CostAware,
-    DeadlineAware, Estimator, FairShare, FleetConfig, FleetMetrics, Hybrid, JobClass, JobMix,
-    Online, Route, Scheduler, TenantSpec, Trace,
+    simulate, simulate_observed, AllFaas, AllIaas, Analytic, ArrivalProcess, CheckpointPolicy,
+    CostAware, DeadlineAware, Estimator, FairShare, FleetConfig, FleetMetrics, Hybrid, JobClass,
+    JobMix, Online, Route, Scheduler, TenantSpec, ThroughputProbe, Trace,
 };
 use lml_sim::SimTime;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Write one sweep-cell JSON file, downgrading I/O failure to a warning:
+/// the printed table is the experiment's primary output and a read-only
+/// `target/` must not abort the sweep.
+fn write_json_or_warn(file: &Path, json: &str) {
+    if let Err(e) = std::fs::write(file, json) {
+        eprintln!("warning: could not write {}: {e}", file.display());
+    }
+}
 
 /// A policy row of the sweep: display name + fresh-scheduler factory (each
 /// cell gets its own scheduler so no routing state leaks between runs; the
@@ -37,12 +46,24 @@ fn out_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/fleet_scale"))
 }
 
-/// One (arrival rate, policy) cell of the sweep.
+/// Where the throughput baseline goes. Deliberately independent of
+/// `LML_FLEET_OUT`: the probe JSON carries wall-clock numbers, so it must
+/// never land in a directory that gets byte-diffed across runs.
+fn probe_out_file() -> PathBuf {
+    std::env::var_os("LML_FLEET_PROBE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet_scale"))
+        .join("throughput_baseline.json")
+}
+
+/// One (arrival rate, policy) cell of the sweep. The shared probe rides
+/// along so the grid doubles as the simulator's throughput baseline.
 fn run_cell(
     rate: f64,
     n_jobs: usize,
     seed: u64,
     make_sched: &dyn Fn(&FleetConfig) -> Box<dyn Scheduler>,
+    probe: &mut ThroughputProbe,
 ) -> FleetMetrics {
     let trace = Trace::generate(
         ArrivalProcess::Poisson { rate },
@@ -52,7 +73,7 @@ fn run_cell(
     );
     let cfg = FleetConfig::default();
     let mut sched = make_sched(&cfg);
-    simulate(&trace, &cfg, sched.as_mut(), seed)
+    simulate_observed(&trace, &cfg, sched.as_mut(), seed, probe)
 }
 
 /// `fleet_scale`: arrival-rate × policy sweep with JSON emission.
@@ -83,13 +104,14 @@ pub fn fleet_scale(h: &Harness) -> String {
     let dir = out_dir();
     let _ = std::fs::create_dir_all(&dir);
     let mut rows = Vec::new();
+    // One probe across the whole grid: its events/sec over the sweep is
+    // the committed baseline the parallel-engine work has to beat.
+    let mut probe = ThroughputProbe::new();
     for &rate in rates {
         for (name, make) in &policies {
-            let m = run_cell(rate, n_jobs, h.seed, make.as_ref());
+            let m = run_cell(rate, n_jobs, h.seed, make.as_ref(), &mut probe);
             let file = dir.join(format!("fleet-seed{}-rate{}-{}.json", h.seed, rate, name));
-            if let Err(e) = std::fs::write(&file, m.to_json()) {
-                eprintln!("warning: could not write {}: {e}", file.display());
-            }
+            write_json_or_warn(&file, &m.to_json());
             rows.push(vec![
                 format!("{rate}"),
                 name.to_string(),
@@ -112,7 +134,13 @@ pub fn fleet_scale(h: &Harness) -> String {
         ],
         &rows,
     );
+    let probe_file = probe_out_file();
+    if let Some(parent) = probe_file.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    write_json_or_warn(&probe_file, &probe.to_json());
     println!("{out}");
+    println!("{}", probe.summary());
     println!("per-run JSON written to {}", dir.display());
     out
 }
@@ -209,9 +237,7 @@ pub fn fleet_policies(h: &Harness) -> String {
                     "fleet-policies-seed{}-{}-spot{}-pc{}.json",
                     h.seed, name, frac, pc
                 ));
-                if let Err(e) = std::fs::write(&file, m.to_json()) {
-                    eprintln!("warning: could not write {}: {e}", file.display());
-                }
+                write_json_or_warn(&file, &m.to_json());
                 rows.push(vec![
                     name.to_string(),
                     format!("{frac}"),
@@ -300,9 +326,7 @@ pub fn fleet_recovery(h: &Harness) -> String {
                     frac,
                     mttp
                 ));
-                if let Err(e) = std::fs::write(&file, m.to_json()) {
-                    eprintln!("warning: could not write {}: {e}", file.display());
-                }
+                write_json_or_warn(&file, &m.to_json());
                 rows.push(vec![
                     policy.name(),
                     format!("{frac}"),
@@ -419,9 +443,7 @@ pub fn fleet_estimator(h: &Harness) -> String {
                     "fleet-estimator-seed{}-{}-{}-scale{}.json",
                     h.seed, sched_name, est_name, scale
                 ));
-                if let Err(e) = std::fs::write(&file, m.to_json()) {
-                    eprintln!("warning: could not write {}: {e}", file.display());
-                }
+                write_json_or_warn(&file, &m.to_json());
                 rows.push(vec![
                     format!("{scale}"),
                     sched_name.to_string(),
@@ -525,9 +547,7 @@ pub fn fleet_risk(h: &Harness) -> String {
                     "fleet-risk-seed{}-{}-err{}-mttp{}.json",
                     h.seed, name, err, mttp
                 ));
-                if let Err(e) = std::fs::write(&file, m.to_json()) {
-                    eprintln!("warning: could not write {}: {e}", file.display());
-                }
+                write_json_or_warn(&file, &m.to_json());
                 let dl_on_spot = m
                     .records
                     .iter()

@@ -48,6 +48,12 @@
 //!   deadline-hit rate, preemption counts, and per-tenant fairness.
 //! * [`json`] — the deterministic JSON emitter behind
 //!   [`metrics::FleetMetrics::to_json`].
+//! * [`observe`] — the observability layer: the [`FleetObserver`] hook
+//!   trait the simulator narrates runs through (lifecycle transitions,
+//!   scheduler decision audits, platform events, windowed gauges), with a
+//!   zero-cost [`NullObserver`] default, an in-memory [`RecordingObserver`]
+//!   (byte-stable `lml-fleet/trace/v1` JSON + Chrome trace-event export),
+//!   and a [`ThroughputProbe`] self-profiler.
 
 pub mod azure;
 pub mod estimate;
@@ -55,6 +61,7 @@ pub mod job;
 pub mod json;
 pub mod lifecycle;
 pub mod metrics;
+pub mod observe;
 pub mod platform;
 pub mod scheduler;
 pub mod sim;
@@ -67,10 +74,14 @@ pub use estimate::{
 pub use job::{JobClass, JobRequest, TenantId};
 pub use lifecycle::{restore_beats_redo, CheckpointPolicy, JobLifecycle};
 pub use metrics::{jain_index, ClassRow, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
+pub use observe::{
+    AttemptSpan, Decision, DecisionRecord, FleetEvent, FleetObserver, GaugeSample, NullObserver,
+    PlatformEvent, RecordingObserver, ThroughputProbe,
+};
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{
     AllFaas, AllIaas, CostAware, DeadlineAware, FairShare, FleetView, QueueDiscipline, Route,
     Scheduler,
 };
-pub use sim::{simulate, FleetConfig, CHECKPOINT_TIER_THRESHOLD};
+pub use sim::{simulate, simulate_observed, FleetConfig, CHECKPOINT_TIER_THRESHOLD};
 pub use workload::{ArrivalProcess, JobMix, TenantSpec, Trace};

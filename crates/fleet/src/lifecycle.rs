@@ -121,6 +121,12 @@ impl JobLifecycle {
 
     /// Advance the machine, panicking on an illegal edge — lifecycle bugs
     /// in the simulator must fail loudly, not corrupt metrics.
+    ///
+    /// The fleet loop routes every call through `Fleet::step`, which
+    /// narrates the validated edge to the run's
+    /// [`FleetObserver`](crate::observe::FleetObserver) as a typed
+    /// [`FleetEvent`](crate::observe::FleetEvent) — so a trace carries
+    /// exactly the transitions this machine accepted, nothing else.
     pub fn transition(&mut self, next: JobLifecycle) {
         assert!(
             self.can_transition(next),

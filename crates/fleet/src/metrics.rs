@@ -626,9 +626,12 @@ impl FleetMetrics {
             .finish()
     }
 
-    /// One-line human summary.
+    /// One-line human summary — two lines when any tenant was deferred or
+    /// rejected, so the console view names the tenants the admission layer
+    /// actually refused (the JSON rollups always carry the per-tenant
+    /// breakdown; this keeps the human view honest with it).
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{:>14}: {} jobs | p50 {} p95 {} p99 {} | {} total | dl {:.0}% | fair {:.2} | preempt {} resume {} lost {} | warm {:.0}% | util {:.0}%",
             self.policy,
             self.n_jobs,
@@ -643,7 +646,21 @@ impl FleetMetrics {
             self.lost_work,
             self.warm_hit_rate * 100.0,
             self.iaas_utilization * 100.0,
-        )
+        );
+        if self.deferred_jobs > 0 || self.rejected_jobs > 0 {
+            let refused: Vec<String> = self
+                .per_tenant()
+                .iter()
+                .filter(|t| t.deferred > 0 || t.rejected > 0)
+                .map(|t| format!("t{} defer {} reject {}", t.tenant, t.deferred, t.rejected))
+                .collect();
+            s.push_str(&format!(
+                "\n{:>14}  admission: {}",
+                "", // align under the policy name column
+                refused.join(" | ")
+            ));
+        }
+        s
     }
 }
 

@@ -506,6 +506,12 @@ impl SpotTier {
     pub fn peak_in_use(&self) -> usize {
         self.peak_in_use
     }
+
+    /// Spot instances currently held — a point-in-time gauge for telemetry
+    /// (peak_in_use is the high-water mark, this is the live level).
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
 }
 
 #[cfg(test)]

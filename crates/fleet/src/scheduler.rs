@@ -111,6 +111,16 @@ pub trait Scheduler {
     fn eta_quantile(&self) -> f64 {
         ETA_QUANTILE
     }
+    /// The risk-adjusted spot ETA this policy would price the job's spot
+    /// admission at, if it computes one — purely explanatory: the
+    /// simulator stamps it into the admission [`DecisionRecord`] so trace
+    /// consumers can see the number that competed against the firm-price
+    /// ETAs. Policies without a risk model report nothing.
+    ///
+    /// [`DecisionRecord`]: crate::observe::DecisionRecord
+    fn spot_eta_hint(&self, _job: &JobRequest, _e: &Estimate) -> Option<f64> {
+        None
+    }
 }
 
 /// Deterministic spot assignment: a stable per-job hash decides whether an
@@ -550,6 +560,16 @@ impl Scheduler for DeadlineAware {
 
     fn eta_quantile(&self) -> f64 {
         self.eta_quantile
+    }
+
+    fn spot_eta_hint(&self, job: &JobRequest, e: &Estimate) -> Option<f64> {
+        let cushion = self
+            .est
+            .startup_hint(job, Route::Spot)
+            .unwrap_or(SimTime::ZERO)
+            .max(self.startup_margin)
+            .as_secs();
+        Some(self.spot_eta(job, e, cushion))
     }
 }
 

@@ -40,6 +40,10 @@ use crate::lifecycle::{
     preempt_outcome, restore_beats_redo, AttemptPlan, CheckpointPolicy, JobLifecycle,
 };
 use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
+use crate::observe::{
+    AttemptSpan, Decision, DecisionRecord, FleetEvent, FleetObserver, GaugeSample, NullObserver,
+    PlatformEvent,
+};
 use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 use crate::scheduler::{FleetView, QueueDiscipline, Route, Scheduler};
 use crate::workload::Trace;
@@ -153,6 +157,12 @@ enum Event {
     /// A budget accounting window opens: spend ledgers reset and deferred
     /// jobs are admitted.
     BudgetWindow,
+    /// The observer's standing telemetry clock fires: sample the gauges.
+    /// Only ever scheduled when an active observer requests a
+    /// [`FleetObserver::gauge_period`] — the default [`NullObserver`] run
+    /// carries none, keeping the event stream byte-identical to the
+    /// unobserved simulator.
+    GaugeTick,
 }
 
 /// Mutable per-job state built up during the run. The queue/startup/run
@@ -202,6 +212,20 @@ struct JobState {
     attempt_plan: Option<AttemptPlan>,
 }
 
+/// The deferral-vs-rejection pricing of one over-allowance job, with the
+/// inputs that settled it (fed to the decision audit).
+#[derive(Debug, Clone, Copy)]
+struct OverAllowance {
+    /// Rejection priced strictly below deferral.
+    reject: bool,
+    /// Deadline slack remaining at the pricing instant, seconds.
+    laxity_s: Option<f64>,
+    /// The window boundary a deferred job would be released at, seconds.
+    release_s: Option<f64>,
+    /// Best-substrate quantile run after release, seconds.
+    eta_q_s: Option<f64>,
+}
+
 /// All simulator state, threaded through the event handlers.
 struct Fleet<'a> {
     cfg: &'a FleetConfig,
@@ -231,10 +255,20 @@ struct Fleet<'a> {
     /// Jobs not yet in a terminal lifecycle state (`Done`/`Rejected`) —
     /// lets the window chain stop instead of ticking forever.
     unfinished: usize,
+    /// The observability sink: every lifecycle transition, scheduler
+    /// decision, platform event, dispatch span, and gauge sample is
+    /// narrated here. [`NullObserver`] (the default) makes every call a
+    /// no-op and `active()` gates payload assembly.
+    obs: &'a mut (dyn FleetObserver + 'a),
 }
 
 impl<'a> Fleet<'a> {
-    fn new(cfg: &'a FleetConfig, trace: &'a Trace, seed: u64) -> Self {
+    fn new(
+        cfg: &'a FleetConfig,
+        trace: &'a Trace,
+        seed: u64,
+        obs: &'a mut (dyn FleetObserver + 'a),
+    ) -> Self {
         let jobs = trace.jobs.as_slice();
         let state = jobs
             .iter()
@@ -283,7 +317,47 @@ impl<'a> Fleet<'a> {
             deferred_queue: Vec::new(),
             window_scheduled: false,
             unfinished: jobs.len(),
+            obs,
         }
+    }
+
+    /// Advance job `i`'s lifecycle through the validated state machine and
+    /// narrate the transition to the observer.
+    fn step(&mut self, i: usize, now: SimTime, next: JobLifecycle) {
+        let from = self.state[i].lifecycle;
+        self.state[i].lifecycle.transition(next);
+        if self.obs.active() {
+            let s = &self.state[i];
+            let j = &self.jobs[i];
+            self.obs.lifecycle(&FleetEvent {
+                at: now,
+                job: j.id,
+                tenant: j.tenant,
+                route: s.route,
+                attempt: s.attempt,
+                from,
+                to: next,
+            });
+        }
+    }
+
+    /// Sample the standing telemetry gauges into the observer.
+    fn sample_gauges(&mut self, now: SimTime) {
+        if !self.obs.active() {
+            return;
+        }
+        let g = GaugeSample {
+            at: now,
+            queue_depth: self.faas_queue.len() + self.iaas_queue.len(),
+            deferred: self.deferred_queue.len(),
+            faas_in_use: self.cfg.faas.concurrency_limit - self.faas.available(),
+            faas_limit: self.cfg.faas.concurrency_limit,
+            iaas_busy: self.iaas.capacity() - self.iaas.free(),
+            iaas_capacity: self.iaas.capacity(),
+            spot_in_use: self.spot.in_use(),
+            tenant_spend: self.tenant_spend.iter().map(|(&t, &s)| (t, s)).collect(),
+        };
+        self.obs.gauges(&g);
     }
 
     /// Whole epochs a job of `class` actually needs, after the zoo
@@ -383,21 +457,43 @@ impl<'a> Fleet<'a> {
         let job = &self.jobs[i];
         match self.faas.try_start(now, job.workers) {
             Some((startup, warm_hits)) => {
+                let workers = job.workers;
                 let p = self.actual_profile(i);
-                let run = faas_run(&p, &self.cfg.faas_case, job.workers);
+                let run = faas_run(&p, &self.cfg.faas_case, workers);
                 let s = &mut self.state[i];
+                let queued_at = s.ready_since;
                 s.queue += now - s.ready_since;
                 // Queue time accumulates exactly once per wait interval.
                 s.ready_since = now;
                 s.startup += startup;
                 s.run += run;
                 s.warm_hits = warm_hits;
-                s.lifecycle.transition(JobLifecycle::Booting);
-                s.lifecycle
-                    .transition(JobLifecycle::Running { epochs_done: 0 });
+                self.step(i, now, JobLifecycle::Booting);
+                self.step(i, now, JobLifecycle::Running { epochs_done: 0 });
+                if self.obs.active() {
+                    let j = &self.jobs[i];
+                    self.obs.platform(
+                        now,
+                        &PlatformEvent::FaasStart {
+                            job: j.id,
+                            workers,
+                            warm_hits,
+                        },
+                    );
+                    self.obs.attempt(&AttemptSpan {
+                        job: j.id,
+                        tenant: j.tenant,
+                        substrate: Route::Faas,
+                        attempt: self.state[i].attempt,
+                        queued_at,
+                        dispatched_at: now,
+                        startup_s: startup.as_secs(),
+                        run_s: run.as_secs(),
+                    });
+                }
                 // GB-second billing of the execution (Lambda does not bill
                 // provisioning time; the §5.3 cost formula is the same).
-                let cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, job.workers);
+                let cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, workers);
                 self.charge(i, cost);
                 self.events.push(now + startup + run, Event::FaasDone(i));
                 self.credit_service(i, run);
@@ -425,7 +521,9 @@ impl<'a> Fleet<'a> {
         let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs, rate);
         let run = SimTime::secs((total - from) as f64 * epoch_secs);
         let startup = self.cfg.iaas.dispatch_latency + restore;
+        let workers = job.workers;
         let s = &mut self.state[i];
+        let queued_at = s.ready_since;
         s.queue += now - s.ready_since;
         // Close the wait interval: queue seconds accumulate exactly once
         // per wait, however the job got here (fresh admission or the
@@ -443,13 +541,34 @@ impl<'a> Fleet<'a> {
         s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
         s.epochs_done = from;
         s.ckpt_cost += restore_dollars;
-        s.lifecycle.transition(JobLifecycle::Booting);
-        s.lifecycle
-            .transition(JobLifecycle::Running { epochs_done: from });
+        self.step(i, now, JobLifecycle::Booting);
+        self.step(i, now, JobLifecycle::Running { epochs_done: from });
+        if self.obs.active() {
+            let j = &self.jobs[i];
+            if from > 0 {
+                self.obs.platform(
+                    now,
+                    &PlatformEvent::CheckpointRestore {
+                        job: j.id,
+                        epochs: from,
+                    },
+                );
+            }
+            self.obs.attempt(&AttemptSpan {
+                job: j.id,
+                tenant: j.tenant,
+                substrate: Route::Iaas,
+                attempt: self.state[i].attempt,
+                queued_at,
+                dispatched_at: now,
+                startup_s: startup.as_secs(),
+                run_s: run.as_secs(),
+            });
+        }
         // Attributed share of the pool bill; the pool's own integral is
         // authoritative for totals.
         let cost = Cost::usd(
-            job.workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
+            workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
         ) + restore_dollars;
         self.charge(i, cost);
         self.events.push(now + startup + run, Event::IaasDone(i));
@@ -510,10 +629,10 @@ impl<'a> Fleet<'a> {
         };
         let boot = self.spot.start(workers);
         let run = SimTime::secs(plan.run_secs());
-        let preempt_after = self
-            .spot
-            .preemption_clock(job.id, self.state[i].attempt, workers);
+        let attempt = self.state[i].attempt;
+        let preempt_after = self.spot.preemption_clock(job.id, attempt, workers);
         let s = &mut self.state[i];
+        let queued_at = s.ready_since;
         s.queue += now - s.ready_since;
         s.ready_since = now;
         s.attempt += 1;
@@ -529,9 +648,30 @@ impl<'a> Fleet<'a> {
         s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
         s.epochs_done = from;
         s.ckpt_cost += restore_dollars;
-        s.lifecycle.transition(JobLifecycle::Booting);
-        s.lifecycle
-            .transition(JobLifecycle::Running { epochs_done: from });
+        self.step(i, now, JobLifecycle::Booting);
+        self.step(i, now, JobLifecycle::Running { epochs_done: from });
+        if self.obs.active() {
+            let j = &self.jobs[i];
+            if from > 0 {
+                self.obs.platform(
+                    now,
+                    &PlatformEvent::CheckpointRestore {
+                        job: j.id,
+                        epochs: from,
+                    },
+                );
+            }
+            self.obs.attempt(&AttemptSpan {
+                job: j.id,
+                tenant: j.tenant,
+                substrate: Route::Spot,
+                attempt,
+                queued_at,
+                dispatched_at: now,
+                startup_s: (boot + restore).as_secs(),
+                run_s: run.as_secs(),
+            });
+        }
         // Attribute the full planned attempt at launch — the same
         // charge-at-dispatch timing FaaS and IaaS use, so tenant budget
         // caps bite route-independently. A preemption settles the
@@ -597,6 +737,15 @@ impl<'a> Fleet<'a> {
         if deficit > 0 {
             if let Some((k, boot)) = self.iaas.scale_up(now, deficit) {
                 self.events.push(now + boot, Event::Provisioned(k));
+                if self.obs.active() {
+                    self.obs.platform(
+                        now,
+                        &PlatformEvent::AutoscaleUp {
+                            instances: k,
+                            boot_s: boot.as_secs(),
+                        },
+                    );
+                }
             }
         }
     }
@@ -604,10 +753,9 @@ impl<'a> Fleet<'a> {
     /// Mark job `i` finished: all epochs durable, lifecycle `Done`, and
     /// the actuals fed back to the scheduler's estimator — the closed
     /// prediction loop.
-    fn complete(&mut self, i: usize, sched: &mut dyn Scheduler) {
-        let s = &mut self.state[i];
-        s.epochs_done = s.epochs_total;
-        s.lifecycle.transition(JobLifecycle::Done);
+    fn complete(&mut self, i: usize, now: SimTime, sched: &mut dyn Scheduler) {
+        self.state[i].epochs_done = self.state[i].epochs_total;
+        self.step(i, now, JobLifecycle::Done);
         self.unfinished -= 1;
         let j = &self.jobs[i];
         let s = &self.state[i];
@@ -643,6 +791,27 @@ impl<'a> Fleet<'a> {
         self.state[i].predicted = sched.estimate(&job);
         let route = sched.route(&job, &view);
         self.state[i].route = route;
+        if self.obs.active() {
+            // The audit record names the inputs routing acted on: the
+            // snapshotted prediction at the tail the policy prices, the
+            // risk-adjusted spot ETA (when the policy computes one), and
+            // the deadline slack remaining at this admission.
+            let q = sched.eta_quantile();
+            let e = self.state[i].predicted;
+            self.obs.decision(&DecisionRecord {
+                at: now,
+                job: job.id,
+                tenant: job.tenant,
+                decision: Decision::Admit {
+                    route,
+                    eta_quantile: q,
+                    predicted_run_s: e.map(|e| e.time(route)),
+                    eta_q_s: e.map(|e| e.eta_q(route, q)),
+                    spot_eta_s: e.and_then(|e| sched.spot_eta_hint(&job, &e)),
+                    laxity_s: job.laxity().map(|l| l.as_secs()),
+                },
+            });
+        }
         // Width is validated against the *routed* platform only: a job
         // too wide for one substrate is fine as long as its scheduler
         // never sends it there.
@@ -678,48 +847,93 @@ impl<'a> Fleet<'a> {
     /// Deferral-vs-rejection pricing for an over-allowance arrival: defer
     /// costs nothing when the job's P95 completion after the next window
     /// boundary still makes its deadline, and `deadline_miss_cost` when it
-    /// (at P95) cannot; rejection always costs `rejection_cost`. Returns
-    /// `true` when rejecting is strictly cheaper — i.e. the job is doomed
-    /// at the tail and the platform prices a clean refusal below a late
-    /// finish. Deadline-less jobs (and constant routers, which predict
-    /// nothing) always defer.
-    fn rejection_is_cheaper(&self, i: usize, now: SimTime, sched: &dyn Scheduler) -> bool {
-        let Some(deadline) = self.jobs[i].deadline else {
-            return false;
-        };
-        let Some(w) = self.cfg.budget_window else {
-            return false;
+    /// (at P95) cannot; rejection always costs `rejection_cost`.
+    /// `reject` is set when rejecting is strictly cheaper — i.e. the job
+    /// is doomed at the tail and the platform prices a clean refusal below
+    /// a late finish. Deadline-less jobs (and constant routers, which
+    /// predict nothing) always defer. The intermediate prices ride along
+    /// so the decision audit can name what settled the call.
+    fn price_over_allowance(&self, i: usize, now: SimTime, sched: &dyn Scheduler) -> OverAllowance {
+        let mut pricing = OverAllowance {
+            reject: false,
+            laxity_s: None,
+            release_s: None,
+            eta_q_s: None,
         };
         // The standing window chain ticks at multiples of `w`: the job
-        // would be released at the next boundary.
-        let release = SimTime::secs(((now.as_secs() / w.as_secs()).floor() + 1.0) * w.as_secs());
+        // would be released at the next boundary. Known whether or not the
+        // job carries a deadline, so every Defer audit names it.
+        let release = self
+            .cfg
+            .budget_window
+            .map(|w| SimTime::secs(((now.as_secs() / w.as_secs()).floor() + 1.0) * w.as_secs()));
+        pricing.release_s = release.map(|r| r.as_secs());
+        let Some(deadline) = self.jobs[i].deadline else {
+            return pricing;
+        };
+        pricing.laxity_s = Some(deadline.as_secs() - now.as_secs());
+        let Some(release) = release else {
+            return pricing;
+        };
         let mut probe = self.jobs[i];
         probe.submit = release;
         let Some(e) = sched.estimate(&probe) else {
-            return false;
+            return pricing;
         };
         // Best-substrate quantile run after release, priced at the same
         // tail the scheduler routes with (queue/startup slack is the
         // deadline's own business — the pricing only needs the tail run).
         let q = sched.eta_quantile();
         let eta = e.eta_q(Route::Faas, q).min(e.eta_q(Route::Iaas, q));
+        pricing.eta_q_s = Some(eta);
         let misses = release + SimTime::secs(eta) > deadline;
         let defer_cost = if misses {
             self.cfg.deadline_miss_cost
         } else {
             0.0
         };
-        self.cfg.rejection_cost < defer_cost
+        pricing.reject = self.cfg.rejection_cost < defer_cost;
+        pricing
+    }
+
+    /// Emit the defer/reject decision record for an over-allowance job.
+    fn record_refusal(&mut self, i: usize, now: SimTime, pricing: OverAllowance, rejected: bool) {
+        if !self.obs.active() {
+            return;
+        }
+        let j = &self.jobs[i];
+        let decision = if rejected {
+            Decision::Reject {
+                laxity_s: pricing.laxity_s,
+                release_s: pricing.release_s,
+                eta_q_s: pricing.eta_q_s,
+                deadline_miss_cost: self.cfg.deadline_miss_cost,
+                rejection_cost: self.cfg.rejection_cost,
+            }
+        } else {
+            Decision::Defer {
+                laxity_s: pricing.laxity_s,
+                release_s: pricing.release_s,
+                eta_q_s: pricing.eta_q_s,
+                deadline_miss_cost: self.cfg.deadline_miss_cost,
+                rejection_cost: self.cfg.rejection_cost,
+            }
+        };
+        self.obs.decision(&DecisionRecord {
+            at: now,
+            job: j.id,
+            tenant: j.tenant,
+            decision,
+        });
     }
 
     /// Hold job `i` until the next budget window boundary. The standing
     /// window chain (set up by [`simulate`] whenever the trace carries
     /// budgets) guarantees a boundary event is already in flight.
-    fn defer(&mut self, i: usize, _now: SimTime) {
+    fn defer(&mut self, i: usize, now: SimTime) {
         debug_assert!(self.window_scheduled, "deferral needs the window chain");
-        let s = &mut self.state[i];
-        s.lifecycle.transition(JobLifecycle::Deferred);
-        s.deferred = true;
+        self.step(i, now, JobLifecycle::Deferred);
+        self.state[i].deferred = true;
         self.deferred_queue.push(i);
     }
 
@@ -730,12 +944,12 @@ impl<'a> Fleet<'a> {
             Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
             Event::FaasDone(i) => {
                 self.faas.release(now, self.jobs[i].workers);
-                self.complete(i, sched);
+                self.complete(i, now, sched);
                 self.drain_faas(now, sched);
             }
             Event::IaasDone(i) => {
                 self.iaas.finish(now, self.jobs[i].workers);
-                self.complete(i, sched);
+                self.complete(i, now, sched);
                 self.drain_iaas(now, sched);
                 if self.iaas_queue.is_empty() {
                     self.events
@@ -769,8 +983,13 @@ impl<'a> Fleet<'a> {
                 s.run += run;
                 s.ckpt_writes += writes;
                 s.ckpt_cost += write_dollars;
+                if writes > 0 && self.obs.active() {
+                    let id = self.jobs[i].id;
+                    self.obs
+                        .platform(now, &PlatformEvent::CheckpointWrite { job: id, writes });
+                }
                 self.charge(i, cost);
-                self.complete(i, sched);
+                self.complete(i, now, sched);
             }
             Event::SpotPreempted(i) => {
                 let workers = self.jobs[i].workers;
@@ -812,16 +1031,52 @@ impl<'a> Fleet<'a> {
                 s.ckpt_cost += write_dollars;
                 let durable = outcome.durable_epochs;
                 if outcome.writes_interrupted > 0 {
-                    s.lifecycle.transition(JobLifecycle::Checkpointing {
-                        epochs_done: durable,
-                    });
+                    self.step(
+                        i,
+                        now,
+                        JobLifecycle::Checkpointing {
+                            epochs_done: durable,
+                        },
+                    );
                 }
-                s.lifecycle.transition(JobLifecycle::Preempted {
-                    epochs_done: durable,
-                });
-                s.lifecycle.transition(JobLifecycle::Requeued {
-                    epochs_done: durable,
-                });
+                self.step(
+                    i,
+                    now,
+                    JobLifecycle::Preempted {
+                        epochs_done: durable,
+                    },
+                );
+                self.step(
+                    i,
+                    now,
+                    JobLifecycle::Requeued {
+                        epochs_done: durable,
+                    },
+                );
+                if self.obs.active() {
+                    let id = self.jobs[i].id;
+                    self.obs.platform(
+                        now,
+                        &PlatformEvent::SpotReclaim {
+                            job: id,
+                            // The in-flight attempt's 0-based index (the
+                            // launch already advanced the counter).
+                            attempt: self.state[i].attempt - 1,
+                            workers,
+                            held_s: held.as_secs(),
+                        },
+                    );
+                    if outcome.writes_started > 0 {
+                        self.obs.platform(
+                            now,
+                            &PlatformEvent::CheckpointWrite {
+                                job: id,
+                                writes: outcome.writes_started,
+                            },
+                        );
+                    }
+                }
+                let s = &mut self.state[i];
                 s.epochs_done = durable;
                 s.ready_since = now;
                 self.charge(i, cost);
@@ -843,7 +1098,15 @@ impl<'a> Fleet<'a> {
             }
             Event::IdleCheck => {
                 if self.iaas_queue.is_empty() {
-                    self.iaas.scale_down_idle(now);
+                    let released = self.iaas.scale_down_idle(now);
+                    if released > 0 && self.obs.active() {
+                        self.obs.platform(
+                            now,
+                            &PlatformEvent::AutoscaleDown {
+                                instances: released,
+                            },
+                        );
+                    }
                 }
             }
             Event::BudgetWindow => {
@@ -871,17 +1134,18 @@ impl<'a> Fleet<'a> {
                         // a deadline that was viable at arrival may have
                         // become doomed while the job waited — the exact
                         // case the pricing exists to refuse cleanly.
-                        if self.rejection_is_cheaper(i, now, &*sched) {
-                            let s = &mut self.state[i];
-                            s.lifecycle.transition(JobLifecycle::Queued);
-                            s.lifecycle.transition(JobLifecycle::Rejected);
+                        let pricing = self.price_over_allowance(i, now, &*sched);
+                        if pricing.reject {
+                            self.step(i, now, JobLifecycle::Queued);
+                            self.step(i, now, JobLifecycle::Rejected);
                             self.unfinished -= 1;
+                            self.record_refusal(i, now, pricing, true);
                         } else {
                             self.deferred_queue.push(i);
                         }
                         continue;
                     }
-                    self.state[i].lifecycle.transition(JobLifecycle::Queued);
+                    self.step(i, now, JobLifecycle::Queued);
                     self.admit(i, now, sched);
                 }
                 if self.unfinished > 0 {
@@ -891,18 +1155,56 @@ impl<'a> Fleet<'a> {
                     self.window_scheduled = false;
                 }
             }
+            Event::GaugeTick => {
+                // The observer's standing telemetry clock: sample and
+                // re-arm while work remains (the trailing tick, like the
+                // budget window's, is dropped by `simulate` so it can't
+                // stretch the run).
+                self.sample_gauges(now);
+                if self.unfinished > 0 {
+                    if let Some(p) = self.obs.gauge_period() {
+                        self.events.push(now + p, Event::GaugeTick);
+                    }
+                }
+            }
         }
     }
 }
 
 /// Run `trace` through `scheduler` on the configured platforms.
+///
+/// Observability-free view of [`simulate_observed`]: the default
+/// [`NullObserver`] makes every hook a no-op, so this is byte-identical to
+/// the pre-observer simulator.
 pub fn simulate(
     trace: &Trace,
     cfg: &FleetConfig,
     scheduler: &mut dyn Scheduler,
     seed: u64,
 ) -> FleetMetrics {
-    let mut fleet = Fleet::new(cfg, trace, seed);
+    simulate_observed(trace, cfg, scheduler, seed, &mut NullObserver)
+}
+
+/// Run `trace` through `scheduler`, narrating the run into `observer`:
+/// every validated lifecycle transition, scheduler decision (with the
+/// ETAs/prices that drove it), platform event, dispatch span, and — when
+/// the observer requests a [`FleetObserver::gauge_period`] — windowed
+/// telemetry gauges on a standing clock.
+///
+/// The observer is passive: it mutates nothing the simulation reads, so a
+/// [`NullObserver`] run is byte-identical to the unobserved simulator.
+/// (An armed gauge clock does insert `GaugeTick` events into the queue —
+/// runs compare byte-for-byte against runs with the same observer
+/// configuration.)
+pub fn simulate_observed<'a>(
+    trace: &'a Trace,
+    cfg: &'a FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    observer: &'a mut (dyn FleetObserver + 'a),
+) -> FleetMetrics {
+    observer.begin(scheduler.name(), seed, trace.jobs.len());
+    let mut fleet = Fleet::new(cfg, trace, seed, observer);
     for (i, j) in trace.jobs.iter().enumerate() {
         fleet.events.push(j.submit, Event::Arrive(i));
     }
@@ -916,15 +1218,29 @@ pub fn simulate(
             fleet.events.push(w, Event::BudgetWindow);
         }
     }
+    // Arm the observer's standing gauge clock, if it wants one. With the
+    // default (`None`) the queue carries no extra events at all.
+    if let Some(p) = fleet.obs.gauge_period() {
+        if !trace.jobs.is_empty() {
+            fleet.events.push(p, Event::GaugeTick);
+        }
+    }
 
     let mut last_time = SimTime::ZERO;
+    let mut pops: u64 = 0;
     while let Some((now, ev)) = fleet.events.pop() {
-        if ev == Event::BudgetWindow && fleet.unfinished == 0 {
-            // The chain's trailing tick after the last job finished:
-            // dropped before it can stretch the makespan or idle billing.
+        pops += 1;
+        if matches!(ev, Event::BudgetWindow | Event::GaugeTick) && fleet.unfinished == 0 {
+            // A standing chain's trailing tick after the last job
+            // finished: dropped before it can stretch the makespan or
+            // idle billing.
             continue;
         }
-        last_time = now;
+        if ev != Event::GaugeTick {
+            // Gauge ticks observe; they must not move the billing clock
+            // (idle-pool finalization bills through `last_time`).
+            last_time = now;
+        }
         if let Event::Arrive(i) = ev {
             // Budget cap: a tenant whose attributed spend has exhausted its
             // trace-declared budget gets no more admissions this window.
@@ -941,14 +1257,22 @@ pub fn simulate(
                     .get(&fleet.jobs[i].tenant)
                     .copied()
                     .unwrap_or(0.0);
-                match cfg.budget_window {
-                    Some(_) if cap > 0.0 && !fleet.rejection_is_cheaper(i, now, &*scheduler) => {
-                        fleet.defer(i, now)
-                    }
-                    _ => {
-                        fleet.state[i].lifecycle.transition(JobLifecycle::Rejected);
-                        fleet.unfinished -= 1;
-                    }
+                let pricing = match cfg.budget_window {
+                    Some(_) if cap > 0.0 => fleet.price_over_allowance(i, now, &*scheduler),
+                    _ => OverAllowance {
+                        reject: true,
+                        laxity_s: None,
+                        release_s: None,
+                        eta_q_s: None,
+                    },
+                };
+                if pricing.reject {
+                    fleet.step(i, now, JobLifecycle::Rejected);
+                    fleet.unfinished -= 1;
+                    fleet.record_refusal(i, now, pricing, true);
+                } else {
+                    fleet.defer(i, now);
+                    fleet.record_refusal(i, now, pricing, false);
                 }
                 continue;
             }
@@ -963,6 +1287,8 @@ pub fn simulate(
         fleet.state.iter().all(|s| s.lifecycle.is_terminal()),
         "all jobs must reach a terminal lifecycle state"
     );
+    let pushes = fleet.events.pushes();
+    fleet.obs.end(pushes, pops);
 
     // The tail the scheduler priced its decisions at — the quantile the
     // admission snapshots are scored at, so coverage measures the ETA the

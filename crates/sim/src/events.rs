@@ -107,6 +107,12 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| SimTime::secs(e.time.0))
     }
 
+    /// Total pushes over the queue's lifetime (the FIFO tie-break counter).
+    /// Lets self-profilers report heap traffic without shadow counting.
+    pub fn pushes(&self) -> u64 {
+        self.seq
+    }
+
     pub fn len(&self) -> usize {
         self.heap.len()
     }
