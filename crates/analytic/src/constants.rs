@@ -19,13 +19,14 @@ pub struct Constant {
     pub unit: &'static str,
 }
 
-/// `t_F(w)` — FaaS start-up (seconds at 10/50/100/200 workers).
-pub fn t_f() -> PiecewiseLinear {
+/// `t_F(w)` — FaaS start-up (seconds at 10/50/100/200 workers). Returns
+/// the process-wide cached table: this sits on the simulator's hot path.
+pub fn t_f() -> &'static PiecewiseLinear {
     startup_table()
 }
 
-/// `t_I(w)` — IaaS start-up.
-pub fn t_i() -> PiecewiseLinear {
+/// `t_I(w)` — IaaS start-up. Returns the process-wide cached table.
+pub fn t_i() -> &'static PiecewiseLinear {
     iaas_startup_table()
 }
 

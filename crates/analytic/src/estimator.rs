@@ -1,4 +1,4 @@
-//! The sampling-based epoch estimator (§5.3, after Kaoudi et al. [54]).
+//! The sampling-based epoch estimator (§5.3, after Kaoudi et al. \[54\]).
 //!
 //! To use the analytical model predictively one needs `R` — the number of
 //! epochs to the target loss. The paper runs the training algorithm on a

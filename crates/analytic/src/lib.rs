@@ -15,7 +15,7 @@
 //! * [`constants`] — Table 6 as code.
 //! * [`model`] — the two formulas plus dollar versions.
 //! * [`estimator`] — the sampling-based epoch estimator (after Kaoudi et
-//!   al. [54]): train on 10% of the data, observe epochs-to-threshold.
+//!   al. \[54\]): train on 10% of the data, observe epochs-to-threshold.
 //! * [`whatif`] — §5.3.1's case studies: Q1 (10 Gbps FaaS↔IaaS, GPU
 //!   Lambda pricing) and Q2 (hot data).
 

@@ -11,6 +11,7 @@
 //! with `LML_FLEET_OUT`), so future changes can be tracked as a perf/cost
 //! trajectory across commits.
 
+use crate::sweep;
 use crate::tablefmt::{f, table};
 use crate::Harness;
 use lml_fleet::{
@@ -33,10 +34,11 @@ fn write_json_or_warn(file: &Path, json: &str) {
 /// A policy row of the sweep: display name + fresh-scheduler factory (each
 /// cell gets its own scheduler so no routing state leaks between runs; the
 /// factory sees the fleet config so cost-aware routing prices the same
-/// substrates the simulator charges).
+/// substrates the simulator charges). `Sync` because the parallel sweep
+/// engine calls the factories from worker threads.
 type PolicyRow = (
     &'static str,
-    Box<dyn Fn(&FleetConfig) -> Box<dyn Scheduler>>,
+    Box<dyn Fn(&FleetConfig) -> Box<dyn Scheduler> + Sync>,
 );
 
 /// Where the per-run JSON files go.
@@ -103,28 +105,43 @@ pub fn fleet_scale(h: &Harness) -> String {
 
     let dir = out_dir();
     let _ = std::fs::create_dir_all(&dir);
-    let mut rows = Vec::new();
-    // One probe across the whole grid: its events/sec over the sweep is
-    // the committed baseline the parallel-engine work has to beat.
+    // The master probe outlives the whole grid: its wall clock spans the
+    // sweep, and per-cell probes merged into it in grid order make the
+    // events/sec over the sweep the committed baseline the parallel-engine
+    // work is scored against.
+    let n_workers = sweep::workers();
     let mut probe = ThroughputProbe::new();
+    probe.set_workers(n_workers);
+    let mut cells = Vec::new();
     for &rate in rates {
         for (name, make) in &policies {
-            let m = run_cell(rate, n_jobs, h.seed, make.as_ref(), &mut probe);
-            let file = dir.join(format!("fleet-seed{}-rate{}-{}.json", h.seed, rate, name));
-            write_json_or_warn(&file, &m.to_json());
-            rows.push(vec![
-                format!("{rate}"),
-                name.to_string(),
-                f(m.latency.p50),
-                f(m.latency.p95),
-                f(m.latency.p99),
-                f(m.queue.p99),
-                format!("{}", m.total_cost()),
-                format!("{:.0}%", m.warm_hit_rate * 100.0),
-                format!("{:.0}%", m.iaas_utilization * 100.0),
-                format!("{}", m.jobs_on_faas),
-            ]);
+            cells.push((rate, *name, make.as_ref()));
         }
+    }
+    let seed = h.seed;
+    let results = sweep::parallel_map(cells, n_workers, |_, (rate, name, make)| {
+        let mut cell_probe = ThroughputProbe::new();
+        let m = run_cell(rate, n_jobs, seed, make, &mut cell_probe);
+        let file = format!("fleet-seed{seed}-rate{rate}-{name}.json");
+        let row = vec![
+            format!("{rate}"),
+            name.to_string(),
+            f(m.latency.p50),
+            f(m.latency.p95),
+            f(m.latency.p99),
+            f(m.queue.p99),
+            format!("{}", m.total_cost()),
+            format!("{:.0}%", m.warm_hit_rate * 100.0),
+            format!("{:.0}%", m.iaas_utilization * 100.0),
+            format!("{}", m.jobs_on_faas),
+        ];
+        (file, m.to_json(), row, cell_probe)
+    });
+    let mut rows = Vec::new();
+    for (file, json, row, cell_probe) in results {
+        write_json_or_warn(&dir.join(file), &json);
+        rows.push(row);
+        probe.merge(cell_probe);
     }
     let out = table(
         &format!("fleet_scale: {n_jobs}-job Poisson fleets, arrival rate x policy"),
@@ -154,10 +171,11 @@ fn policies_out_dir() -> PathBuf {
 
 /// A `fleet_policies` policy row: display name, whether it honours the
 /// spot-fraction knob, and a factory seeing (config, spot fraction).
+/// `Sync` because the parallel sweep engine calls it from worker threads.
 type PolicyKnobRow = (
     &'static str,
     bool,
-    Box<dyn Fn(&FleetConfig, f64) -> Box<dyn Scheduler>>,
+    Box<dyn Fn(&FleetConfig, f64) -> Box<dyn Scheduler> + Sync>,
 );
 
 /// `fleet_policies`: the multi-tenant scheduling testbed sweep — policy ×
@@ -219,7 +237,7 @@ pub fn fleet_policies(h: &Harness) -> String {
 
     let dir = policies_out_dir();
     let _ = std::fs::create_dir_all(&dir);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &pc in &provisioned {
         for &frac in &spot_fracs {
             for (name, takes_spot, make) in &policies {
@@ -229,29 +247,36 @@ pub fn fleet_policies(h: &Harness) -> String {
                     // JSON under a different name.
                     continue;
                 }
-                let mut cfg = FleetConfig::default();
-                cfg.faas.provisioned_concurrency = pc;
-                let mut sched = make(&cfg, frac);
-                let m = simulate(&trace, &cfg, sched.as_mut(), h.seed);
-                let file = dir.join(format!(
-                    "fleet-policies-seed{}-{}-spot{}-pc{}.json",
-                    h.seed, name, frac, pc
-                ));
-                write_json_or_warn(&file, &m.to_json());
-                rows.push(vec![
-                    name.to_string(),
-                    format!("{frac}"),
-                    format!("{pc}"),
-                    f(m.latency.p50),
-                    f(m.latency.p99),
-                    format!("{:.0}%", m.deadline_hit_rate() * 100.0),
-                    format!("{:.2}", m.fairness),
-                    format!("{}", m.preemptions),
-                    format!("{}", m.total_cost()),
-                    format!("{}/{}/{}", m.jobs_on_faas, m.jobs_on_iaas, m.jobs_on_spot),
-                ]);
+                cells.push((pc, frac, *name, make.as_ref()));
             }
         }
+    }
+    let seed = h.seed;
+    let trace = &trace;
+    let results = sweep::parallel_map(cells, sweep::workers(), |_, (pc, frac, name, make)| {
+        let mut cfg = FleetConfig::default();
+        cfg.faas.provisioned_concurrency = pc;
+        let mut sched = make(&cfg, frac);
+        let m = simulate(trace, &cfg, sched.as_mut(), seed);
+        let file = format!("fleet-policies-seed{seed}-{name}-spot{frac}-pc{pc}.json");
+        let row = vec![
+            name.to_string(),
+            format!("{frac}"),
+            format!("{pc}"),
+            f(m.latency.p50),
+            f(m.latency.p99),
+            format!("{:.0}%", m.deadline_hit_rate() * 100.0),
+            format!("{:.2}", m.fairness),
+            format!("{}", m.preemptions),
+            format!("{}", m.total_cost()),
+            format!("{}/{}/{}", m.jobs_on_faas, m.jobs_on_iaas, m.jobs_on_spot),
+        ];
+        (file, m.to_json(), row)
+    });
+    let mut rows = Vec::new();
+    for (file, json, row) in results {
+        write_json_or_warn(&dir.join(file), &json);
+        rows.push(row);
     }
     let out = table(
         &format!(
@@ -310,36 +335,43 @@ pub fn fleet_recovery(h: &Harness) -> String {
 
     let dir = recovery_out_dir();
     let _ = std::fs::create_dir_all(&dir);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &mttp in &mttps {
         for &frac in &spot_fracs {
             for &policy in &policies {
-                let mut cfg = FleetConfig::default();
-                cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
-                cfg.checkpoint = policy;
-                let mut sched = FairShare::for_config(&cfg).with_spot_fraction(frac);
-                let m = simulate(&trace, &cfg, &mut sched, h.seed);
-                let file = dir.join(format!(
-                    "fleet-recovery-seed{}-{}-spot{}-mttp{}.json",
-                    h.seed,
-                    policy.name(),
-                    frac,
-                    mttp
-                ));
-                write_json_or_warn(&file, &m.to_json());
-                rows.push(vec![
-                    policy.name(),
-                    format!("{frac}"),
-                    format!("{mttp:.0}"),
-                    f(m.latency.p99),
-                    format!("{:.0}", m.lost_work.as_secs()),
-                    format!("{}", m.resumes),
-                    format!("{}", m.preemptions),
-                    format!("{}", m.checkpoint_writes),
-                    format!("{}", m.total_cost()),
-                ]);
+                cells.push((mttp, frac, policy));
             }
         }
+    }
+    let seed = h.seed;
+    let trace = &trace;
+    let results = sweep::parallel_map(cells, sweep::workers(), |_, (mttp, frac, policy)| {
+        let mut cfg = FleetConfig::default();
+        cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
+        cfg.checkpoint = policy;
+        let mut sched = FairShare::for_config(&cfg).with_spot_fraction(frac);
+        let m = simulate(trace, &cfg, &mut sched, seed);
+        let file = format!(
+            "fleet-recovery-seed{seed}-{}-spot{frac}-mttp{mttp}.json",
+            policy.name()
+        );
+        let row = vec![
+            policy.name(),
+            format!("{frac}"),
+            format!("{mttp:.0}"),
+            f(m.latency.p99),
+            format!("{:.0}", m.lost_work.as_secs()),
+            format!("{}", m.resumes),
+            format!("{}", m.preemptions),
+            format!("{}", m.checkpoint_writes),
+            format!("{}", m.total_cost()),
+        ];
+        (file, m.to_json(), row)
+    });
+    let mut rows = Vec::new();
+    for (file, json, row) in results {
+        write_json_or_warn(&dir.join(file), &json);
+        rows.push(row);
     }
     let out = table(
         &format!(
@@ -425,38 +457,50 @@ pub fn fleet_estimator(h: &Harness) -> String {
 
     let dir = estimator_out_dir();
     let _ = std::fs::create_dir_all(&dir);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &scale in &scales {
-        for (sched_name, make_sched) in &schedulers {
-            for (est_name, make_est) in &estimators {
-                let mut cfg = FleetConfig {
-                    epoch_scale: scale,
-                    ..FleetConfig::default()
-                };
-                // A fixed pool: no autoscaling to paper over the pool
-                // waits the blind prior underestimates.
-                cfg.iaas.min_instances = 60;
-                cfg.iaas.max_instances = 60;
-                let mut sched = make_sched(&cfg, make_est(&cfg));
-                let m = simulate(&trace, &cfg, sched.as_mut(), h.seed);
-                let file = dir.join(format!(
-                    "fleet-estimator-seed{}-{}-{}-scale{}.json",
-                    h.seed, sched_name, est_name, scale
-                ));
-                write_json_or_warn(&file, &m.to_json());
-                rows.push(vec![
-                    format!("{scale}"),
-                    sched_name.to_string(),
-                    est_name.to_string(),
-                    f(m.latency.p50),
-                    f(m.latency.p99),
-                    format!("{:.0}%", m.deadline_hit_rate() * 100.0),
-                    format!("{:.3}", m.runtime_mape),
-                    format!("{:.3}", m.cost_mape),
-                    format!("{}", m.total_cost()),
-                ]);
+        for &(sched_name, make_sched) in &schedulers {
+            for &(est_name, make_est) in &estimators {
+                cells.push((scale, sched_name, make_sched, est_name, make_est));
             }
         }
+    }
+    let seed = h.seed;
+    let trace = &trace;
+    let results = sweep::parallel_map(
+        cells,
+        sweep::workers(),
+        |_, (scale, sched_name, make_sched, est_name, make_est)| {
+            let mut cfg = FleetConfig {
+                epoch_scale: scale,
+                ..FleetConfig::default()
+            };
+            // A fixed pool: no autoscaling to paper over the pool
+            // waits the blind prior underestimates.
+            cfg.iaas.min_instances = 60;
+            cfg.iaas.max_instances = 60;
+            let mut sched = make_sched(&cfg, make_est(&cfg));
+            let m = simulate(trace, &cfg, sched.as_mut(), seed);
+            let file =
+                format!("fleet-estimator-seed{seed}-{sched_name}-{est_name}-scale{scale}.json");
+            let row = vec![
+                format!("{scale}"),
+                sched_name.to_string(),
+                est_name.to_string(),
+                f(m.latency.p50),
+                f(m.latency.p99),
+                format!("{:.0}%", m.deadline_hit_rate() * 100.0),
+                format!("{:.3}", m.runtime_mape),
+                format!("{:.3}", m.cost_mape),
+                format!("{}", m.total_cost()),
+            ];
+            (file, m.to_json(), row)
+        },
+    );
+    let mut rows = Vec::new();
+    for (file, json, row) in results {
+        write_json_or_warn(&dir.join(file), &json);
+        rows.push(row);
     }
     let out = table(
         &format!(
@@ -528,45 +572,52 @@ pub fn fleet_risk(h: &Harness) -> String {
 
     let dir = risk_out_dir();
     let _ = std::fs::create_dir_all(&dir);
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &mttp in &mttps {
         for &err in &prior_errs {
-            for (name, frozen) in &admissions {
-                let mut cfg = FleetConfig::default();
-                cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
-                cfg.checkpoint = CheckpointPolicy::every(1);
-                let mut sched = DeadlineAware::for_config(&cfg)
-                    .with_spot_fraction(1.0)
-                    .with_spot_recovery(cfg.checkpoint)
-                    .with_preemption_prior(SimTime::secs(mttp * err));
-                if *frozen {
-                    sched = sched.with_static_preemption();
-                }
-                let m = simulate(&trace, &cfg, &mut sched, h.seed);
-                let file = dir.join(format!(
-                    "fleet-risk-seed{}-{}-err{}-mttp{}.json",
-                    h.seed, name, err, mttp
-                ));
-                write_json_or_warn(&file, &m.to_json());
-                let dl_on_spot = m
-                    .records
-                    .iter()
-                    .filter(|r| r.deadline.is_some() && r.route == Route::Spot)
-                    .count();
-                rows.push(vec![
-                    format!("{mttp:.0}"),
-                    format!("{err}"),
-                    name.to_string(),
-                    format!("{:.1}%", m.deadline_hit_rate() * 100.0),
-                    format!("{dl_on_spot}"),
-                    format!("{}", m.preemptions),
-                    format!("{:.0}", m.lost_work.as_secs()),
-                    f(m.latency.p99),
-                    format!("{:.2}", m.eta_coverage()),
-                    format!("{}", m.total_cost()),
-                ]);
+            for &(name, frozen) in &admissions {
+                cells.push((mttp, err, name, frozen));
             }
         }
+    }
+    let seed = h.seed;
+    let trace = &trace;
+    let results = sweep::parallel_map(cells, sweep::workers(), |_, (mttp, err, name, frozen)| {
+        let mut cfg = FleetConfig::default();
+        cfg.spot.mean_time_to_preempt = SimTime::secs(mttp);
+        cfg.checkpoint = CheckpointPolicy::every(1);
+        let mut sched = DeadlineAware::for_config(&cfg)
+            .with_spot_fraction(1.0)
+            .with_spot_recovery(cfg.checkpoint)
+            .with_preemption_prior(SimTime::secs(mttp * err));
+        if frozen {
+            sched = sched.with_static_preemption();
+        }
+        let m = simulate(trace, &cfg, &mut sched, seed);
+        let file = format!("fleet-risk-seed{seed}-{name}-err{err}-mttp{mttp}.json");
+        let dl_on_spot = m
+            .records
+            .iter()
+            .filter(|r| r.deadline.is_some() && r.route == Route::Spot)
+            .count();
+        let row = vec![
+            format!("{mttp:.0}"),
+            format!("{err}"),
+            name.to_string(),
+            format!("{:.1}%", m.deadline_hit_rate() * 100.0),
+            format!("{dl_on_spot}"),
+            format!("{}", m.preemptions),
+            format!("{:.0}", m.lost_work.as_secs()),
+            f(m.latency.p99),
+            format!("{:.2}", m.eta_coverage()),
+            format!("{}", m.total_cost()),
+        ];
+        (file, m.to_json(), row)
+    });
+    let mut rows = Vec::new();
+    for (file, json, row) in results {
+        write_json_or_warn(&dir.join(file), &json);
+        rows.push(row);
     }
     let out = table(
         &format!(
@@ -596,6 +647,62 @@ pub fn fleet_risk(h: &Harness) -> String {
 mod tests {
     use super::*;
 
+    /// Serializes tests that point the same sweep's output env var at
+    /// different directories; without it a concurrent re-run could write
+    /// into a sibling test's snapshot mid-read.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial_at_1_2_and_8_workers() {
+        let _guard = env_guard();
+        let h = Harness {
+            seed: 17,
+            fast: true,
+        };
+        let snapshot = |dir: &Path| -> std::collections::BTreeMap<String, String> {
+            std::fs::read_dir(dir)
+                .expect("sweep dir written")
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().into_string().unwrap(),
+                        std::fs::read_to_string(e.path()).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        type SweepFn = fn(&Harness) -> String;
+        let sweeps: [(&str, &str, SweepFn); 2] = [
+            ("fleet_policies", "LML_FLEET_POLICIES_OUT", fleet_policies),
+            ("fleet_risk", "LML_FLEET_RISK_OUT", fleet_risk),
+        ];
+        for (name, var, run) in sweeps {
+            let base = std::env::temp_dir().join(format!("lml_par_eq_serial_{name}"));
+            let _ = std::fs::remove_dir_all(&base);
+            let serial_dir = base.join("w1");
+            std::env::set_var(var, &serial_dir);
+            std::env::set_var("LML_SWEEP_THREADS", "1");
+            let serial_table = run(&h);
+            let serial = snapshot(&serial_dir);
+            assert!(!serial.is_empty(), "{name}: serial run wrote JSON");
+            for w in [2usize, 8] {
+                let dir = base.join(format!("w{w}"));
+                std::env::set_var(var, &dir);
+                std::env::set_var("LML_SWEEP_THREADS", w.to_string());
+                let table = run(&h);
+                assert_eq!(table, serial_table, "{name}: table at {w} workers");
+                assert_eq!(snapshot(&dir), serial, "{name}: JSON bytes at {w} workers");
+            }
+            std::env::remove_var(var);
+            std::env::remove_var("LML_SWEEP_THREADS");
+            let _ = std::fs::remove_dir_all(&base);
+        }
+    }
+
     #[test]
     fn fleet_scale_runs_and_emits_json() {
         let tmp = std::env::temp_dir().join("lml_fleet_scale_test");
@@ -615,6 +722,7 @@ mod tests {
 
     #[test]
     fn fleet_policies_runs_and_emits_byte_stable_json() {
+        let _guard = env_guard();
         let tmp = std::env::temp_dir().join("lml_fleet_policies_test");
         std::env::set_var("LML_FLEET_POLICIES_OUT", &tmp);
         let h = Harness {
@@ -697,6 +805,7 @@ mod tests {
 
     #[test]
     fn fleet_risk_learned_admission_beats_static_on_wrong_config() {
+        let _guard = env_guard();
         let tmp = std::env::temp_dir().join("lml_fleet_risk_test");
         std::env::set_var("LML_FLEET_RISK_OUT", &tmp);
         let h = Harness {

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod registry;
+pub mod sweep;
 pub mod tablefmt;
 
 /// Global experiment settings, parsed from the command line.

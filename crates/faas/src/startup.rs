@@ -12,15 +12,20 @@ use lml_sim::{PiecewiseLinear, SimTime};
 /// or a worker re-triggering itself at the lifetime boundary).
 pub const INVOKE_LATENCY: SimTime = SimTime(0.05);
 
-/// Table 6 knots for `t_F(w)`.
-pub fn startup_table() -> PiecewiseLinear {
-    PiecewiseLinear::new(vec![
-        (1.0, 0.3),
-        (10.0, 1.2),
-        (50.0, 11.0),
-        (100.0, 18.0),
-        (200.0, 35.0),
-    ])
+/// Table 6 knots for `t_F(w)`. Built once and cached: the fleet simulator
+/// evaluates this on every FaaS start and every estimator prediction, so a
+/// per-call allocation here is a measurable hot-path cost.
+pub fn startup_table() -> &'static PiecewiseLinear {
+    static TABLE: std::sync::OnceLock<PiecewiseLinear> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        PiecewiseLinear::new(vec![
+            (1.0, 0.3),
+            (10.0, 1.2),
+            (50.0, 11.0),
+            (100.0, 18.0),
+            (200.0, 35.0),
+        ])
+    })
 }
 
 /// Time until all `workers` functions are running.

@@ -153,15 +153,27 @@ impl Estimate {
         if q <= 0.5 {
             return self.time(route);
         }
-        self.time(route)
-            + self.shift(route)
-            + self.margin(route) * z_score(q) / z_score(ETA_QUANTILE)
+        // At the calibration point the z-ratio is exactly 1 — skip both
+        // inverse-CDF evaluations on the (default) hot path.
+        let rescale = if q == ETA_QUANTILE {
+            1.0
+        } else {
+            z_score(q) / z_score_eta_quantile()
+        };
+        self.time(route) + self.shift(route) + self.margin(route) * rescale
     }
 
     /// The default-risk ETA: [`Estimate::eta_q`] at [`ETA_QUANTILE`].
     pub fn eta_p95(&self, route: Route) -> f64 {
         self.eta_q(route, ETA_QUANTILE)
     }
+}
+
+/// `z_score(ETA_QUANTILE)`, computed once: it is the denominator of every
+/// off-default quantile rescale.
+fn z_score_eta_quantile() -> f64 {
+    static Z: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *Z.get_or_init(|| z_score(ETA_QUANTILE))
 }
 
 /// Inverse standard-normal CDF (Acklam's rational approximation,
@@ -241,7 +253,11 @@ pub struct CompletedJob {
 }
 
 /// A runtime/cost prediction model with a closed observation loop.
-pub trait Estimator: std::fmt::Debug {
+///
+/// `Send` is a supertrait (estimators live inside
+/// [`Scheduler`](crate::scheduler::Scheduler)s, which cross thread
+/// boundaries in the parallel bench sweep engine).
+pub trait Estimator: std::fmt::Debug + Send {
     fn name(&self) -> &'static str;
     /// Predict run seconds and dollars on both substrates for this job.
     fn predict(&self, job: &JobRequest) -> Estimate;

@@ -29,18 +29,21 @@ impl JsonObject {
             self.buf.push(',');
         }
         self.any = true;
-        let _ = write!(self.buf, "{}:", quote(k));
+        quote_into(&mut self.buf, k);
+        self.buf.push(':');
     }
 
     pub fn str(mut self, k: &str, v: &str) -> Self {
         self.key(k);
-        self.buf.push_str(&quote(v));
+        quote_into(&mut self.buf, v);
         self
     }
 
     pub fn f64(mut self, k: &str, v: f64) -> Self {
         self.key(k);
-        let _ = write!(self.buf, "{}", fmt_f64(v));
+        assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+        // `{:?}` already yields `1.0`-style output that JSON accepts.
+        let _ = write!(self.buf, "{v:?}");
         self
     }
 
@@ -79,6 +82,13 @@ pub fn fmt_f64(v: f64) -> String {
 /// Quote and escape a JSON string.
 pub fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    quote_into(&mut out, s);
+    out
+}
+
+/// Quote and escape a JSON string directly into `out` — the allocation-free
+/// form the builder uses on its hot path.
+fn quote_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -94,7 +104,6 @@ pub fn quote(s: &str) -> String {
         }
     }
     out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -139,6 +139,25 @@ impl JobLifecycle {
 }
 
 /// When a spot-routed job uploads recovery checkpoints.
+///
+/// Set on [`FleetConfig::checkpoint`](crate::FleetConfig): uploads are
+/// asynchronous (durable one S3-profile write after the epoch
+/// completes), sized from the model dims, and priced through the
+/// storage layer. A preempted job resumes from its last durable
+/// checkpoint instead of restarting.
+///
+/// ```
+/// use lml_fleet::CheckpointPolicy;
+///
+/// assert_eq!(CheckpointPolicy::every(4).name(), "every4");
+/// // Young's √(2·c·M) period, converted to whole epochs: 60 s epochs,
+/// // 5 s writes, 1800 s mean time to preemption → every 2 epochs.
+/// assert_eq!(
+///     CheckpointPolicy::Adaptive.interval_epochs(60.0, 5.0, 1_800.0),
+///     Some(2)
+/// );
+/// assert_eq!(CheckpointPolicy::Never.interval_epochs(60.0, 5.0, 1_800.0), None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CheckpointPolicy {
     /// No checkpoints: a preemption loses every epoch (PR 2 behaviour).

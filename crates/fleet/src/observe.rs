@@ -1,8 +1,8 @@
 //! Fleet observability: structured event tracing, scheduler decision
 //! audit, windowed telemetry, and Chrome-trace export.
 //!
-//! The simulator's only output used to be the end-of-run [`FleetMetrics`]
-//! aggregate — no way to see *why* a job was routed to spot, deferred, or
+//! The simulator's only output used to be the end-of-run
+//! [`FleetMetrics`](crate::metrics::FleetMetrics) aggregate — no way to see *why* a job was routed to spot, deferred, or
 //! rejected, nor how queue depth and spend evolved over time. This module
 //! adds a [`FleetObserver`] trait the event loop narrates a run into:
 //!
@@ -235,7 +235,10 @@ pub struct GaugeSample {
 /// no-op default, so sinks implement only what they need; the simulator
 /// gates payload assembly on [`FleetObserver::active`], so the default
 /// [`NullObserver`] costs one predictable branch per site.
-pub trait FleetObserver {
+///
+/// `Send` is a supertrait so an observer can ride its simulation run onto
+/// a bench sweep worker thread.
+pub trait FleetObserver: Send {
     /// Whether the simulator should assemble and deliver payloads at all.
     /// `NullObserver` returns `false`; custom sinks inherit `true`.
     fn active(&self) -> bool {
@@ -654,11 +657,46 @@ impl FleetObserver for RecordingObserver {
     }
 }
 
+/// One simulator run's span inside a [`ThroughputProbe`]: which run it
+/// was, how many events it processed, and how long the simulation itself
+/// took (trace generation, JSON rendering and file I/O excluded).
+#[derive(Debug, Clone)]
+pub struct RunSpan {
+    /// Scheduler policy name the run used.
+    pub policy: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Event-queue pops this run processed.
+    pub events: u64,
+    /// Wall-clock seconds between the run's `begin` and `end` hooks.
+    pub secs: f64,
+}
+
+impl RunSpan {
+    /// Events per second within this run's own span.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.events as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Self-profiler: how fast does the simulator itself run? Counts observer
 /// deliveries and simulator heap operations, and measures wall-clock
-/// events/second — the before-number for the ROADMAP's parallel sweep
-/// engine (≥10× sim speed) item. Accumulates across runs, so one probe
-/// can baseline a whole sweep grid.
+/// events/second — the baseline the ROADMAP's parallel-sweep/sim-speed
+/// items are scored against. Accumulates across runs, so one probe can
+/// baseline a whole sweep grid; per-cell probes from a parallel sweep are
+/// folded together with [`ThroughputProbe::merge`] in grid order.
+///
+/// Two clocks, two questions:
+/// * [`wall_secs`](ThroughputProbe::wall_secs) — probe creation to now:
+///   the sweep's end-to-end wall clock, I/O and all.
+/// * [`busy_secs`](ThroughputProbe::busy_secs) — the sum of per-run
+///   simulation spans (`begin`→`end`): CPU seconds spent simulating.
+///   Under a parallel sweep `busy_secs` can exceed `wall_secs` — that
+///   surplus IS the speedup.
 #[derive(Debug)]
 pub struct ThroughputProbe {
     started: std::time::Instant,
@@ -670,6 +708,13 @@ pub struct ThroughputProbe {
     pub heap_pushes: u64,
     /// Event-queue pops across all runs.
     pub heap_pops: u64,
+    /// Closed per-run spans, in completion (or merge) order.
+    pub per_run: Vec<RunSpan>,
+    /// Sweep-engine worker count, when a sweep stamps it (0 = unset).
+    pub workers: usize,
+    busy: std::time::Duration,
+    /// The in-flight run: (policy, seed, begin instant).
+    open_run: Option<(String, u64, std::time::Instant)>,
 }
 
 impl Default for ThroughputProbe {
@@ -686,12 +731,26 @@ impl ThroughputProbe {
             observer_events: 0,
             heap_pushes: 0,
             heap_pops: 0,
+            per_run: Vec::new(),
+            workers: 0,
+            busy: std::time::Duration::ZERO,
+            open_run: None,
         }
+    }
+
+    /// Stamp the sweep-engine worker count onto the report.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
     }
 
     /// Wall-clock seconds since the probe was created.
     pub fn wall_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Summed per-run simulation seconds (`begin`→`end` spans only).
+    pub fn busy_secs(&self) -> f64 {
+        self.busy.as_secs_f64()
     }
 
     /// Simulator events processed per wall-clock second — the headline
@@ -705,9 +764,49 @@ impl ThroughputProbe {
         }
     }
 
+    /// Simulator events processed per *simulation* second — excludes the
+    /// sweep's trace generation, JSON rendering and file I/O, so it tracks
+    /// the event loop itself.
+    pub fn events_per_busy_sec(&self) -> f64 {
+        let b = self.busy_secs();
+        if b > 0.0 {
+            self.heap_pops as f64 / b
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another probe's counters and spans into this one. The caller
+    /// merges in grid order, so the combined `per_run` list is
+    /// deterministic however the cells were scheduled; the earliest
+    /// creation instant wins, keeping `wall_secs` the whole sweep's span.
+    pub fn merge(&mut self, other: ThroughputProbe) {
+        debug_assert!(other.open_run.is_none(), "merge after the run ended");
+        self.started = self.started.min(other.started);
+        self.runs += other.runs;
+        self.observer_events += other.observer_events;
+        self.heap_pushes += other.heap_pushes;
+        self.heap_pops += other.heap_pops;
+        self.busy += other.busy;
+        self.per_run.extend(other.per_run);
+    }
+
     /// JSON report of the probe. Wall-clock figures are inherently
     /// nondeterministic; keep this out of byte-diffed artifacts.
     pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .per_run
+            .iter()
+            .map(|r| {
+                JsonObject::new()
+                    .str("policy", &r.policy)
+                    .u64("seed", r.seed)
+                    .u64("events", r.events)
+                    .f64("secs", r.secs)
+                    .f64("events_per_sec", r.events_per_sec())
+                    .finish()
+            })
+            .collect();
         JsonObject::new()
             .str("schema", "lml-fleet/throughput/v1")
             .u64("runs", self.runs)
@@ -717,23 +816,34 @@ impl ThroughputProbe {
             .u64("observer_events", self.observer_events)
             .f64("wall_secs", self.wall_secs())
             .f64("events_per_sec", self.events_per_sec())
+            .f64("busy_secs", self.busy_secs())
+            .f64("events_per_busy_sec", self.events_per_busy_sec())
+            .u64("workers", self.workers as u64)
+            .raw("per_run", &crate::json::array(&spans))
             .finish()
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "throughput: {} runs | {} sim events | {} heap ops | {:.2}s wall | {:.0} events/s",
+            "throughput: {} runs | {} sim events | {} heap ops | {:.2}s wall | \
+             {:.3}s sim | {:.0} events/s wall | {:.0} events/s sim | {} workers",
             self.runs,
             self.heap_pops,
             self.heap_pushes + self.heap_pops,
             self.wall_secs(),
-            self.events_per_sec()
+            self.busy_secs(),
+            self.events_per_sec(),
+            self.events_per_busy_sec(),
+            self.workers,
         )
     }
 }
 
 impl FleetObserver for ThroughputProbe {
+    fn begin(&mut self, policy: &str, seed: u64, _n_jobs: usize) {
+        self.open_run = Some((policy.to_string(), seed, std::time::Instant::now()));
+    }
     fn lifecycle(&mut self, _ev: &FleetEvent) {
         self.observer_events += 1;
     }
@@ -753,6 +863,16 @@ impl FleetObserver for ThroughputProbe {
         self.runs += 1;
         self.heap_pushes += pushes;
         self.heap_pops += pops;
+        if let Some((policy, seed, at)) = self.open_run.take() {
+            let span = at.elapsed();
+            self.busy += span;
+            self.per_run.push(RunSpan {
+                policy,
+                seed,
+                events: pops,
+                secs: span.as_secs_f64(),
+            });
+        }
     }
 }
 

@@ -53,8 +53,12 @@ pub struct FaasRegion {
     pub cfg: FaasConfig,
     /// Functions currently executing.
     in_use: usize,
-    /// Expiry times of idle warm containers (unordered; pruned on access).
-    warm: Vec<f64>,
+    /// Expiry times of idle warm containers, ascending. Releases happen in
+    /// event-time order and `keep_alive` is constant, so appends keep the
+    /// deque sorted for free: pruning pops stale entries from the front and
+    /// warm hits consume the freshest entries from the back — no per-start
+    /// sort or scan.
+    warm: std::collections::VecDeque<f64>,
     /// Idle provisioned (always-warm) containers.
     provisioned_free: usize,
     /// Highest concurrent execution count observed.
@@ -73,7 +77,7 @@ impl FaasRegion {
         FaasRegion {
             cfg,
             in_use: 0,
-            warm: Vec::new(),
+            warm: std::collections::VecDeque::new(),
             provisioned_free: cfg.provisioned_concurrency,
             peak_in_use: 0,
             warm_starts: 0,
@@ -83,7 +87,9 @@ impl FaasRegion {
 
     fn prune(&mut self, now: SimTime) {
         let t = now.as_secs();
-        self.warm.retain(|&e| e >= t);
+        while self.warm.front().is_some_and(|&e| e < t) {
+            self.warm.pop_front();
+        }
     }
 
     /// Concurrency slack at `now`.
@@ -112,8 +118,7 @@ impl FaasRegion {
         let from_pool = (workers - from_provisioned).min(self.warm.len());
         // Consume the freshest warm containers (the platform keeps the most
         // recently used ones alive longest anyway; any choice is valid):
-        // one sort, then drop the tail — not a max-scan per container.
-        self.warm.sort_unstable_by(|a, b| a.total_cmp(b));
+        // the deque is expiry-sorted, so the freshest are the back entries.
         self.warm.truncate(self.warm.len() - from_pool);
         let warm_hits = from_provisioned + from_pool;
         let cold = workers - warm_hits;
@@ -141,6 +146,10 @@ impl FaasRegion {
             (self.cfg.provisioned_concurrency - self.provisioned_free).min(workers);
         self.provisioned_free += to_provisioned;
         let expire = now.as_secs() + self.cfg.keep_alive.as_secs();
+        debug_assert!(
+            self.warm.back().is_none_or(|&e| e <= expire),
+            "releases must arrive in event-time order to keep the pool sorted"
+        );
         self.warm
             .extend(std::iter::repeat_n(expire, workers - to_provisioned));
     }

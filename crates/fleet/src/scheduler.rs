@@ -75,7 +75,32 @@ pub struct FleetView {
 }
 
 /// A fleet scheduling policy.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so whole simulation runs — scheduler included —
+/// can be fanned out across the bench sweep engine's worker threads.
+///
+/// # Example: a custom constant router
+///
+/// ```
+/// use lml_fleet::{FleetView, JobRequest, Route, Scheduler};
+///
+/// /// Sends every job wider than 32 workers to the reserved pool.
+/// struct WidthSplit;
+///
+/// impl Scheduler for WidthSplit {
+///     fn name(&self) -> &'static str {
+///         "width-split"
+///     }
+///     fn route(&mut self, job: &JobRequest, _view: &FleetView) -> Route {
+///         if job.workers > 32 {
+///             Route::Iaas
+///         } else {
+///             Route::Faas
+///         }
+///     }
+/// }
+/// ```
+pub trait Scheduler: Send {
     fn name(&self) -> &'static str;
     /// Route one arriving job given the current platform load.
     fn route(&mut self, job: &JobRequest, view: &FleetView) -> Route;

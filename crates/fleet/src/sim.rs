@@ -242,6 +242,11 @@ struct Fleet<'a> {
     events: EventQueue<Event>,
     faas_queue: Vec<usize>,
     iaas_queue: Vec<usize>,
+    /// Workers queued on each platform, maintained incrementally at
+    /// enqueue/start so `view()` and the autoscaler stay O(1) instead of
+    /// re-summing the queues on every admission.
+    faas_queued_workers: usize,
+    iaas_queued_workers: usize,
     /// Weighted-service ledger behind the deficit-round-robin discipline:
     /// worker-seconds of run time started so far, per tenant.
     tenant_service: BTreeMap<TenantId, f64>,
@@ -312,6 +317,8 @@ impl<'a> Fleet<'a> {
             events: EventQueue::new(),
             faas_queue: Vec::new(),
             iaas_queue: Vec::new(),
+            faas_queued_workers: 0,
+            iaas_queued_workers: 0,
             tenant_service: BTreeMap::new(),
             tenant_spend: BTreeMap::new(),
             deferred_queue: Vec::new(),
@@ -402,14 +409,22 @@ impl<'a> Fleet<'a> {
     }
 
     fn view(&self) -> FleetView {
+        debug_assert_eq!(
+            self.faas_queued_workers,
+            Self::queued_workers(&self.faas_queue, self.jobs)
+        );
+        debug_assert_eq!(
+            self.iaas_queued_workers,
+            Self::queued_workers(&self.iaas_queue, self.jobs)
+        );
         FleetView {
             faas_in_use: self.cfg.faas.concurrency_limit - self.faas.available(),
             faas_limit: self.cfg.faas.concurrency_limit,
-            faas_queued_workers: Self::queued_workers(&self.faas_queue, self.jobs),
+            faas_queued_workers: self.faas_queued_workers,
             iaas_free: self.iaas.free(),
             iaas_capacity: self.iaas.capacity(),
             iaas_provisioning: self.iaas.provisioning(),
-            iaas_queued_workers: Self::queued_workers(&self.iaas_queue, self.jobs),
+            iaas_queued_workers: self.iaas_queued_workers,
         }
     }
 
@@ -699,9 +714,35 @@ impl<'a> Fleet<'a> {
     /// blocks the queue if it doesn't fit (strict priority — no backfill
     /// past an earlier deadline or a shorter-served tenant).
     fn drain_faas(&mut self, now: SimTime, sched: &dyn Scheduler) {
+        if self.faas_queue.is_empty() || self.faas.available() == 0 {
+            // Nothing can start (every job needs ≥ 1 slot): skip the pass.
+            // `try_start` only prunes the warm pool on the way to a
+            // decision, and pruning is idempotent over advancing time, so
+            // deferring it to the next attempt changes nothing.
+            return;
+        }
+        if matches!(sched.discipline(), QueueDiscipline::Fifo) {
+            // FIFO always picks the front: walk a cursor and drain the
+            // started prefix once, instead of shifting the whole queue
+            // per start.
+            let mut k = 0;
+            while k < self.faas_queue.len() {
+                let i = self.faas_queue[k];
+                if !self.start_faas(i, now) {
+                    break;
+                }
+                self.faas_queued_workers -= self.jobs[i].workers;
+                k += 1;
+            }
+            if k > 0 {
+                self.faas_queue.drain(..k);
+            }
+            return;
+        }
         while let Some(pos) = self.pick_pos(&self.faas_queue, sched) {
             let i = self.faas_queue[pos];
             if self.start_faas(i, now) {
+                self.faas_queued_workers -= self.jobs[i].workers;
                 self.faas_queue.remove(pos);
             } else {
                 break;
@@ -713,18 +754,68 @@ impl<'a> Fleet<'a> {
     /// once per drain (in pick order), so a blocked wide job does not
     /// strand idle instances; leftovers re-trigger the autoscaler.
     fn drain_iaas(&mut self, now: SimTime, sched: &dyn Scheduler) {
+        if self.iaas_queue.is_empty() {
+            return;
+        }
+        if self.iaas.free() == 0 {
+            // No idle instance means no job can start (`start_iaas` has no
+            // effect on failure): keep the queue as-is and go straight to
+            // the autoscaler, exactly what a full failed pass would do.
+            self.autoscale(now);
+            return;
+        }
         let mut pending = std::mem::take(&mut self.iaas_queue);
-        let mut blocked = Vec::new();
-        while let Some(pos) = self.pick_pos(&pending, sched) {
-            let i = pending.remove(pos);
-            if !self.start_iaas(i, now) {
-                blocked.push(i);
+        match sched.discipline() {
+            QueueDiscipline::Fifo => {
+                // FIFO visits jobs in queue order: one in-order pass,
+                // starters leave, blocked jobs stay — no per-pick scan
+                // or element shifting.
+                pending.retain(|&i| {
+                    if self.start_iaas(i, now) {
+                        self.iaas_queued_workers -= self.jobs[i].workers;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            QueueDiscipline::Edf => {
+                // Deadlines are fixed within a drain, so sorting once
+                // yields exactly the order repeated min-picks would.
+                pending.sort_unstable_by(|&a, &b| {
+                    let da = self.jobs[a].deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    let db = self.jobs[b].deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    da.total_cmp(&db).then(a.cmp(&b))
+                });
+                pending.retain(|&i| {
+                    if self.start_iaas(i, now) {
+                        self.iaas_queued_workers -= self.jobs[i].workers;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            QueueDiscipline::Drr => {
+                // Deficit counters move as jobs start, so every pick
+                // re-scans; the pick is value-keyed (service, index), so
+                // swap_remove is safe and avoids the shift.
+                let mut blocked = Vec::new();
+                while let Some(pos) = self.pick_pos(&pending, sched) {
+                    let i = pending.swap_remove(pos);
+                    if self.start_iaas(i, now) {
+                        self.iaas_queued_workers -= self.jobs[i].workers;
+                    } else {
+                        blocked.push(i);
+                    }
+                }
+                pending = blocked;
             }
         }
         // Restore arrival order (indices are submission-ordered) so FIFO
         // keeps its original semantics.
-        blocked.sort_unstable();
-        self.iaas_queue = blocked;
+        pending.sort_unstable();
+        self.iaas_queue = pending;
         if !self.iaas_queue.is_empty() {
             self.autoscale(now);
         }
@@ -732,7 +823,8 @@ impl<'a> Fleet<'a> {
 
     /// Boot more instances if queued demand exceeds what is idle or coming.
     fn autoscale(&mut self, now: SimTime) {
-        let deficit = Self::queued_workers(&self.iaas_queue, self.jobs)
+        let deficit = self
+            .iaas_queued_workers
             .saturating_sub(self.iaas.free() + self.iaas.provisioning());
         if deficit > 0 {
             if let Some((k, boot)) = self.iaas.scale_up(now, deficit) {
@@ -822,6 +914,7 @@ impl<'a> Fleet<'a> {
                     "job {i} routed to FaaS but wider than the account concurrency limit"
                 );
                 self.faas_queue.push(i);
+                self.faas_queued_workers += self.jobs[i].workers;
                 self.drain_faas(now, sched);
             }
             Route::Iaas => {
@@ -830,6 +923,7 @@ impl<'a> Fleet<'a> {
                     "job {i} routed to IaaS but wider than the autoscaling ceiling"
                 );
                 self.iaas_queue.push(i);
+                self.iaas_queued_workers += self.jobs[i].workers;
                 self.drain_iaas(now, sched);
             }
             Route::Spot => {
@@ -1089,6 +1183,7 @@ impl<'a> Fleet<'a> {
                     self.start_spot(i, now);
                 } else {
                     self.iaas_queue.push(i);
+                    self.iaas_queued_workers += self.jobs[i].workers;
                     self.drain_iaas(now, sched);
                 }
             }
@@ -1176,6 +1271,27 @@ impl<'a> Fleet<'a> {
 /// Observability-free view of [`simulate_observed`]: the default
 /// [`NullObserver`] makes every hook a no-op, so this is byte-identical to
 /// the pre-observer simulator.
+///
+/// Output is a pure function of `(trace, config, scheduler, seed)` —
+/// same inputs, byte-identical [`FleetMetrics::to_json`]:
+///
+/// ```
+/// use lml_fleet::{simulate, AllFaas, ArrivalProcess, FleetConfig, JobMix, Trace};
+///
+/// let trace = Trace::generate(
+///     ArrivalProcess::Poisson { rate: 0.2 },
+///     &JobMix::default_mix(),
+///     50,
+///     7,
+/// );
+/// let cfg = FleetConfig::default();
+/// let m = simulate(&trace, &cfg, &mut AllFaas, 7);
+/// assert_eq!(m.n_jobs, 50);
+/// assert!(m.to_json().starts_with(r#"{"schema":"lml-fleet/metrics/v1""#));
+///
+/// let again = simulate(&trace, &cfg, &mut AllFaas, 7);
+/// assert_eq!(m.to_json(), again.to_json(), "same seed, same bytes");
+/// ```
 pub fn simulate(
     trace: &Trace,
     cfg: &FleetConfig,
@@ -1196,6 +1312,29 @@ pub fn simulate(
 /// (An armed gauge clock does insert `GaugeTick` events into the queue —
 /// runs compare byte-for-byte against runs with the same observer
 /// configuration.)
+///
+/// ```
+/// use lml_fleet::{
+///     simulate, simulate_observed, AllIaas, ArrivalProcess, FleetConfig, JobMix,
+///     ThroughputProbe, Trace,
+/// };
+///
+/// let trace = Trace::generate(
+///     ArrivalProcess::Poisson { rate: 0.2 },
+///     &JobMix::default_mix(),
+///     50,
+///     7,
+/// );
+/// let cfg = FleetConfig::default();
+/// let mut probe = ThroughputProbe::new();
+/// let m = simulate_observed(&trace, &cfg, &mut AllIaas, 7, &mut probe);
+/// assert_eq!(probe.runs, 1);
+/// assert!(probe.heap_pops > 0 && probe.busy_secs() > 0.0);
+///
+/// // Passive observer: metrics match the unobserved run exactly.
+/// let unobserved = simulate(&trace, &cfg, &mut AllIaas, 7);
+/// assert_eq!(m.to_json(), unobserved.to_json());
+/// ```
 pub fn simulate_observed<'a>(
     trace: &'a Trace,
     cfg: &'a FleetConfig,
@@ -1205,9 +1344,18 @@ pub fn simulate_observed<'a>(
 ) -> FleetMetrics {
     observer.begin(scheduler.name(), seed, trace.jobs.len());
     let mut fleet = Fleet::new(cfg, trace, seed, observer);
-    for (i, j) in trace.jobs.iter().enumerate() {
-        fleet.events.push(j.submit, Event::Arrive(i));
-    }
+    // Batch-schedule every arrival with one up-front reservation sized for
+    // the queue's realistic peak (arrivals plus the in-flight completions/
+    // preemptions/provisioning riding alongside them), so the hot loop
+    // never reallocates the heap's backing buffer.
+    fleet.events.reserve(trace.jobs.len() * 2);
+    fleet.events.push_batch(
+        trace
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.submit, Event::Arrive(i))),
+    );
     // Budget windows are a standing clock, not a deferral side effect:
     // ledgers must reset at *every* boundary (a tenant spending a steady
     // 70% of its allowance per window is never over budget), so arm the

@@ -9,15 +9,20 @@
 use crate::instances::InstanceType;
 use lml_sim::{Cost, PiecewiseLinear, SimTime};
 
-/// Table 6 knots for `t_I(w)`.
-pub fn iaas_startup_table() -> PiecewiseLinear {
-    PiecewiseLinear::new(vec![
-        (1.0, 120.0),
-        (10.0, 132.0),
-        (50.0, 160.0),
-        (100.0, 292.0),
-        (200.0, 606.0),
-    ])
+/// Table 6 knots for `t_I(w)`. Built once and cached: evaluated on every
+/// IaaS start, autoscale decision, and estimator prediction in the fleet
+/// simulator, so a per-call allocation here is a measurable hot-path cost.
+pub fn iaas_startup_table() -> &'static PiecewiseLinear {
+    static TABLE: std::sync::OnceLock<PiecewiseLinear> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        PiecewiseLinear::new(vec![
+            (1.0, 120.0),
+            (10.0, 132.0),
+            (50.0, 160.0),
+            (100.0, 292.0),
+            (200.0, 606.0),
+        ])
+    })
 }
 
 /// An EC2 cluster: `workers` instances of one type.

@@ -6,7 +6,7 @@
 //! communication channel and a clock.
 //!
 //! * [`schedule`] — learning-rate schedules (constant, 1/√T decay — the
-//!   paper uses the latter for asynchronous training, after [104]).
+//!   paper uses the latter for asynchronous training, after \[104\]).
 //! * [`sgd`] — mini-batch SGD steps and batch cursors.
 //! * [`algorithm`] — the four distributed algorithms: GA-SGD (gradient
 //!   averaging), MA-SGD (model averaging), consensus ADMM, and EM for

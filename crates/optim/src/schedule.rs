@@ -2,7 +2,7 @@
 //!
 //! The paper tunes a constant rate per workload (§4.1: "the optimal learning
 //! rate in the range 0.001 to 1") and uses a `1/√T` decay for asynchronous
-//! training (§4.5, following Zheng et al. [104]).
+//! training (§4.5, following Zheng et al. \[104\]).
 
 /// A learning-rate schedule evaluated per epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -84,6 +84,20 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Queue sized for a known event population up front, so the hot loop
+    /// never reallocates the heap's backing buffer mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedule `payload` at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         assert!(time.is_valid(), "scheduling at invalid time {time:?}");
@@ -93,6 +107,17 @@ impl<T> EventQueue<T> {
             payload,
         });
         self.seq += 1;
+    }
+
+    /// Schedule a batch of `(time, payload)` pairs in iteration order —
+    /// FIFO tie-break sequence numbers are assigned exactly as repeated
+    /// [`push`](Self::push) calls would, after one up-front reservation.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = (SimTime, T)>) {
+        let it = events.into_iter();
+        self.reserve(it.size_hint().0);
+        for (time, payload) in it {
+            self.push(time, payload);
+        }
     }
 
     /// Pop the earliest event.
@@ -155,6 +180,22 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::secs(5.0)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_matches_repeated_push() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(4);
+        let events = [(2.0, "x"), (1.0, "y"), (2.0, "z"), (0.5, "w")];
+        for &(t, p) in &events {
+            a.push(SimTime::secs(t), p);
+        }
+        b.push_batch(events.iter().map(|&(t, p)| (SimTime::secs(t), p)));
+        assert_eq!(a.pushes(), b.pushes());
+        while let Some(ea) = a.pop() {
+            assert_eq!(Some(ea), b.pop());
+        }
+        assert!(b.pop().is_none());
     }
 
     #[test]

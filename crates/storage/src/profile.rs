@@ -184,7 +184,7 @@ impl ServiceProfile {
 
     /// ElastiCache for Redis: same node characteristics as Memcached but a
     /// single-threaded event loop — requests serialize (§4.3: "Redis is
-    /// inferior to Memcached [for] a large model or a big cluster").
+    /// inferior to Memcached \[for\] a large model or a big cluster").
     pub fn redis(node: CacheNode) -> Self {
         ServiceProfile {
             kind: ServiceKind::Redis,

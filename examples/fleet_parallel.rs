@@ -1,0 +1,136 @@
+//! The parallel sweep engine end to end: run the `fleet_scale` grid
+//! serially and fanned across every core, prove the outputs are
+//! byte-identical, and report the simulator's throughput headline.
+//!
+//! Run with: `cargo run --release --example fleet_parallel`
+//!
+//! The engine's determinism contract (see `lml_bench::sweep`) is that a
+//! sweep's observable output — the printed table and every per-cell JSON
+//! file — is a pure function of the grid, never of the worker count:
+//! cells compute from nothing but their own inputs, results land in
+//! grid-index-keyed slots, and all side effects happen in the caller's
+//! index-ordered reduction. This example *checks* that contract the same
+//! way CI does, then reads the two throughput probes back and prints the
+//! sweep wall-clock, the summed simulation time (`busy_secs`), and
+//! events/sec for both runs.
+//!
+//! Timing assertions are deliberately loose (slow shared runners, 1-core
+//! containers); the hard assertions are the byte-identity ones. The
+//! committed baseline trajectory lives in README.md § Performance.
+
+use lml_bench::{run_experiment, Harness};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Every file in `dir`, name → contents.
+fn snapshot(dir: &Path) -> BTreeMap<String, String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("sweep output dir {}: {e}", dir.display()))
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().into_string().expect("utf-8 filename"),
+                std::fs::read_to_string(e.path()).expect("readable JSON"),
+            )
+        })
+        .collect()
+}
+
+/// Pull one numeric field out of a flat JSON object.
+fn json_num(json: &str, field: &str) -> f64 {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key).expect("field present") + key.len();
+    json[at..]
+        .split([',', '}', '['])
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn main() {
+    let h = Harness {
+        seed: 42,
+        fast: true,
+    };
+    let base = std::env::temp_dir().join("lml_fleet_parallel_example");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Serial reference: one worker, cells run inline on this thread.
+    std::env::set_var("LML_SWEEP_THREADS", "1");
+    std::env::set_var("LML_FLEET_OUT", base.join("serial"));
+    std::env::set_var("LML_FLEET_PROBE_OUT", base.join("serial-probe"));
+    let serial_table = run_experiment("fleet_scale", &h);
+
+    // Parallel run: every core the machine has (at least 2, so the
+    // threaded path genuinely runs even on a 1-core container).
+    let n = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .max(2);
+    std::env::set_var("LML_SWEEP_THREADS", n.to_string());
+    std::env::set_var("LML_FLEET_OUT", base.join("parallel"));
+    std::env::set_var("LML_FLEET_PROBE_OUT", base.join("parallel-probe"));
+    let parallel_table = run_experiment("fleet_scale", &h);
+    std::env::remove_var("LML_SWEEP_THREADS");
+    std::env::remove_var("LML_FLEET_OUT");
+    std::env::remove_var("LML_FLEET_PROBE_OUT");
+
+    // The determinism contract, asserted byte-for-byte.
+    assert_eq!(
+        serial_table, parallel_table,
+        "printed table must not depend on worker count"
+    );
+    let serial = snapshot(&base.join("serial"));
+    let parallel = snapshot(&base.join("parallel"));
+    assert_eq!(serial.len(), 9, "3 rates x 3 policies in fast mode");
+    assert_eq!(
+        serial, parallel,
+        "every sweep JSON file must be byte-identical at {n} workers"
+    );
+
+    // The probes disagree only on wall-clock; every event count matches.
+    let sp = std::fs::read_to_string(base.join("serial-probe/throughput_baseline.json"))
+        .expect("serial probe written");
+    let pp = std::fs::read_to_string(base.join("parallel-probe/throughput_baseline.json"))
+        .expect("parallel probe written");
+    for field in [
+        "runs",
+        "sim_events",
+        "heap_pushes",
+        "heap_pops",
+        "observer_events",
+    ] {
+        assert_eq!(
+            json_num(&sp, field),
+            json_num(&pp, field),
+            "{field} must not depend on worker count"
+        );
+    }
+
+    // The throughput headline. `busy_secs` sums per-run simulation spans,
+    // so under a parallel sweep it can exceed wall — that surplus is the
+    // engine's speedup. The floor here is ~15x under the 1-core measured
+    // rate, so it only trips on a real regression, not a noisy runner.
+    let events = json_num(&sp, "sim_events");
+    let serial_wall = json_num(&sp, "wall_secs");
+    let parallel_wall = json_num(&pp, "wall_secs");
+    let busy = json_num(&sp, "busy_secs");
+    let per_busy = json_num(&sp, "events_per_busy_sec");
+    assert!(busy > 0.0, "per-run spans recorded");
+    assert!(
+        per_busy > 200_000.0,
+        "simulator fell below 200k events/s ({per_busy:.0}); the committed \
+         baseline runs ~3M events/s on a 1-core container"
+    );
+
+    println!("fleet_parallel: serial and {n}-worker sweeps are byte-identical");
+    println!(
+        "  {events:.0} events | serial wall {:.2} ms | {n}-worker wall {:.2} ms | \
+         sim busy {:.2} ms | {:.0} events/s (sim)",
+        serial_wall * 1e3,
+        parallel_wall * 1e3,
+        busy * 1e3,
+        per_busy,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
