@@ -309,6 +309,12 @@ pub struct Analytic {
     iaas_case: AnalyticCase,
     /// Per-class epoch overrides (sampling-estimator calibration).
     epochs: BTreeMap<JobClass, f64>,
+    /// Memoized `(workers, estimate)` per class: the prediction is a pure
+    /// function of (class, workers), and `predict` sits on the simulator's
+    /// per-admission hot path, so one slot per class covers the common
+    /// single-width trace without re-running the piecewise model. Interior
+    /// mutability keeps the `&self` trait signature.
+    memo: std::cell::RefCell<[Option<(usize, Estimate)>; JobClass::ALL.len()]>,
 }
 
 impl Default for Analytic {
@@ -325,6 +331,7 @@ impl Analytic {
             faas_case: AnalyticCase::faas_s3(),
             iaas_case: AnalyticCase::iaas_t2(),
             epochs: BTreeMap::new(),
+            memo: Default::default(),
         }
     }
 
@@ -335,12 +342,14 @@ impl Analytic {
             faas_case: cfg.faas_case,
             iaas_case: cfg.iaas_case,
             epochs: BTreeMap::new(),
+            memo: Default::default(),
         }
     }
 
     /// Directly pin the epoch estimate for a class (builder style).
     pub fn with_epochs(mut self, class: JobClass, epochs: f64) -> Self {
         self.epochs.insert(class, epochs);
+        self.memo.get_mut()[class as usize] = None;
         self
     }
 
@@ -359,6 +368,12 @@ impl Estimator for Analytic {
     }
 
     fn predict(&self, job: &JobRequest) -> Estimate {
+        let idx = job.class as usize;
+        if let Some((w, e)) = self.memo.borrow()[idx] {
+            if w == job.workers {
+                return e;
+            }
+        }
         let mut p = job.class.profile();
         p.epochs = self.epochs_for(job.class);
         let w = job.workers;
@@ -369,13 +384,16 @@ impl Estimator for Analytic {
             - lml_analytic::constants::t_i().eval(w as f64);
         // Warm-pool IaaS: bill the instances for the run, not the boot.
         let c_iaas = w as f64 * self.iaas_case.worker_price_per_s * t_iaas;
-        Estimate::point(t_faas, c_faas, t_iaas, c_iaas)
+        let e = Estimate::point(t_faas, c_faas, t_iaas, c_iaas);
+        self.memo.borrow_mut()[idx] = Some((w, e));
+        e
     }
 
     fn observe(&mut self, _done: &CompletedJob) {}
 
     fn pin_epochs(&mut self, class: JobClass, epochs: f64) {
         self.epochs.insert(class, epochs);
+        self.memo.get_mut()[class as usize] = None;
     }
 
     fn clone_box(&self) -> Box<dyn Estimator> {

@@ -18,10 +18,12 @@ pub struct JsonObject {
 
 impl JsonObject {
     pub fn new() -> Self {
-        JsonObject {
-            buf: String::from("{"),
-            any: false,
-        }
+        // Even the small nested objects (quantile rollups, per-run spans)
+        // run tens of bytes; starting above the doubling ramp keeps the
+        // metrics emitter off the allocator's resize path.
+        let mut buf = String::with_capacity(128);
+        buf.push('{');
+        JsonObject { buf, any: false }
     }
 
     fn key(&mut self, k: &str) {

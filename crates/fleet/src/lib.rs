@@ -15,6 +15,13 @@
 //! * [`azure`] — an Azure-Functions-style CSV adapter feeding
 //!   [`Trace::from_text`] (owners → tenants, function ids → job classes);
 //!   a bundled sample lives under `crates/fleet/data/`.
+//! * [`google`] — a Google cluster-usage (task_events) adapter: a
+//!   streaming [`TraceSource`] mapping each job's first SUBMIT event onto
+//!   the job zoo (users → tenants), constant memory per row.
+//! * [`stream`] — the pull-based [`TraceSource`] abstraction behind
+//!   streaming replay: in-memory ([`InMemorySource`]), chunked text
+//!   ([`TextSource`]), and generator-backed ([`GeneratorSource`])
+//!   sources, so million-job traces replay without materializing.
 //! * [`lifecycle`] — the explicit job-lifecycle state machine
 //!   (`Queued → Booting → Running{epochs_done} → … → Done/Rejected`)
 //!   shared by all schedulers and tiers, plus [`CheckpointPolicy`] and the
@@ -42,7 +49,11 @@
 //!   pricing through its estimator.
 //! * [`sim`] — the event-driven fleet loop on the shared
 //!   [`lml_sim::EventQueue`], with discipline-ordered admission queues and
-//!   per-tenant service accounting.
+//!   per-tenant service accounting. Arrivals are *pulled* from a
+//!   [`TraceSource`] on demand and in-flight jobs live in a generational
+//!   slab, so resident memory is bounded by the working set — [`replay`]
+//!   collects full metrics, [`replay_stats`] runs in constant memory, and
+//!   [`simulate`] is the byte-identical in-memory wrapper.
 //! * [`metrics`] — per-job queue/startup/run breakdowns rolled up into
 //!   p50/p95/p99 latency, dollars, warm-hit rate, utilization,
 //!   deadline-hit rate, preemption counts, and per-tenant fairness.
@@ -57,6 +68,7 @@
 
 pub mod azure;
 pub mod estimate;
+pub mod google;
 pub mod job;
 pub mod json;
 pub mod lifecycle;
@@ -65,23 +77,31 @@ pub mod observe;
 pub mod platform;
 pub mod scheduler;
 pub mod sim;
+pub mod stream;
 pub mod workload;
 
 pub use estimate::{
     Analytic, CompletedJob, Estimate, Estimator, Hybrid, Online, PreemptionObs, RiskModel,
     ETA_QUANTILE,
 };
+pub use google::GoogleSource;
 pub use job::{JobClass, JobRequest, TenantId};
 pub use lifecycle::{restore_beats_redo, CheckpointPolicy, JobLifecycle};
-pub use metrics::{jain_index, ClassRow, FleetMetrics, JobRecord, PlatformTotals, TenantRow};
+pub use metrics::{
+    jain_index, ClassRow, FleetMetrics, JobRecord, PlatformTotals, TenantRow, WindowRollup,
+};
 pub use observe::{
     AttemptSpan, Decision, DecisionRecord, FleetEvent, FleetObserver, GaugeSample, NullObserver,
-    PlatformEvent, RecordingObserver, ThroughputProbe,
+    PlatformEvent, RecordingObserver, ReplayStats, RollupCollector, ThroughputProbe,
 };
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{
     AllFaas, AllIaas, CostAware, DeadlineAware, FairShare, FleetView, QueueDiscipline, Route,
     Scheduler,
 };
-pub use sim::{simulate, simulate_observed, FleetConfig, CHECKPOINT_TIER_THRESHOLD};
+pub use sim::{
+    replay, replay_observed, replay_stats, simulate, simulate_observed, FleetConfig, ReplaySummary,
+    CHECKPOINT_TIER_THRESHOLD,
+};
+pub use stream::{GeneratorSource, InMemorySource, TextSource, TraceSource};
 pub use workload::{ArrivalProcess, JobMix, TenantSpec, Trace};

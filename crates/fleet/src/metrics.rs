@@ -181,11 +181,12 @@ impl Quantiles {
             };
         }
         let s = Summary::from_values(values);
+        let [p50, p95, p99] = s.percentiles([50.0, 95.0, 99.0]);
         Quantiles {
             mean: s.mean(),
-            p50: s.percentile(50.0),
-            p95: s.percentile(95.0),
-            p99: s.percentile(99.0),
+            p50,
+            p95,
+            p99,
             max: s.max(),
         }
     }
@@ -219,6 +220,31 @@ pub struct PlatformTotals {
     /// Pre-paid provisioned-concurrency bill over the makespan.
     pub faas_provisioned_cost: Cost,
     pub spot_peak_instances: usize,
+}
+
+/// One fixed-width window of incremental replay metrics, flushed by the
+/// streaming engine as the simulation clock passes each boundary (see
+/// `FleetObserver::rollup_period`). Counters cover events *inside* the
+/// window `[start, end)`; `resident_jobs` is the in-flight gauge at flush
+/// time — the number the streaming engine promises stays bounded by the
+/// working set, not by trace length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRollup {
+    /// Zero-based window index (windows with no events are still emitted,
+    /// so indices are dense).
+    pub index: u64,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Jobs whose arrival was pulled from the source in this window.
+    pub submitted: u64,
+    /// Jobs that reached a terminal completed state in this window.
+    pub completed: u64,
+    /// Jobs refused admission in this window.
+    pub rejected: u64,
+    /// Dollars charged in this window (all substrates and checkpoints).
+    pub cost: Cost,
+    /// Admitted, non-terminal jobs at flush time.
+    pub resident_jobs: u64,
 }
 
 /// Per-tenant rollup row.
@@ -377,55 +403,96 @@ impl FleetMetrics {
     /// Build the rollup from per-job records and platform counters.
     /// Latency/queue/startup quantiles and route counts cover jobs that
     /// actually ran; budget-rejected jobs are reported separately.
+    ///
+    /// One pass over the records feeds every accumulator (each was its own
+    /// filter scan once — measurably hot on large sweeps); per-field
+    /// summation order stays record order, so the floats are bit-identical
+    /// to the multi-pass rollup.
     pub fn from_records(
         policy: &str,
         seed: u64,
         records: Vec<JobRecord>,
         totals: PlatformTotals,
     ) -> FleetMetrics {
-        let ran = || records.iter().filter(|r| !r.rejected);
-        let latency = Quantiles::from_values(ran().map(|r| r.latency().as_secs()).collect());
-        let queue = Quantiles::from_values(ran().map(|r| r.queue.as_secs()).collect());
-        let startup = Quantiles::from_values(ran().map(|r| r.startup.as_secs()).collect());
-        let faas_cost: Cost = ran()
-            .filter(|r| r.route == Route::Faas)
-            .map(|r| r.cost)
-            .sum();
+        let n = records.len();
+        let mut lat_s = Vec::with_capacity(n);
+        let mut queue_s = Vec::with_capacity(n);
+        let mut startup_s = Vec::with_capacity(n);
+        let mut run_apes = Vec::new();
+        let mut cost_apes = Vec::new();
+        let mut faas_cost = Cost::ZERO;
+        let (mut jobs_on_faas, mut jobs_on_iaas, mut jobs_on_spot) = (0usize, 0usize, 0usize);
+        let (mut deadline_jobs, mut deadline_hits, mut deadline_jobs_rejected) =
+            (0usize, 0usize, 0usize);
+        let (mut rejected_jobs, mut deferred_jobs) = (0usize, 0usize);
+        let (mut eta_q_jobs, mut eta_q_covered) = (0usize, 0usize);
+        let (mut spot_attempts, mut resumes, mut checkpoint_writes) = (0u64, 0u64, 0u64);
+        let mut lost_work = SimTime::ZERO;
+        let mut checkpoint_cost = Cost::ZERO;
+        // Tenant → accumulated service (worker-seconds), keyed in sorted
+        // order so the fairness index sees tenants exactly as
+        // [`per_tenant_rows`] reports them.
+        let mut service: std::collections::BTreeMap<TenantId, f64> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            if r.rejected {
+                rejected_jobs += 1;
+                if r.deadline.is_some() {
+                    deadline_jobs_rejected += 1;
+                }
+            } else {
+                lat_s.push(r.latency().as_secs());
+                queue_s.push(r.queue.as_secs());
+                startup_s.push(r.startup.as_secs());
+                match r.route {
+                    Route::Faas => {
+                        jobs_on_faas += 1;
+                        faas_cost += r.cost;
+                    }
+                    Route::Iaas => jobs_on_iaas += 1,
+                    Route::Spot => jobs_on_spot += 1,
+                }
+                if r.deadline.is_some() {
+                    deadline_jobs += 1;
+                }
+            }
+            if r.deadline_met() == Some(true) {
+                deadline_hits += 1;
+            }
+            if r.deferred {
+                deferred_jobs += 1;
+            }
+            if let Some(a) = r.runtime_ape() {
+                run_apes.push(a);
+            }
+            if let Some(a) = r.cost_ape() {
+                cost_apes.push(a);
+            }
+            if let Some(covered) = r.eta_covered() {
+                eta_q_jobs += 1;
+                if covered {
+                    eta_q_covered += 1;
+                }
+            }
+            spot_attempts += r.spot_attempts as u64;
+            resumes += r.resumes as u64;
+            lost_work += r.lost_work;
+            checkpoint_writes += r.checkpoint_writes as u64;
+            checkpoint_cost += r.checkpoint_cost;
+            *service.entry(r.tenant).or_insert(0.0) += r.workers as f64 * r.run.as_secs();
+        }
+        let latency = Quantiles::from_values(lat_s);
+        let queue = Quantiles::from_values(queue_s);
+        let startup = Quantiles::from_values(startup_s);
         let makespan = JobRecord::makespan(&records);
-        let deadline_jobs = ran().filter(|r| r.deadline.is_some()).count();
-        let deadline_hits = records
-            .iter()
-            .filter(|r| r.deadline_met() == Some(true))
-            .count();
-        let deadline_jobs_rejected = records
-            .iter()
-            .filter(|r| r.rejected && r.deadline.is_some())
-            .count();
-        let rejected_jobs = records.iter().filter(|r| r.rejected).count();
-        let deferred_jobs = records.iter().filter(|r| r.deferred).count();
-        let predicted_jobs = records.iter().filter_map(|r| r.runtime_ape()).count();
-        let runtime_mape = mape(records.iter().filter_map(|r| r.runtime_ape()));
-        let cost_mape = mape(records.iter().filter_map(|r| r.cost_ape()));
-        let eta_q_jobs = records.iter().filter_map(|r| r.eta_covered()).count();
-        let eta_q_covered = records
-            .iter()
-            .filter(|r| r.eta_covered() == Some(true))
-            .count();
-        let spot_attempts = records.iter().map(|r| r.spot_attempts as u64).sum();
-        let resumes = records.iter().map(|r| r.resumes as u64).sum();
-        let lost_work = records.iter().map(|r| r.lost_work).sum();
-        let checkpoint_writes = records.iter().map(|r| r.checkpoint_writes as u64).sum();
-        let checkpoint_cost = records.iter().map(|r| r.checkpoint_cost).sum();
-        let fairness = jain_index(
-            &per_tenant_rows(&records)
-                .iter()
-                .map(|t| t.service)
-                .collect::<Vec<_>>(),
-        );
+        let predicted_jobs = run_apes.len();
+        let runtime_mape = mape(run_apes.into_iter());
+        let cost_mape = mape(cost_apes.into_iter());
+        let fairness = jain_index(&service.into_values().collect::<Vec<_>>());
         FleetMetrics {
             policy: policy.to_string(),
             seed,
-            n_jobs: records.len(),
+            n_jobs: n,
             makespan,
             latency,
             queue,
@@ -434,9 +501,9 @@ impl FleetMetrics {
             faas_provisioned_cost: totals.faas_provisioned_cost,
             iaas_cost: totals.iaas_cost,
             spot_cost: totals.spot_cost,
-            jobs_on_faas: ran().filter(|r| r.route == Route::Faas).count(),
-            jobs_on_iaas: ran().filter(|r| r.route == Route::Iaas).count(),
-            jobs_on_spot: ran().filter(|r| r.route == Route::Spot).count(),
+            jobs_on_faas,
+            jobs_on_iaas,
+            jobs_on_spot,
             warm_hit_rate: totals.warm_hit_rate,
             cold_starts: totals.cold_starts,
             iaas_utilization: totals.iaas_utilization,
@@ -509,14 +576,16 @@ impl FleetMetrics {
     /// Per-class breakdown of the jobs that ran, in class order — named
     /// [`ClassRow`]s, prediction error included.
     pub fn per_class(&self) -> Vec<ClassRow> {
+        // One bucketing pass instead of a scan per class; buckets keep
+        // record order, so per-class sums and quantiles are bit-identical.
+        let mut buckets: Vec<Vec<&JobRecord>> = vec![Vec::new(); JobClass::ALL.len()];
+        for r in self.records.iter().filter(|r| !r.rejected) {
+            buckets[r.class as usize].push(r);
+        }
         JobClass::ALL
             .into_iter()
             .filter_map(|c| {
-                let rs: Vec<&JobRecord> = self
-                    .records
-                    .iter()
-                    .filter(|r| r.class == c && !r.rejected)
-                    .collect();
+                let rs = &buckets[c as usize];
                 if rs.is_empty() {
                     return None;
                 }
@@ -665,28 +734,49 @@ impl FleetMetrics {
 }
 
 fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
-    let mut tenants: Vec<TenantId> = records.iter().map(|r| r.tenant).collect();
-    tenants.sort_unstable();
-    tenants.dedup();
-    tenants
-        .into_iter()
-        .map(|t| {
-            let rs: Vec<&JobRecord> = records.iter().filter(|r| r.tenant == t).collect();
-            let lat = Quantiles::from_values(
-                rs.iter()
-                    .filter(|r| !r.rejected)
-                    .map(|r| r.latency().as_secs())
-                    .collect(),
-            );
-            TenantRow {
-                tenant: t,
-                jobs: rs.len(),
-                rejected: rs.iter().filter(|r| r.rejected).count(),
-                deferred: rs.iter().filter(|r| r.deferred).count(),
-                latency_p99: lat.p99,
-                cost: rs.iter().map(|r| r.cost).sum(),
-                service: rs.iter().map(|r| r.workers as f64 * r.run.as_secs()).sum(),
-            }
+    /// Running per-tenant tallies; latencies collect for the quantile pass.
+    struct Acc {
+        jobs: usize,
+        rejected: usize,
+        deferred: usize,
+        cost: Cost,
+        service: f64,
+        lat_s: Vec<f64>,
+    }
+    // One bucketing pass instead of a full scan per tenant; a BTreeMap
+    // keeps the rows in sorted tenant order, and per-tenant accumulation
+    // stays in record order, so sums and quantiles are bit-identical.
+    let mut accs: std::collections::BTreeMap<TenantId, Acc> = std::collections::BTreeMap::new();
+    for r in records {
+        let a = accs.entry(r.tenant).or_insert_with(|| Acc {
+            jobs: 0,
+            rejected: 0,
+            deferred: 0,
+            cost: Cost::ZERO,
+            service: 0.0,
+            lat_s: Vec::new(),
+        });
+        a.jobs += 1;
+        if r.rejected {
+            a.rejected += 1;
+        } else {
+            a.lat_s.push(r.latency().as_secs());
+        }
+        if r.deferred {
+            a.deferred += 1;
+        }
+        a.cost += r.cost;
+        a.service += r.workers as f64 * r.run.as_secs();
+    }
+    accs.into_iter()
+        .map(|(t, a)| TenantRow {
+            tenant: t,
+            jobs: a.jobs,
+            rejected: a.rejected,
+            deferred: a.deferred,
+            latency_p99: Quantiles::from_values(a.lat_s).p99,
+            cost: a.cost,
+            service: a.service,
         })
         .collect()
 }

@@ -48,8 +48,23 @@
 use crate::job::TenantId;
 use crate::json::{array, JsonObject};
 use crate::lifecycle::JobLifecycle;
+use crate::metrics::WindowRollup;
 use crate::scheduler::Route;
 use lml_sim::SimTime;
+
+/// Streaming-replay counters handed to every observer just before
+/// [`FleetObserver::end`]: how many arrivals the engine pulled from its
+/// [`TraceSource`](crate::stream::TraceSource) and the peak size of the
+/// resident job slab. For a streamed trace, `peak_resident_jobs` is the
+/// number that stays bounded by the in-flight working set rather than the
+/// trace length.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplayStats {
+    /// Arrivals pulled from the trace source over the run.
+    pub arrivals_streamed: u64,
+    /// Peak occupancy of the resident job slab (admitted, non-retired).
+    pub peak_resident_jobs: u64,
+}
 
 /// One validated lifecycle transition, stamped with everything needed to
 /// place it on a per-job timeline.
@@ -262,6 +277,22 @@ pub trait FleetObserver: Send {
     fn attempt(&mut self, _s: &AttemptSpan) {}
     /// One gauge sample from the standing clock.
     fn gauges(&mut self, _g: &GaugeSample) {}
+    /// Width of the incremental metric-rollup windows, if this sink wants
+    /// them. Unlike the gauge clock, rollups ride the engine's own event
+    /// times — no events enter the queue, so arming them keeps the run
+    /// byte-identical to an unobserved one. `None` (the default) skips
+    /// rollup accounting entirely.
+    fn rollup_period(&self) -> Option<SimTime> {
+        None
+    }
+    /// One flushed metric window (the clock passed a `rollup_period`
+    /// boundary, or the run ended with a partial window open). Windows
+    /// arrive in index order with dense indices.
+    fn rollup(&mut self, _w: &WindowRollup) {}
+    /// Streaming counters for the finished run, delivered immediately
+    /// before [`FleetObserver::end`]. Called on every observer, active or
+    /// not (it carries no per-event payload).
+    fn replay(&mut self, _stats: &ReplayStats) {}
     /// The run finished: total event-queue pushes and pops — the heap-ops
     /// numbers the [`ThroughputProbe`] turns into a baseline. Called on
     /// every observer, active or not (it carries no per-event payload).
@@ -657,6 +688,48 @@ impl FleetObserver for RecordingObserver {
     }
 }
 
+/// Collects incremental window rollups from a (streaming) replay and
+/// nothing else. `active()` is `false`, so no per-event payloads are
+/// assembled and no gauge clock is armed — and because the rollup flush
+/// rides the engine's own event times, a run with this sink is
+/// byte-identical to an unobserved one. This is the constant-memory way
+/// to watch a million-job replay: one `WindowRollup` per window instead
+/// of one `JobRecord` per job.
+#[derive(Debug)]
+pub struct RollupCollector {
+    period: SimTime,
+    /// Flushed windows, in index order.
+    pub windows: Vec<WindowRollup>,
+    /// Streaming counters delivered at the end of the run.
+    pub replay_stats: Option<ReplayStats>,
+}
+
+impl RollupCollector {
+    pub fn new(period: SimTime) -> Self {
+        assert!(period.as_secs() > 0.0, "rollup period must be positive");
+        RollupCollector {
+            period,
+            windows: Vec::new(),
+            replay_stats: None,
+        }
+    }
+}
+
+impl FleetObserver for RollupCollector {
+    fn active(&self) -> bool {
+        false
+    }
+    fn rollup_period(&self) -> Option<SimTime> {
+        Some(self.period)
+    }
+    fn rollup(&mut self, w: &WindowRollup) {
+        self.windows.push(*w);
+    }
+    fn replay(&mut self, stats: &ReplayStats) {
+        self.replay_stats = Some(*stats);
+    }
+}
+
 /// One simulator run's span inside a [`ThroughputProbe`]: which run it
 /// was, how many events it processed, and how long the simulation itself
 /// took (trace generation, JSON rendering and file I/O excluded).
@@ -710,6 +783,11 @@ pub struct ThroughputProbe {
     pub heap_pops: u64,
     /// Closed per-run spans, in completion (or merge) order.
     pub per_run: Vec<RunSpan>,
+    /// Peak resident job slab occupancy across the folded runs (max over
+    /// runs — the bounded-memory headline for streamed replays).
+    pub peak_resident_jobs: u64,
+    /// Arrivals pulled from trace sources across the folded runs.
+    pub arrivals_streamed: u64,
     /// Sweep-engine worker count, when a sweep stamps it (0 = unset).
     pub workers: usize,
     busy: std::time::Duration,
@@ -732,6 +810,8 @@ impl ThroughputProbe {
             heap_pushes: 0,
             heap_pops: 0,
             per_run: Vec::new(),
+            peak_resident_jobs: 0,
+            arrivals_streamed: 0,
             workers: 0,
             busy: std::time::Duration::ZERO,
             open_run: None,
@@ -789,6 +869,8 @@ impl ThroughputProbe {
         self.heap_pops += other.heap_pops;
         self.busy += other.busy;
         self.per_run.extend(other.per_run);
+        self.peak_resident_jobs = self.peak_resident_jobs.max(other.peak_resident_jobs);
+        self.arrivals_streamed += other.arrivals_streamed;
     }
 
     /// JSON report of the probe. Wall-clock figures are inherently
@@ -820,6 +902,8 @@ impl ThroughputProbe {
             .f64("events_per_busy_sec", self.events_per_busy_sec())
             .u64("workers", self.workers as u64)
             .raw("per_run", &crate::json::array(&spans))
+            .u64("peak_resident_jobs", self.peak_resident_jobs)
+            .u64("arrivals_streamed", self.arrivals_streamed)
             .finish()
     }
 
@@ -858,6 +942,10 @@ impl FleetObserver for ThroughputProbe {
     }
     fn gauges(&mut self, _g: &GaugeSample) {
         self.observer_events += 1;
+    }
+    fn replay(&mut self, stats: &ReplayStats) {
+        self.peak_resident_jobs = self.peak_resident_jobs.max(stats.peak_resident_jobs);
+        self.arrivals_streamed += stats.arrivals_streamed;
     }
     fn end(&mut self, pushes: u64, pops: u64) {
         self.runs += 1;
@@ -967,5 +1055,54 @@ mod tests {
         assert_eq!(p.heap_pushes, 15);
         assert_eq!(p.heap_pops, 13);
         assert!(p.to_json().contains(r#""sim_events":13"#));
+    }
+
+    #[test]
+    fn probe_folds_replay_stats_and_merge_takes_peak_max() {
+        let mut a = ThroughputProbe::new();
+        a.replay(&ReplayStats {
+            arrivals_streamed: 400,
+            peak_resident_jobs: 12,
+        });
+        a.end(10, 10);
+        let mut b = ThroughputProbe::new();
+        b.replay(&ReplayStats {
+            arrivals_streamed: 600,
+            peak_resident_jobs: 30,
+        });
+        b.end(10, 10);
+        a.merge(b);
+        assert_eq!(a.arrivals_streamed, 1000, "arrivals sum");
+        assert_eq!(a.peak_resident_jobs, 30, "peak is a max, not a sum");
+        let json = a.to_json();
+        assert!(json.contains(r#""peak_resident_jobs":30"#));
+        assert!(json.contains(r#""arrivals_streamed":1000"#));
+        // Additive schema: the new fields land after the existing ones.
+        let per_run = json.find(r#""per_run""#).unwrap();
+        assert!(json.find(r#""peak_resident_jobs""#).unwrap() > per_run);
+    }
+
+    #[test]
+    fn rollup_collector_captures_windows_without_activating() {
+        let mut c = RollupCollector::new(SimTime::secs(60.0));
+        assert!(!c.active());
+        assert_eq!(c.rollup_period(), Some(SimTime::secs(60.0)));
+        c.rollup(&WindowRollup {
+            index: 0,
+            start: SimTime::ZERO,
+            end: SimTime::secs(60.0),
+            submitted: 5,
+            completed: 3,
+            rejected: 0,
+            cost: lml_sim::Cost::usd(1.5),
+            resident_jobs: 2,
+        });
+        c.replay(&ReplayStats {
+            arrivals_streamed: 5,
+            peak_resident_jobs: 4,
+        });
+        assert_eq!(c.windows.len(), 1);
+        assert_eq!(c.windows[0].submitted, 5);
+        assert_eq!(c.replay_stats.unwrap().peak_resident_jobs, 4);
     }
 }

@@ -33,19 +33,40 @@
 //! [`FleetConfig::epoch_scale`] ≠ 1 miscalibrates the zoo — jobs really
 //! need more (or fewer) epochs than the analytic prior assumes — which is
 //! exactly the regime where learning estimators earn their keep.
+//!
+//! # Streaming replay
+//!
+//! The engine is *pull-based*: [`replay_observed`] draws arrivals from a
+//! [`TraceSource`] one at a time and stores in-flight jobs in a
+//! generational slab, so resident memory is bounded by the working set
+//! (jobs admitted but not yet terminal), never by trace length — a
+//! 10M-job replay holds the same state as a 400-job one.
+//! [`simulate`]/[`simulate_observed`] are the in-memory compatibility
+//! wrappers: they delegate through [`InMemorySource`], and replaying any
+//! trace through a streaming source is **byte-identical** to the
+//! in-memory path (same metrics JSON — the tie-break key is the dense
+//! arrival sequence number, which equals the trace index).
+//!
+//! For traces too large to even collect per-job records, [`replay_stats`]
+//! folds every retired job into a constant-size [`ReplaySummary`] —
+//! that's the O(1)-memory path the million-job smoke test drives.
+//! Observers that request a [`FleetObserver::rollup_period`] additionally
+//! receive incremental [`WindowRollup`]s as the simulation clock crosses
+//! each boundary, so long replays report progress without buffering.
 
 use crate::estimate::{CompletedJob, Estimate, PreemptionObs};
-use crate::job::{JobRequest, TenantId};
+use crate::job::{JobClass, JobRequest, TenantId};
 use crate::lifecycle::{
     preempt_outcome, restore_beats_redo, AttemptPlan, CheckpointPolicy, JobLifecycle,
 };
-use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals};
+use crate::metrics::{FleetMetrics, JobRecord, PlatformTotals, WindowRollup};
 use crate::observe::{
     AttemptSpan, Decision, DecisionRecord, FleetEvent, FleetObserver, GaugeSample, NullObserver,
-    PlatformEvent,
+    PlatformEvent, ReplayStats,
 };
 use crate::platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 use crate::scheduler::{FleetView, QueueDiscipline, Route, Scheduler};
+use crate::stream::{InMemorySource, TraceSource};
 use crate::workload::Trace;
 use lml_analytic::constants;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, AnalyticParams, Scaling};
@@ -138,18 +159,26 @@ pub fn iaas_run(p: &AnalyticParams, case: &AnalyticCase, w: usize) -> SimTime {
     iaas_time(p, case, Scaling::Perfect, w) - SimTime::secs(constants::t_i().eval(w as f64))
 }
 
+/// A generational reference to a resident job in the slab. Events carry
+/// handles instead of trace indices, so the engine never needs the whole
+/// trace in memory; the generation counter turns any use-after-retire bug
+/// into a loud debug assertion instead of silent state corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Handle {
+    slot: u32,
+    gen: u32,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
-    /// Job `i` of the trace arrives.
-    Arrive(usize),
-    /// Job `i` finishes on FaaS.
-    FaasDone(usize),
-    /// Job `i` finishes on IaaS.
-    IaasDone(usize),
-    /// Job `i` finishes on spot.
-    SpotDone(usize),
-    /// The spot market reclaims job `i`'s instances mid-flight.
-    SpotPreempted(usize),
+    /// The resident job finishes on FaaS.
+    FaasDone(Handle),
+    /// The resident job finishes on IaaS.
+    IaasDone(Handle),
+    /// The resident job finishes on spot.
+    SpotDone(Handle),
+    /// The spot market reclaims the job's instances mid-flight.
+    SpotPreempted(Handle),
     /// A batch of `k` IaaS instances finished booting.
     Provisioned(usize),
     /// Check whether idle IaaS capacity above the floor should be released.
@@ -212,6 +241,38 @@ struct JobState {
     attempt_plan: Option<AttemptPlan>,
 }
 
+/// One resident job: the request, its mutable run state, and the dense
+/// arrival sequence number that replaces the trace index everywhere the
+/// old engine compared indices (queue tie-breaks, record order).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    job: JobRequest,
+    state: JobState,
+    seq: u64,
+    gen: u32,
+}
+
+/// Per-class analytic cache: every value here is a pure function of
+/// `(class, workers, config)`, so recomputing it per event is pure waste —
+/// the job zoo has six classes and the hot path touches the same handful
+/// of formulas on every dispatch. One entry per class, keyed by the
+/// workers it was computed for (recomputed on a width change, which never
+/// happens in homogeneous-width traces).
+#[derive(Debug, Clone, Copy)]
+struct ClassCache {
+    workers: usize,
+    epochs_total: u32,
+    faas_run: SimTime,
+    faas_cost: Cost,
+    iaas_run_full: SimTime,
+    ckpt_write_secs: f64,
+    ckpt_write_dollars: Cost,
+    ckpt_read_time: SimTime,
+    ckpt_read_dollars: Cost,
+}
+
+const N_CLASSES: usize = JobClass::ALL.len();
+
 /// The deferral-vs-rejection pricing of one over-allowance job, with the
 /// inputs that settled it (fed to the decision audit).
 #[derive(Debug, Clone, Copy)]
@@ -226,86 +287,164 @@ struct OverAllowance {
     eta_q_s: Option<f64>,
 }
 
+/// Constant-size aggregates for the bounded ([`replay_stats`]) path:
+/// every retired job folds in here instead of materializing a record.
+#[derive(Debug, Clone, Copy, Default)]
+struct SummaryAcc {
+    completed: u64,
+    rejected: u64,
+    deferred: u64,
+    makespan: SimTime,
+    /// Attributed dollars of completed FaaS-routed jobs (mirrors the
+    /// `faas_cost` term of [`FleetMetrics::total_cost`]).
+    faas_attributed: Cost,
+    /// Checkpoint dollars across all jobs.
+    ckpt_dollars: Cost,
+}
+
+/// Where retired jobs go: full records (the metrics path) or the
+/// constant-size fold (the bounded path).
+enum Sink {
+    /// Per-job records indexed by arrival seq — memory O(trace length),
+    /// exactly what [`FleetMetrics::from_records`] needs.
+    Records(Vec<Option<JobRecord>>),
+    /// Constant-memory aggregates for [`replay_stats`].
+    Bounded(SummaryAcc),
+}
+
+/// Incremental rollup bookkeeping (armed only when the observer asks for
+/// a [`FleetObserver::rollup_period`]).
+struct RollupState {
+    period: SimTime,
+    /// The next boundary to flush at.
+    next: SimTime,
+    index: u64,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    cost: Cost,
+}
+
+/// Constant-size outcome of a bounded replay ([`replay_stats`]): the
+/// headline counters without the per-job records.
+///
+/// `total_cost` follows the same decomposition as
+/// [`FleetMetrics::total_cost`] (FaaS execution + provisioned floor +
+/// pool bill + spot bill + checkpoint traffic), but the summation order
+/// differs from the record-based rollup, so compare it to the metrics
+/// value with a tolerance, never byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplaySummary {
+    /// Arrivals pulled from the source (the streamed trace length).
+    pub jobs: u64,
+    /// Jobs that completed (reached `Done`).
+    pub completed: u64,
+    /// Jobs refused admission.
+    pub rejected: u64,
+    /// Jobs that sat out at least one budget window.
+    pub deferred: u64,
+    /// Finish time of the last job that ran.
+    pub makespan: SimTime,
+    /// Total platform dollars (see type docs for the decomposition).
+    pub total_cost: Cost,
+    /// High-water mark of the resident job slab — the number the
+    /// streaming engine promises stays bounded by the in-flight set.
+    pub peak_resident_jobs: u64,
+}
+
 /// All simulator state, threaded through the event handlers.
 struct Fleet<'a> {
     cfg: &'a FleetConfig,
-    jobs: &'a [JobRequest],
-    /// Per-tenant dollar caps from the trace (v3); absent tenants are
-    /// uncapped.
-    budgets: &'a BTreeMap<TenantId, f64>,
+    /// Per-tenant dollar caps from the source's preamble (trace v3);
+    /// absent tenants are uncapped.
+    budgets: BTreeMap<TenantId, f64>,
     faas: FaasRegion,
     iaas: IaasPool,
     spot: SpotTier,
     /// Checkpoint channel: S3 write/read time and request dollars.
     ckpt: CheckpointCosting,
-    state: Vec<JobState>,
+    /// The resident job slab: admitted, non-terminal jobs. Slots are
+    /// recycled through `free` as jobs retire, so capacity tracks the
+    /// peak *working set*, not the trace length.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    class_cache: [Option<ClassCache>; N_CLASSES],
     events: EventQueue<Event>,
-    faas_queue: Vec<usize>,
-    iaas_queue: Vec<usize>,
+    faas_queue: Vec<Handle>,
+    iaas_queue: Vec<Handle>,
     /// Workers queued on each platform, maintained incrementally at
     /// enqueue/start so `view()` and the autoscaler stay O(1) instead of
     /// re-summing the queues on every admission.
     faas_queued_workers: usize,
     iaas_queued_workers: usize,
     /// Weighted-service ledger behind the deficit-round-robin discipline:
-    /// worker-seconds of run time started so far, per tenant.
+    /// worker-seconds of run time started so far, per tenant. Only
+    /// maintained when the scheduler's discipline is DRR (`track_service`).
     tenant_service: BTreeMap<TenantId, f64>,
     /// Attributed dollars per tenant — the budget-cap enforcement ledger
-    /// (reset every accounting window when deferral is on).
+    /// (reset every accounting window when deferral is on). Only
+    /// maintained when someone reads it (`track_spend`).
     tenant_spend: BTreeMap<TenantId, f64>,
     /// Jobs held back until the next budget window, in arrival order.
-    deferred_queue: Vec<usize>,
+    deferred_queue: Vec<Handle>,
     /// The standing `BudgetWindow` event chain is armed.
     window_scheduled: bool,
-    /// Jobs not yet in a terminal lifecycle state (`Done`/`Rejected`) —
-    /// lets the window chain stop instead of ticking forever.
-    unfinished: usize,
+    /// Admitted jobs not yet in a terminal lifecycle state (includes
+    /// deferred jobs).
+    live: usize,
+    /// The source has at least one arrival still to deliver.
+    more_arrivals: bool,
+    /// Arrivals pulled from the source so far (also the next seq).
+    arrivals_streamed: u64,
+    /// High-water mark of slab occupancy.
+    peak_resident: u64,
+    /// The scheduler's ETA quantile, captured once up front (constant for
+    /// every in-tree scheduler) — record building needs it per retire.
+    eta_quantile: f64,
+    /// `obs.active()`, cached: the vtable call was on the hot path.
+    obs_on: bool,
+    /// Maintain `tenant_spend` (budgets declared, or a gauge-sampling
+    /// observer reads it — `sample_gauges` only runs on a gauge clock, so
+    /// an observer without one never sees the ledger).
+    track_spend: bool,
+    /// Maintain `tenant_service` (scheduler discipline is DRR).
+    track_service: bool,
+    rollup: Option<RollupState>,
+    sink: Sink,
     /// The observability sink: every lifecycle transition, scheduler
     /// decision, platform event, dispatch span, and gauge sample is
     /// narrated here. [`NullObserver`] (the default) makes every call a
-    /// no-op and `active()` gates payload assembly.
+    /// no-op and `obs_on` gates payload assembly.
     obs: &'a mut (dyn FleetObserver + 'a),
 }
 
 impl<'a> Fleet<'a> {
     fn new(
         cfg: &'a FleetConfig,
-        trace: &'a Trace,
+        budgets: BTreeMap<TenantId, f64>,
         seed: u64,
         obs: &'a mut (dyn FleetObserver + 'a),
+        eta_quantile: f64,
+        track_service: bool,
+        collect: bool,
     ) -> Self {
-        let jobs = trace.jobs.as_slice();
-        let state = jobs
-            .iter()
-            .map(|j| JobState {
-                route: Route::Faas,
-                lifecycle: JobLifecycle::Queued,
-                queue: SimTime::ZERO,
-                startup: SimTime::ZERO,
-                run: SimTime::ZERO,
-                warm_hits: 0,
+        let obs_on = obs.active();
+        let rollup = obs.rollup_period().map(|p| {
+            debug_assert!(p.as_secs() > 0.0, "rollup period must be positive");
+            RollupState {
+                period: p,
+                next: p,
+                index: 0,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
                 cost: Cost::ZERO,
-                preemptions: 0,
-                resumes: 0,
-                epochs_total: Self::actual_epochs(j.class, cfg.epoch_scale),
-                epochs_done: 0,
-                lost_work: SimTime::ZERO,
-                ckpt_writes: 0,
-                ckpt_cost: Cost::ZERO,
-                predicted: None,
-                deferred: false,
-                ready_since: j.submit,
-                attempt: 0,
-                attempt_start: SimTime::ZERO,
-                attempt_boot: SimTime::ZERO,
-                attempt_restore: SimTime::ZERO,
-                attempt_plan: None,
-            })
-            .collect();
+            }
+        });
         Fleet {
             cfg,
-            jobs,
-            budgets: &trace.budgets,
+            track_spend: !budgets.is_empty() || obs.gauge_period().is_some(),
+            budgets,
             faas: FaasRegion::new(cfg.faas),
             iaas: IaasPool::new(cfg.iaas),
             spot: SpotTier::new(cfg.spot, seed),
@@ -313,7 +452,9 @@ impl<'a> Fleet<'a> {
                 Some(t) => CheckpointCosting::tiered(t),
                 None => CheckpointCosting::s3(),
             },
-            state,
+            slots: Vec::new(),
+            free: Vec::new(),
+            class_cache: [None; N_CLASSES],
             events: EventQueue::new(),
             faas_queue: Vec::new(),
             iaas_queue: Vec::new(),
@@ -323,34 +464,287 @@ impl<'a> Fleet<'a> {
             tenant_spend: BTreeMap::new(),
             deferred_queue: Vec::new(),
             window_scheduled: false,
-            unfinished: jobs.len(),
+            live: 0,
+            more_arrivals: false,
+            arrivals_streamed: 0,
+            peak_resident: 0,
+            eta_quantile,
+            obs_on,
+            track_service,
+            rollup,
+            sink: if collect {
+                Sink::Records(Vec::new())
+            } else {
+                Sink::Bounded(SummaryAcc::default())
+            },
             obs,
         }
     }
 
-    /// Advance job `i`'s lifecycle through the validated state machine and
+    #[inline]
+    fn slot(&self, h: Handle) -> &Slot {
+        let s = &self.slots[h.slot as usize];
+        debug_assert_eq!(s.gen, h.gen, "stale job handle");
+        s
+    }
+
+    #[inline]
+    fn state_mut(&mut self, h: Handle) -> &mut JobState {
+        let s = &mut self.slots[h.slot as usize];
+        debug_assert_eq!(s.gen, h.gen, "stale job handle");
+        &mut s.state
+    }
+
+    /// Admit a pulled arrival into the slab: assign its dense seq, build
+    /// fresh run state, and record the occupancy high-water mark.
+    fn insert(&mut self, job: JobRequest) -> Handle {
+        let seq = self.arrivals_streamed;
+        self.arrivals_streamed += 1;
+        let epochs_total = self.class_cache(job.class, job.workers).epochs_total;
+        let state = JobState {
+            route: Route::Faas,
+            lifecycle: JobLifecycle::Queued,
+            queue: SimTime::ZERO,
+            startup: SimTime::ZERO,
+            run: SimTime::ZERO,
+            warm_hits: 0,
+            cost: Cost::ZERO,
+            preemptions: 0,
+            resumes: 0,
+            epochs_total,
+            epochs_done: 0,
+            lost_work: SimTime::ZERO,
+            ckpt_writes: 0,
+            ckpt_cost: Cost::ZERO,
+            predicted: None,
+            deferred: false,
+            ready_since: job.submit,
+            attempt: 0,
+            attempt_start: SimTime::ZERO,
+            attempt_boot: SimTime::ZERO,
+            attempt_restore: SimTime::ZERO,
+            attempt_plan: None,
+        };
+        let h = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.job = job;
+                s.state = state;
+                s.seq = seq;
+                Handle { slot, gen: s.gen }
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    job,
+                    state,
+                    seq,
+                    gen: 0,
+                });
+                Handle { slot, gen: 0 }
+            }
+        };
+        self.live += 1;
+        let resident = (self.slots.len() - self.free.len()) as u64;
+        self.peak_resident = self.peak_resident.max(resident);
+        if let Some(r) = &mut self.rollup {
+            r.submitted += 1;
+        }
+        h
+    }
+
+    /// Fold a terminal job into the sink and recycle its slab slot.
+    fn retire(&mut self, h: Handle) {
+        self.live -= 1;
+        let idx = h.slot as usize;
+        debug_assert_eq!(self.slots[idx].gen, h.gen, "stale job handle");
+        let Slot {
+            job: j,
+            state: s,
+            seq,
+            ..
+        } = self.slots[idx];
+        debug_assert!(
+            s.lifecycle.is_terminal(),
+            "retire needs a terminal lifecycle state"
+        );
+        let rejected = s.lifecycle == JobLifecycle::Rejected;
+        if let Some(r) = &mut self.rollup {
+            if rejected {
+                r.rejected += 1;
+            } else {
+                r.completed += 1;
+            }
+        }
+        let eta_quantile = self.eta_quantile;
+        match &mut self.sink {
+            Sink::Records(records) => {
+                let rec = JobRecord {
+                    id: j.id,
+                    class: j.class,
+                    route: s.route,
+                    workers: j.workers,
+                    tenant: j.tenant,
+                    submit: j.submit,
+                    deadline: j.deadline,
+                    queue: s.queue,
+                    startup: s.startup,
+                    run: s.run,
+                    warm_hits: s.warm_hits,
+                    preemptions: s.preemptions,
+                    resumes: s.resumes,
+                    spot_attempts: s.attempt,
+                    lost_work: s.lost_work,
+                    checkpoint_writes: s.ckpt_writes,
+                    checkpoint_cost: s.ckpt_cost,
+                    rejected,
+                    deferred: s.deferred,
+                    predicted_run: s.predicted.map(|e| SimTime::secs(e.time(s.route))),
+                    // The calibrated quantile ETA snapshotted at admission,
+                    // at the tail the scheduler itself routed with (P95 by
+                    // default) — what the coverage rollup scores against
+                    // the actual run.
+                    predicted_run_q: s
+                        .predicted
+                        .map(|e| SimTime::secs(e.eta_q(s.route, eta_quantile))),
+                    // Spot attributions ride the market discount the
+                    // firm-price prediction deliberately ignores; scoring
+                    // them would report the discount as estimator error,
+                    // so spot jobs carry no cost prediction (their
+                    // runtimes still score — spot inflation IS estimator
+                    // error).
+                    predicted_cost: match s.route {
+                        Route::Spot => None,
+                        _ => s.predicted.map(|e| Cost::usd(e.cost(s.route))),
+                    },
+                    cost: s.cost,
+                };
+                let at = seq as usize;
+                if records.len() <= at {
+                    records.resize_with(at + 1, || None);
+                }
+                debug_assert!(records[at].is_none(), "job retired twice");
+                records[at] = Some(rec);
+            }
+            Sink::Bounded(acc) => {
+                if rejected {
+                    acc.rejected += 1;
+                } else {
+                    acc.completed += 1;
+                    let finish = j.submit + s.queue + s.startup + s.run;
+                    acc.makespan = acc.makespan.max(finish);
+                    if s.route == Route::Faas {
+                        acc.faas_attributed += s.cost;
+                    }
+                }
+                if s.deferred {
+                    acc.deferred += 1;
+                }
+                acc.ckpt_dollars += s.ckpt_cost;
+            }
+        }
+        let slot = &mut self.slots[idx];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.slot);
+    }
+
+    /// Flush every rollup window whose boundary the (monotone) event clock
+    /// has crossed. Called before processing each event, so counters land
+    /// in the window the events actually happened in.
+    fn flush_rollups_to(&mut self, now: SimTime) {
+        let Some(r) = &mut self.rollup else { return };
+        while now >= r.next {
+            let w = WindowRollup {
+                index: r.index,
+                start: r.next - r.period,
+                end: r.next,
+                submitted: r.submitted,
+                completed: r.completed,
+                rejected: r.rejected,
+                cost: r.cost,
+                resident_jobs: (self.slots.len() - self.free.len()) as u64,
+            };
+            self.obs.rollup(&w);
+            r.index += 1;
+            r.next += r.period;
+            r.submitted = 0;
+            r.completed = 0;
+            r.rejected = 0;
+            r.cost = Cost::ZERO;
+        }
+    }
+
+    /// Emit the trailing partial window, if anything happened since the
+    /// last boundary.
+    fn finish_rollups(&mut self) {
+        let Some(r) = &mut self.rollup else { return };
+        if r.submitted + r.completed + r.rejected == 0 && r.cost.as_usd() == 0.0 {
+            return;
+        }
+        let w = WindowRollup {
+            index: r.index,
+            start: r.next - r.period,
+            end: r.next,
+            submitted: r.submitted,
+            completed: r.completed,
+            rejected: r.rejected,
+            cost: r.cost,
+            resident_jobs: (self.slots.len() - self.free.len()) as u64,
+        };
+        self.obs.rollup(&w);
+    }
+
+    /// The per-class analytic bundle, recomputed only when the class's
+    /// width changes (see [`ClassCache`]).
+    fn class_cache(&mut self, class: JobClass, workers: usize) -> ClassCache {
+        let idx = class as usize;
+        if let Some(c) = self.class_cache[idx] {
+            if c.workers == workers {
+                return c;
+            }
+        }
+        let mut p = class.profile();
+        p.epochs *= self.cfg.epoch_scale;
+        let bytes = checkpoint_bytes(class.profile().model_bytes);
+        let c = ClassCache {
+            workers,
+            epochs_total: Self::actual_epochs(class, self.cfg.epoch_scale),
+            faas_run: faas_run(&p, &self.cfg.faas_case, workers),
+            faas_cost: faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, workers),
+            iaas_run_full: iaas_run(&p, &self.cfg.iaas_case, workers),
+            ckpt_write_secs: self.ckpt.write_time(bytes).as_secs(),
+            ckpt_write_dollars: self.ckpt.write_dollars(bytes),
+            ckpt_read_time: self.ckpt.read_time(bytes),
+            ckpt_read_dollars: self.ckpt.read_dollars(bytes),
+        };
+        self.class_cache[idx] = Some(c);
+        c
+    }
+
+    /// Advance the job's lifecycle through the validated state machine and
     /// narrate the transition to the observer.
-    fn step(&mut self, i: usize, now: SimTime, next: JobLifecycle) {
-        let from = self.state[i].lifecycle;
-        self.state[i].lifecycle.transition(next);
-        if self.obs.active() {
-            let s = &self.state[i];
-            let j = &self.jobs[i];
-            self.obs.lifecycle(&FleetEvent {
+    fn step(&mut self, h: Handle, now: SimTime, next: JobLifecycle) {
+        let slot = &mut self.slots[h.slot as usize];
+        debug_assert_eq!(slot.gen, h.gen, "stale job handle");
+        let from = slot.state.lifecycle;
+        slot.state.lifecycle.transition(next);
+        if self.obs_on {
+            let ev = FleetEvent {
                 at: now,
-                job: j.id,
-                tenant: j.tenant,
-                route: s.route,
-                attempt: s.attempt,
+                job: slot.job.id,
+                tenant: slot.job.tenant,
+                route: slot.state.route,
+                attempt: slot.state.attempt,
                 from,
                 to: next,
-            });
+            };
+            self.obs.lifecycle(&ev);
         }
     }
 
     /// Sample the standing telemetry gauges into the observer.
     fn sample_gauges(&mut self, now: SimTime) {
-        if !self.obs.active() {
+        if !self.obs_on {
             return;
         }
         let g = GaugeSample {
@@ -369,7 +763,7 @@ impl<'a> Fleet<'a> {
 
     /// Whole epochs a job of `class` actually needs, after the zoo
     /// miscalibration knob (≥ 1).
-    fn actual_epochs(class: crate::job::JobClass, scale: f64) -> u32 {
+    fn actual_epochs(class: JobClass, scale: f64) -> u32 {
         assert!(
             scale.is_finite() && scale > 0.0,
             "epoch_scale must be finite and > 0"
@@ -377,19 +771,18 @@ impl<'a> Fleet<'a> {
         ((class.default_epochs() * scale).ceil() as u32).max(1)
     }
 
-    /// The job's *actual* analytical profile: the class profile with the
-    /// epoch count the zoo miscalibration knob dictates. Service times and
-    /// FaaS bills come from this; scheduler priors keep the unscaled view.
-    fn actual_profile(&self, i: usize) -> AnalyticParams {
-        let mut p = self.jobs[i].class.profile();
-        p.epochs *= self.cfg.epoch_scale;
-        p
-    }
-
-    /// Attribute `c` dollars to job `i` and its tenant's spend ledger.
-    fn charge(&mut self, i: usize, c: Cost) {
-        self.state[i].cost += c;
-        *self.tenant_spend.entry(self.jobs[i].tenant).or_insert(0.0) += c.as_usd();
+    /// Attribute `c` dollars to the job, its tenant's spend ledger, and
+    /// the open rollup window.
+    fn charge(&mut self, h: Handle, c: Cost) {
+        let slot = &mut self.slots[h.slot as usize];
+        debug_assert_eq!(slot.gen, h.gen, "stale job handle");
+        slot.state.cost += c;
+        if self.track_spend {
+            *self.tenant_spend.entry(slot.job.tenant).or_insert(0.0) += c.as_usd();
+        }
+        if let Some(r) = &mut self.rollup {
+            r.cost += c;
+        }
     }
 
     /// Is this tenant's budget (if any) already exhausted?
@@ -399,23 +792,18 @@ impl<'a> Fleet<'a> {
             .is_some_and(|&cap| self.tenant_spend.get(&tenant).copied().unwrap_or(0.0) >= cap)
     }
 
-    /// Recovery-checkpoint size for job `i` (model + resumable aux state).
-    fn ckpt_bytes(&self, i: usize) -> ByteSize {
-        checkpoint_bytes(self.jobs[i].class.profile().model_bytes)
-    }
-
-    fn queued_workers(q: &[usize], jobs: &[JobRequest]) -> usize {
-        q.iter().map(|&i| jobs[i].workers).sum()
+    fn queued_workers(&self, q: &[Handle]) -> usize {
+        q.iter().map(|&h| self.slot(h).job.workers).sum()
     }
 
     fn view(&self) -> FleetView {
         debug_assert_eq!(
             self.faas_queued_workers,
-            Self::queued_workers(&self.faas_queue, self.jobs)
+            self.queued_workers(&self.faas_queue)
         );
         debug_assert_eq!(
             self.iaas_queued_workers,
-            Self::queued_workers(&self.iaas_queue, self.jobs)
+            self.queued_workers(&self.iaas_queue)
         );
         FleetView {
             faas_in_use: self.cfg.faas.concurrency_limit - self.faas.available(),
@@ -429,15 +817,19 @@ impl<'a> Fleet<'a> {
     }
 
     /// Credit a started job's service to its tenant (the DRR ledger).
-    fn credit_service(&mut self, i: usize, run: SimTime) {
-        let j = &self.jobs[i];
+    /// Skipped entirely under FIFO/EDF — nothing reads the ledger there.
+    fn credit_service(&mut self, h: Handle, run: SimTime) {
+        if !self.track_service {
+            return;
+        }
+        let j = self.slot(h).job;
         *self.tenant_service.entry(j.tenant).or_insert(0.0) += j.workers as f64 * run.as_secs();
     }
 
     /// Position in `q` of the job the discipline admits next, or `None` if
     /// the queue is empty. All orders are deterministic: ties break by
-    /// submission index.
-    fn pick_pos(&self, q: &[usize], sched: &dyn Scheduler) -> Option<usize> {
+    /// arrival seq (the streaming stand-in for the submission index).
+    fn pick_pos(&self, q: &[Handle], sched: &dyn Scheduler) -> Option<usize> {
         if q.is_empty() {
             return None;
         }
@@ -447,35 +839,39 @@ impl<'a> Fleet<'a> {
                 .iter()
                 .enumerate()
                 .min_by(|&(_, &a), &(_, &b)| {
-                    let da = self.jobs[a].deadline.map_or(f64::INFINITY, |d| d.as_secs());
-                    let db = self.jobs[b].deadline.map_or(f64::INFINITY, |d| d.as_secs());
-                    da.total_cmp(&db).then(a.cmp(&b))
+                    let sa = self.slot(a);
+                    let sb = self.slot(b);
+                    let da = sa.job.deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    let db = sb.job.deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    da.total_cmp(&db).then(sa.seq.cmp(&sb.seq))
                 })
                 .map(|(pos, _)| pos),
             QueueDiscipline::Drr => q
                 .iter()
                 .enumerate()
                 .min_by(|&(_, &a), &(_, &b)| {
-                    let norm = |i: usize| {
-                        let t = self.jobs[i].tenant;
+                    let norm = |h: Handle| {
+                        let t = self.slot(h).job.tenant;
                         self.tenant_service.get(&t).copied().unwrap_or(0.0) / sched.tenant_weight(t)
                     };
-                    norm(a).total_cmp(&norm(b)).then(a.cmp(&b))
+                    norm(a)
+                        .total_cmp(&norm(b))
+                        .then(self.slot(a).seq.cmp(&self.slot(b).seq))
                 })
                 .map(|(pos, _)| pos),
         }
     }
 
-    /// Try to begin job `i` on FaaS at `now`; schedules its completion.
+    /// Try to begin the job on FaaS at `now`; schedules its completion.
     /// FaaS jobs are never preempted, so they always run all their epochs.
-    fn start_faas(&mut self, i: usize, now: SimTime) -> bool {
-        let job = &self.jobs[i];
+    fn start_faas(&mut self, h: Handle, now: SimTime) -> bool {
+        let job = self.slot(h).job;
         match self.faas.try_start(now, job.workers) {
             Some((startup, warm_hits)) => {
                 let workers = job.workers;
-                let p = self.actual_profile(i);
-                let run = faas_run(&p, &self.cfg.faas_case, workers);
-                let s = &mut self.state[i];
+                let cache = self.class_cache(job.class, workers);
+                let run = cache.faas_run;
+                let s = self.state_mut(h);
                 let queued_at = s.ready_since;
                 s.queue += now - s.ready_since;
                 // Queue time accumulates exactly once per wait interval.
@@ -483,23 +879,23 @@ impl<'a> Fleet<'a> {
                 s.startup += startup;
                 s.run += run;
                 s.warm_hits = warm_hits;
-                self.step(i, now, JobLifecycle::Booting);
-                self.step(i, now, JobLifecycle::Running { epochs_done: 0 });
-                if self.obs.active() {
-                    let j = &self.jobs[i];
+                let attempt = s.attempt;
+                self.step(h, now, JobLifecycle::Booting);
+                self.step(h, now, JobLifecycle::Running { epochs_done: 0 });
+                if self.obs_on {
                     self.obs.platform(
                         now,
                         &PlatformEvent::FaasStart {
-                            job: j.id,
+                            job: job.id,
                             workers,
                             warm_hits,
                         },
                     );
                     self.obs.attempt(&AttemptSpan {
-                        job: j.id,
-                        tenant: j.tenant,
+                        job: job.id,
+                        tenant: job.tenant,
                         substrate: Route::Faas,
-                        attempt: self.state[i].attempt,
+                        attempt,
                         queued_at,
                         dispatched_at: now,
                         startup_s: startup.as_secs(),
@@ -508,36 +904,34 @@ impl<'a> Fleet<'a> {
                 }
                 // GB-second billing of the execution (Lambda does not bill
                 // provisioning time; the §5.3 cost formula is the same).
-                let cost = faas_cost(&p, &self.cfg.faas_case, Scaling::Perfect, workers);
-                self.charge(i, cost);
-                self.events.push(now + startup + run, Event::FaasDone(i));
-                self.credit_service(i, run);
+                self.charge(h, cache.faas_cost);
+                self.events.push(now + startup + run, Event::FaasDone(h));
+                self.credit_service(h, run);
                 true
             }
             None => false,
         }
     }
 
-    /// Try to begin job `i` on idle IaaS instances at `now`. A job thrown
+    /// Try to begin the job on idle IaaS instances at `now`. A job thrown
     /// back by the spot market resumes from its last durable checkpoint:
     /// only the *remaining* epochs are scheduled (plus the restore read),
     /// so the pool's completion estimate no longer re-runs finished work.
-    fn start_iaas(&mut self, i: usize, now: SimTime) -> bool {
-        let job = &self.jobs[i];
+    fn start_iaas(&mut self, h: Handle, now: SimTime) -> bool {
+        let job = self.slot(h).job;
         if !self.iaas.try_start(now, job.workers) {
             return false;
         }
-        let p = self.actual_profile(i);
-        let run_full = iaas_run(&p, &self.cfg.iaas_case, job.workers);
-        let total = self.state[i].epochs_total;
-        let epoch_secs = run_full.as_secs() / total as f64;
+        let workers = job.workers;
+        let cache = self.class_cache(job.class, workers);
+        let total = self.slot(h).state.epochs_total;
+        let epoch_secs = cache.iaas_run_full.as_secs() / total as f64;
         // Restore-vs-redo priced at the reserved pool's own rate.
-        let rate = job.workers as f64 * self.cfg.iaas_case.worker_price_per_s;
-        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs, rate);
+        let rate = workers as f64 * self.cfg.iaas_case.worker_price_per_s;
+        let (from, restore, restore_dollars) = self.resume_point(h, &cache, epoch_secs, rate);
         let run = SimTime::secs((total - from) as f64 * epoch_secs);
         let startup = self.cfg.iaas.dispatch_latency + restore;
-        let workers = job.workers;
-        let s = &mut self.state[i];
+        let s = self.state_mut(h);
         let queued_at = s.ready_since;
         s.queue += now - s.ready_since;
         // Close the wait interval: queue seconds accumulate exactly once
@@ -556,24 +950,24 @@ impl<'a> Fleet<'a> {
         s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
         s.epochs_done = from;
         s.ckpt_cost += restore_dollars;
-        self.step(i, now, JobLifecycle::Booting);
-        self.step(i, now, JobLifecycle::Running { epochs_done: from });
-        if self.obs.active() {
-            let j = &self.jobs[i];
+        let attempt = s.attempt;
+        self.step(h, now, JobLifecycle::Booting);
+        self.step(h, now, JobLifecycle::Running { epochs_done: from });
+        if self.obs_on {
             if from > 0 {
                 self.obs.platform(
                     now,
                     &PlatformEvent::CheckpointRestore {
-                        job: j.id,
+                        job: job.id,
                         epochs: from,
                     },
                 );
             }
             self.obs.attempt(&AttemptSpan {
-                job: j.id,
-                tenant: j.tenant,
+                job: job.id,
+                tenant: job.tenant,
                 substrate: Route::Iaas,
-                attempt: self.state[i].attempt,
+                attempt,
                 queued_at,
                 dispatched_at: now,
                 startup_s: startup.as_secs(),
@@ -585,48 +979,52 @@ impl<'a> Fleet<'a> {
         let cost = Cost::usd(
             workers as f64 * self.cfg.iaas_case.worker_price_per_s * (startup + run).as_secs(),
         ) + restore_dollars;
-        self.charge(i, cost);
-        self.events.push(now + startup + run, Event::IaasDone(i));
-        self.credit_service(i, run);
+        self.charge(h, cost);
+        self.events.push(now + startup + run, Event::IaasDone(h));
+        self.credit_service(h, run);
         true
     }
 
-    /// Where job `i`'s next attempt starts: its last durable checkpoint if
+    /// Where the job's next attempt starts: its last durable checkpoint if
     /// restoring it beats redoing the epochs on *both* time and dollars
     /// ([`restore_beats_redo`] — `rate_per_s` is the routed substrate's
     /// instance rate for the whole job), else from scratch. Returns
     /// (start epoch, restore time, restore dollars). The dollar check
     /// matters for budget-capped tenants: a restore read that costs more
     /// than redoing cheap epochs must not be billed.
-    fn resume_point(&self, i: usize, epoch_secs: f64, rate_per_s: f64) -> (u32, SimTime, Cost) {
-        let from = self.state[i].epochs_done;
+    fn resume_point(
+        &self,
+        h: Handle,
+        cache: &ClassCache,
+        epoch_secs: f64,
+        rate_per_s: f64,
+    ) -> (u32, SimTime, Cost) {
+        let from = self.slot(h).state.epochs_done;
         if from == 0 {
             return (0, SimTime::ZERO, Cost::ZERO);
         }
-        let bytes = self.ckpt_bytes(i);
-        let restore = self.ckpt.read_time(bytes);
+        let restore = cache.ckpt_read_time;
         let redo = SimTime::secs(from as f64 * epoch_secs);
-        if restore_beats_redo(restore, self.ckpt.read_dollars(bytes), redo, rate_per_s) {
-            (from, restore, self.ckpt.read_dollars(bytes))
+        if restore_beats_redo(restore, cache.ckpt_read_dollars, redo, rate_per_s) {
+            (from, restore, cache.ckpt_read_dollars)
         } else {
             (0, SimTime::ZERO, Cost::ZERO)
         }
     }
 
-    /// Launch (or relaunch after preemption) job `i` on the spot tier.
+    /// Launch (or relaunch after preemption) the job on the spot tier.
     /// Spot capacity is market-deep, so launches never queue — but the
     /// sampled preemption clock may reclaim the cluster mid-run. The
     /// attempt resumes from the last durable checkpoint and schedules only
     /// the remaining epochs; checkpoint uploads are asynchronous, so the
     /// attempt's wall clock is `boot + restore + remaining × epoch`.
-    fn start_spot(&mut self, i: usize, now: SimTime) {
-        let job = &self.jobs[i];
+    fn start_spot(&mut self, h: Handle, now: SimTime) {
+        let job = self.slot(h).job;
         let workers = job.workers;
-        let p = self.actual_profile(i);
-        let run_full = iaas_run(&p, &self.cfg.iaas_case, workers);
-        let total = self.state[i].epochs_total;
-        let epoch_secs = run_full.as_secs() / total as f64;
-        let write_secs = self.ckpt.write_time(self.ckpt_bytes(i)).as_secs();
+        let cache = self.class_cache(job.class, workers);
+        let total = self.slot(h).state.epochs_total;
+        let epoch_secs = cache.iaas_run_full.as_secs() / total as f64;
+        let write_secs = cache.ckpt_write_secs;
         let job_mttp = self.cfg.spot.mean_time_to_preempt.as_secs() / workers as f64;
         let interval = self
             .cfg
@@ -634,7 +1032,7 @@ impl<'a> Fleet<'a> {
             .interval_epochs(epoch_secs, write_secs, job_mttp);
         // Restore-vs-redo priced at the market's discounted rate.
         let rate = self.spot_attributed(workers, SimTime::secs(1.0)).as_usd();
-        let (from, restore, restore_dollars) = self.resume_point(i, epoch_secs, rate);
+        let (from, restore, restore_dollars) = self.resume_point(h, &cache, epoch_secs, rate);
         let plan = AttemptPlan {
             start_epoch: from,
             total_epochs: total,
@@ -644,9 +1042,9 @@ impl<'a> Fleet<'a> {
         };
         let boot = self.spot.start(workers);
         let run = SimTime::secs(plan.run_secs());
-        let attempt = self.state[i].attempt;
+        let attempt = self.slot(h).state.attempt;
         let preempt_after = self.spot.preemption_clock(job.id, attempt, workers);
-        let s = &mut self.state[i];
+        let s = self.state_mut(h);
         let queued_at = s.ready_since;
         s.queue += now - s.ready_since;
         s.ready_since = now;
@@ -663,22 +1061,21 @@ impl<'a> Fleet<'a> {
         s.lost_work += SimTime::secs((s.epochs_done - from) as f64 * epoch_secs);
         s.epochs_done = from;
         s.ckpt_cost += restore_dollars;
-        self.step(i, now, JobLifecycle::Booting);
-        self.step(i, now, JobLifecycle::Running { epochs_done: from });
-        if self.obs.active() {
-            let j = &self.jobs[i];
+        self.step(h, now, JobLifecycle::Booting);
+        self.step(h, now, JobLifecycle::Running { epochs_done: from });
+        if self.obs_on {
             if from > 0 {
                 self.obs.platform(
                     now,
                     &PlatformEvent::CheckpointRestore {
-                        job: j.id,
+                        job: job.id,
                         epochs: from,
                     },
                 );
             }
             self.obs.attempt(&AttemptSpan {
-                job: j.id,
-                tenant: j.tenant,
+                job: job.id,
+                tenant: job.tenant,
                 substrate: Route::Spot,
                 attempt,
                 queued_at,
@@ -692,16 +1089,16 @@ impl<'a> Fleet<'a> {
         // caps bite route-independently. A preemption settles the
         // difference between planned and actually-held seconds.
         let planned = self.spot_attributed(workers, boot + restore + run);
-        self.charge(i, planned + restore_dollars);
+        self.charge(h, planned + restore_dollars);
         if preempt_after < boot + restore + run {
             self.events
-                .push(now + preempt_after, Event::SpotPreempted(i));
+                .push(now + preempt_after, Event::SpotPreempted(h));
         } else {
             self.events
-                .push(now + boot + restore + run, Event::SpotDone(i));
+                .push(now + boot + restore + run, Event::SpotDone(h));
         }
         // Restart attempts consume (and are credited) capacity too.
-        self.credit_service(i, run);
+        self.credit_service(h, run);
     }
 
     /// Attributed spot cost of holding `workers` instances for `held` —
@@ -727,11 +1124,11 @@ impl<'a> Fleet<'a> {
             // per start.
             let mut k = 0;
             while k < self.faas_queue.len() {
-                let i = self.faas_queue[k];
-                if !self.start_faas(i, now) {
+                let h = self.faas_queue[k];
+                if !self.start_faas(h, now) {
                     break;
                 }
-                self.faas_queued_workers -= self.jobs[i].workers;
+                self.faas_queued_workers -= self.slot(h).job.workers;
                 k += 1;
             }
             if k > 0 {
@@ -740,9 +1137,9 @@ impl<'a> Fleet<'a> {
             return;
         }
         while let Some(pos) = self.pick_pos(&self.faas_queue, sched) {
-            let i = self.faas_queue[pos];
-            if self.start_faas(i, now) {
-                self.faas_queued_workers -= self.jobs[i].workers;
+            let h = self.faas_queue[pos];
+            if self.start_faas(h, now) {
+                self.faas_queued_workers -= self.slot(h).job.workers;
                 self.faas_queue.remove(pos);
             } else {
                 break;
@@ -770,9 +1167,9 @@ impl<'a> Fleet<'a> {
                 // FIFO visits jobs in queue order: one in-order pass,
                 // starters leave, blocked jobs stay — no per-pick scan
                 // or element shifting.
-                pending.retain(|&i| {
-                    if self.start_iaas(i, now) {
-                        self.iaas_queued_workers -= self.jobs[i].workers;
+                pending.retain(|&h| {
+                    if self.start_iaas(h, now) {
+                        self.iaas_queued_workers -= self.slot(h).job.workers;
                         false
                     } else {
                         true
@@ -783,38 +1180,45 @@ impl<'a> Fleet<'a> {
                 // Deadlines are fixed within a drain, so sorting once
                 // yields exactly the order repeated min-picks would.
                 pending.sort_unstable_by(|&a, &b| {
-                    let da = self.jobs[a].deadline.map_or(f64::INFINITY, |d| d.as_secs());
-                    let db = self.jobs[b].deadline.map_or(f64::INFINITY, |d| d.as_secs());
-                    da.total_cmp(&db).then(a.cmp(&b))
+                    let sa = self.slot(a);
+                    let sb = self.slot(b);
+                    let da = sa.job.deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    let db = sb.job.deadline.map_or(f64::INFINITY, |d| d.as_secs());
+                    da.total_cmp(&db).then(sa.seq.cmp(&sb.seq))
                 });
-                pending.retain(|&i| {
-                    if self.start_iaas(i, now) {
-                        self.iaas_queued_workers -= self.jobs[i].workers;
+                pending.retain(|&h| {
+                    if self.start_iaas(h, now) {
+                        self.iaas_queued_workers -= self.slot(h).job.workers;
                         false
                     } else {
                         true
                     }
                 });
+                // Leftovers are deadline-ordered here; put them back in
+                // arrival order (seqs are submission-ordered).
+                pending.sort_unstable_by_key(|&h| self.slot(h).seq);
             }
             QueueDiscipline::Drr => {
                 // Deficit counters move as jobs start, so every pick
-                // re-scans; the pick is value-keyed (service, index), so
+                // re-scans; the pick is value-keyed (service, seq), so
                 // swap_remove is safe and avoids the shift.
                 let mut blocked = Vec::new();
                 while let Some(pos) = self.pick_pos(&pending, sched) {
-                    let i = pending.swap_remove(pos);
-                    if self.start_iaas(i, now) {
-                        self.iaas_queued_workers -= self.jobs[i].workers;
+                    let h = pending.swap_remove(pos);
+                    if self.start_iaas(h, now) {
+                        self.iaas_queued_workers -= self.slot(h).job.workers;
                     } else {
-                        blocked.push(i);
+                        blocked.push(h);
                     }
                 }
                 pending = blocked;
+                // `swap_remove` scrambled the leftovers; put them back in
+                // arrival order (seqs are submission-ordered).
+                pending.sort_unstable_by_key(|&h| self.slot(h).seq);
             }
         }
-        // Restore arrival order (indices are submission-ordered) so FIFO
-        // keeps its original semantics.
-        pending.sort_unstable();
+        // The FIFO arm's `retain` never reorders, so the queue is already
+        // back in arrival order here for every discipline.
         self.iaas_queue = pending;
         if !self.iaas_queue.is_empty() {
             self.autoscale(now);
@@ -829,7 +1233,7 @@ impl<'a> Fleet<'a> {
         if deficit > 0 {
             if let Some((k, boot)) = self.iaas.scale_up(now, deficit) {
                 self.events.push(now + boot, Event::Provisioned(k));
-                if self.obs.active() {
+                if self.obs_on {
                     self.obs.platform(
                         now,
                         &PlatformEvent::AutoscaleUp {
@@ -842,15 +1246,18 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Mark job `i` finished: all epochs durable, lifecycle `Done`, and
-    /// the actuals fed back to the scheduler's estimator — the closed
-    /// prediction loop.
-    fn complete(&mut self, i: usize, now: SimTime, sched: &mut dyn Scheduler) {
-        self.state[i].epochs_done = self.state[i].epochs_total;
-        self.step(i, now, JobLifecycle::Done);
-        self.unfinished -= 1;
-        let j = &self.jobs[i];
-        let s = &self.state[i];
+    /// Mark the job finished: all epochs durable, lifecycle `Done`, the
+    /// actuals fed back to the scheduler's estimator — the closed
+    /// prediction loop — and the slab slot recycled.
+    fn complete(&mut self, h: Handle, now: SimTime, sched: &mut dyn Scheduler) {
+        {
+            let s = self.state_mut(h);
+            s.epochs_done = s.epochs_total;
+        }
+        self.step(h, now, JobLifecycle::Done);
+        let Slot {
+            job: j, state: s, ..
+        } = *self.slot(h);
         sched.observe(&CompletedJob {
             id: j.id,
             class: j.class,
@@ -863,33 +1270,38 @@ impl<'a> Fleet<'a> {
             epochs_total: s.epochs_total,
             preemptions: s.preemptions,
         });
+        self.retire(h);
     }
 
-    /// Route job `i` at `now` and enqueue (or launch) it on the chosen
+    /// Route the job at `now` and enqueue (or launch) it on the chosen
     /// platform. Shared by fresh arrivals and budget-window releases; the
     /// scheduler's prediction is snapshotted here so prediction error is
     /// scored against what the estimator believed *at admission*.
-    fn admit(&mut self, i: usize, now: SimTime, sched: &mut dyn Scheduler) {
+    fn admit(&mut self, h: Handle, now: SimTime, sched: &mut dyn Scheduler) {
         let view = self.view();
         // The scheduler sees the job as of *admission*: a job released
         // from budget deferral has burned part of its slack, so its
         // submit is advanced to `now` and laxity() measures the deadline
         // slack actually remaining (fresh arrivals have submit == now and
         // are unchanged). Record-keeping keeps the original submit.
-        let mut job = self.jobs[i];
+        let mut job = self.slot(h).job;
         job.submit = job.submit.max(now);
         // Snapshot first: the prediction scored later is the one routing
         // is about to act on (route() may mutate scheduler state).
-        self.state[i].predicted = sched.estimate(&job);
+        let predicted = sched.estimate(&job);
         let route = sched.route(&job, &view);
-        self.state[i].route = route;
-        if self.obs.active() {
+        {
+            let s = self.state_mut(h);
+            s.predicted = predicted;
+            s.route = route;
+        }
+        if self.obs_on {
             // The audit record names the inputs routing acted on: the
             // snapshotted prediction at the tail the policy prices, the
             // risk-adjusted spot ETA (when the policy computes one), and
             // the deadline slack remaining at this admission.
             let q = sched.eta_quantile();
-            let e = self.state[i].predicted;
+            let e = predicted;
             self.obs.decision(&DecisionRecord {
                 at: now,
                 job: job.id,
@@ -910,30 +1322,33 @@ impl<'a> Fleet<'a> {
         match route {
             Route::Faas => {
                 assert!(
-                    self.jobs[i].workers <= self.cfg.faas.concurrency_limit,
-                    "job {i} routed to FaaS but wider than the account concurrency limit"
+                    job.workers <= self.cfg.faas.concurrency_limit,
+                    "job {} routed to FaaS but wider than the account concurrency limit",
+                    job.id
                 );
-                self.faas_queue.push(i);
-                self.faas_queued_workers += self.jobs[i].workers;
+                self.faas_queue.push(h);
+                self.faas_queued_workers += job.workers;
                 self.drain_faas(now, sched);
             }
             Route::Iaas => {
                 assert!(
-                    self.jobs[i].workers <= self.cfg.iaas.max_instances,
-                    "job {i} routed to IaaS but wider than the autoscaling ceiling"
+                    job.workers <= self.cfg.iaas.max_instances,
+                    "job {} routed to IaaS but wider than the autoscaling ceiling",
+                    job.id
                 );
-                self.iaas_queue.push(i);
-                self.iaas_queued_workers += self.jobs[i].workers;
+                self.iaas_queue.push(h);
+                self.iaas_queued_workers += job.workers;
                 self.drain_iaas(now, sched);
             }
             Route::Spot => {
                 assert!(
-                    self.jobs[i].workers <= self.cfg.iaas.max_instances,
-                    "job {i} routed to spot but wider than the reserved pool it may \
+                    job.workers <= self.cfg.iaas.max_instances,
+                    "job {} routed to spot but wider than the reserved pool it may \
                      fall back to after {} preemptions",
+                    job.id,
                     self.cfg.spot.max_retries
                 );
-                self.start_spot(i, now);
+                self.start_spot(h, now);
             }
         }
     }
@@ -947,7 +1362,12 @@ impl<'a> Fleet<'a> {
     /// a late finish. Deadline-less jobs (and constant routers, which
     /// predict nothing) always defer. The intermediate prices ride along
     /// so the decision audit can name what settled the call.
-    fn price_over_allowance(&self, i: usize, now: SimTime, sched: &dyn Scheduler) -> OverAllowance {
+    fn price_over_allowance(
+        &self,
+        h: Handle,
+        now: SimTime,
+        sched: &dyn Scheduler,
+    ) -> OverAllowance {
         let mut pricing = OverAllowance {
             reject: false,
             laxity_s: None,
@@ -962,14 +1382,15 @@ impl<'a> Fleet<'a> {
             .budget_window
             .map(|w| SimTime::secs(((now.as_secs() / w.as_secs()).floor() + 1.0) * w.as_secs()));
         pricing.release_s = release.map(|r| r.as_secs());
-        let Some(deadline) = self.jobs[i].deadline else {
+        let job = self.slot(h).job;
+        let Some(deadline) = job.deadline else {
             return pricing;
         };
         pricing.laxity_s = Some(deadline.as_secs() - now.as_secs());
         let Some(release) = release else {
             return pricing;
         };
-        let mut probe = self.jobs[i];
+        let mut probe = job;
         probe.submit = release;
         let Some(e) = sched.estimate(&probe) else {
             return pricing;
@@ -991,11 +1412,11 @@ impl<'a> Fleet<'a> {
     }
 
     /// Emit the defer/reject decision record for an over-allowance job.
-    fn record_refusal(&mut self, i: usize, now: SimTime, pricing: OverAllowance, rejected: bool) {
-        if !self.obs.active() {
+    fn record_refusal(&mut self, h: Handle, now: SimTime, pricing: OverAllowance, rejected: bool) {
+        if !self.obs_on {
             return;
         }
-        let j = &self.jobs[i];
+        let j = self.slot(h).job;
         let decision = if rejected {
             Decision::Reject {
                 laxity_s: pricing.laxity_s,
@@ -1021,38 +1442,37 @@ impl<'a> Fleet<'a> {
         });
     }
 
-    /// Hold job `i` until the next budget window boundary. The standing
-    /// window chain (set up by [`simulate`] whenever the trace carries
-    /// budgets) guarantees a boundary event is already in flight.
-    fn defer(&mut self, i: usize, now: SimTime) {
+    /// Hold the job until the next budget window boundary. The standing
+    /// window chain (set up by the replay driver whenever the source
+    /// declares budgets) guarantees a boundary event is already in flight.
+    fn defer(&mut self, h: Handle, now: SimTime) {
         debug_assert!(self.window_scheduled, "deferral needs the window chain");
-        self.step(i, now, JobLifecycle::Deferred);
-        self.state[i].deferred = true;
-        self.deferred_queue.push(i);
+        self.step(h, now, JobLifecycle::Deferred);
+        self.state_mut(h).deferred = true;
+        self.deferred_queue.push(h);
     }
 
-    /// Handle every event type except `Arrive` (which needs the external
-    /// scheduler's routing decision and is driven directly by [`simulate`]).
+    /// Handle every event type (arrivals never enter the queue — the
+    /// replay driver pulls them from the [`TraceSource`] directly).
     fn handle(&mut self, now: SimTime, ev: Event, sched: &mut dyn Scheduler) {
         match ev {
-            Event::Arrive(_) => unreachable!("arrivals are handled by simulate"),
-            Event::FaasDone(i) => {
-                self.faas.release(now, self.jobs[i].workers);
-                self.complete(i, now, sched);
+            Event::FaasDone(h) => {
+                self.faas.release(now, self.slot(h).job.workers);
+                self.complete(h, now, sched);
                 self.drain_faas(now, sched);
             }
-            Event::IaasDone(i) => {
-                self.iaas.finish(now, self.jobs[i].workers);
-                self.complete(i, now, sched);
+            Event::IaasDone(h) => {
+                self.iaas.finish(now, self.slot(h).job.workers);
+                self.complete(h, now, sched);
                 self.drain_iaas(now, sched);
                 if self.iaas_queue.is_empty() {
                     self.events
                         .push(now + self.cfg.iaas.idle_after, Event::IdleCheck);
                 }
             }
-            Event::SpotDone(i) => {
-                let workers = self.jobs[i].workers;
-                let s = &self.state[i];
+            Event::SpotDone(h) => {
+                let Slot { job, state: s, .. } = *self.slot(h);
+                let workers = job.workers;
                 let plan = s.attempt_plan.expect("spot completion without a plan");
                 let run = SimTime::secs(plan.run_secs());
                 let held = s.attempt_boot + s.attempt_restore + run;
@@ -1060,8 +1480,8 @@ impl<'a> Fleet<'a> {
                 // Clean attempts feed the risk loop too: exposure without
                 // an event is what keeps the learned rate unbiased.
                 sched.observe_preemption(&PreemptionObs {
-                    class: self.jobs[i].class,
-                    tenant: self.jobs[i].tenant,
+                    class: job.class,
+                    tenant: job.tenant,
                     workers,
                     held,
                     preempted: false,
@@ -1070,24 +1490,29 @@ impl<'a> Fleet<'a> {
                 // uploads the successful attempt initiated remain to bill
                 // — checkpointing is insurance, paid either way.
                 let writes = plan.writes_on_success();
-                let write_dollars = self.ckpt.write_dollars(self.ckpt_bytes(i)) * writes as f64;
+                let cache = self.class_cache(job.class, workers);
+                let write_dollars = cache.ckpt_write_dollars * writes as f64;
                 let cost = write_dollars;
-                let s = &mut self.state[i];
-                s.startup += s.attempt_boot + s.attempt_restore;
-                s.run += run;
-                s.ckpt_writes += writes;
-                s.ckpt_cost += write_dollars;
-                if writes > 0 && self.obs.active() {
-                    let id = self.jobs[i].id;
-                    self.obs
-                        .platform(now, &PlatformEvent::CheckpointWrite { job: id, writes });
+                let st = self.state_mut(h);
+                st.startup += st.attempt_boot + st.attempt_restore;
+                st.run += run;
+                st.ckpt_writes += writes;
+                st.ckpt_cost += write_dollars;
+                if writes > 0 && self.obs_on {
+                    self.obs.platform(
+                        now,
+                        &PlatformEvent::CheckpointWrite {
+                            job: job.id,
+                            writes,
+                        },
+                    );
                 }
-                self.charge(i, cost);
-                self.complete(i, now, sched);
+                self.charge(h, cost);
+                self.complete(h, now, sched);
             }
-            Event::SpotPreempted(i) => {
-                let workers = self.jobs[i].workers;
-                let s = &self.state[i];
+            Event::SpotPreempted(h) => {
+                let Slot { job, state: s, .. } = *self.slot(h);
+                let workers = job.workers;
                 let plan = s.attempt_plan.expect("spot preemption without a plan");
                 let held = now - s.attempt_start;
                 let overhead = s.attempt_boot + s.attempt_restore;
@@ -1096,12 +1521,12 @@ impl<'a> Fleet<'a> {
                 let run_elapsed = (held - overhead).as_secs().max(0.0);
                 let outcome = preempt_outcome(&plan, run_elapsed);
                 self.spot.preempted(workers, held);
-                // The risk loop the tentpole closes: every reclaim reaches
-                // the scheduler's preemption posterior the moment it lands,
-                // not only when (if) the job finally completes.
+                // Every reclaim reaches the scheduler's preemption
+                // posterior the moment it lands, not only when (if) the
+                // job finally completes.
                 sched.observe_preemption(&PreemptionObs {
-                    class: self.jobs[i].class,
-                    tenant: self.jobs[i].tenant,
+                    class: job.class,
+                    tenant: job.tenant,
                     workers,
                     held,
                     preempted: true,
@@ -1110,23 +1535,23 @@ impl<'a> Fleet<'a> {
                 // write the preemption interrupted. The launch attributed
                 // the full planned hold; settle down to the seconds the
                 // market actually allowed.
-                let write_dollars =
-                    self.ckpt.write_dollars(self.ckpt_bytes(i)) * outcome.writes_started as f64;
+                let cache = self.class_cache(job.class, workers);
+                let write_dollars = cache.ckpt_write_dollars * outcome.writes_started as f64;
                 let planned = overhead + SimTime::secs(plan.run_secs());
                 let settle =
                     self.spot_attributed(workers, held) - self.spot_attributed(workers, planned);
                 let cost = settle + write_dollars;
-                let s = &mut self.state[i];
-                s.preemptions += 1;
-                s.startup += held.min(overhead);
-                s.run += SimTime::secs(run_elapsed);
-                s.lost_work += outcome.lost_work;
-                s.ckpt_writes += outcome.writes_started;
-                s.ckpt_cost += write_dollars;
+                let st = self.state_mut(h);
+                st.preemptions += 1;
+                st.startup += held.min(overhead);
+                st.run += SimTime::secs(run_elapsed);
+                st.lost_work += outcome.lost_work;
+                st.ckpt_writes += outcome.writes_started;
+                st.ckpt_cost += write_dollars;
                 let durable = outcome.durable_epochs;
                 if outcome.writes_interrupted > 0 {
                     self.step(
-                        i,
+                        h,
                         now,
                         JobLifecycle::Checkpointing {
                             epochs_done: durable,
@@ -1134,28 +1559,27 @@ impl<'a> Fleet<'a> {
                     );
                 }
                 self.step(
-                    i,
+                    h,
                     now,
                     JobLifecycle::Preempted {
                         epochs_done: durable,
                     },
                 );
                 self.step(
-                    i,
+                    h,
                     now,
                     JobLifecycle::Requeued {
                         epochs_done: durable,
                     },
                 );
-                if self.obs.active() {
-                    let id = self.jobs[i].id;
+                if self.obs_on {
                     self.obs.platform(
                         now,
                         &PlatformEvent::SpotReclaim {
-                            job: id,
+                            job: job.id,
                             // The in-flight attempt's 0-based index (the
                             // launch already advanced the counter).
-                            attempt: self.state[i].attempt - 1,
+                            attempt: self.slot(h).state.attempt - 1,
                             workers,
                             held_s: held.as_secs(),
                         },
@@ -1164,26 +1588,26 @@ impl<'a> Fleet<'a> {
                         self.obs.platform(
                             now,
                             &PlatformEvent::CheckpointWrite {
-                                job: id,
+                                job: job.id,
                                 writes: outcome.writes_started,
                             },
                         );
                     }
                 }
-                let s = &mut self.state[i];
-                s.epochs_done = durable;
-                s.ready_since = now;
-                self.charge(i, cost);
+                let st = self.state_mut(h);
+                st.epochs_done = durable;
+                st.ready_since = now;
+                self.charge(h, cost);
                 // Work past the last durable checkpoint is lost: requeue on
                 // a fresh spot cluster, or — once the retry budget is spent
                 // — fall back to the reserved pool, resuming from the
                 // checkpoint there (the record keeps its Spot route and its
                 // preemption history).
-                if self.state[i].preemptions <= self.cfg.spot.max_retries {
-                    self.start_spot(i, now);
+                if self.slot(h).state.preemptions <= self.cfg.spot.max_retries {
+                    self.start_spot(h, now);
                 } else {
-                    self.iaas_queue.push(i);
-                    self.iaas_queued_workers += self.jobs[i].workers;
+                    self.iaas_queue.push(h);
+                    self.iaas_queued_workers += workers;
                     self.drain_iaas(now, sched);
                 }
             }
@@ -1194,7 +1618,7 @@ impl<'a> Fleet<'a> {
             Event::IdleCheck => {
                 if self.iaas_queue.is_empty() {
                     let released = self.iaas.scale_down_idle(now);
-                    if released > 0 && self.obs.active() {
+                    if released > 0 && self.obs_on {
                         self.obs.platform(
                             now,
                             &PlatformEvent::AutoscaleDown {
@@ -1211,39 +1635,39 @@ impl<'a> Fleet<'a> {
                 // every boundary — ledgers reset whether or not anyone was
                 // deferred, so budgets really are per-window allowances —
                 // and stops once all jobs are terminal (the trailing event,
-                // if any, is dropped by `simulate` before it can stretch
-                // the makespan).
+                // if any, is dropped by the replay loop before it can
+                // stretch the makespan).
                 for spent in self.tenant_spend.values_mut() {
                     *spent = 0.0;
                 }
                 let held = std::mem::take(&mut self.deferred_queue);
-                for i in held {
+                for h in held {
                     // The fresh allowance is a cap, not a floodgate: a
                     // backlog larger than one window's budget drains at
                     // the budgeted rate, window over window (spend is
                     // attributed at dispatch, so jobs admitted here but
                     // still queueing don't show yet — the same
                     // charge-at-dispatch approximation arrivals use).
-                    if self.budget_exhausted(self.jobs[i].tenant) {
+                    if self.budget_exhausted(self.slot(h).job.tenant) {
                         // Re-price before holding the job another window:
                         // a deadline that was viable at arrival may have
                         // become doomed while the job waited — the exact
                         // case the pricing exists to refuse cleanly.
-                        let pricing = self.price_over_allowance(i, now, &*sched);
+                        let pricing = self.price_over_allowance(h, now, &*sched);
                         if pricing.reject {
-                            self.step(i, now, JobLifecycle::Queued);
-                            self.step(i, now, JobLifecycle::Rejected);
-                            self.unfinished -= 1;
-                            self.record_refusal(i, now, pricing, true);
+                            self.step(h, now, JobLifecycle::Queued);
+                            self.step(h, now, JobLifecycle::Rejected);
+                            self.record_refusal(h, now, pricing, true);
+                            self.retire(h);
                         } else {
-                            self.deferred_queue.push(i);
+                            self.deferred_queue.push(h);
                         }
                         continue;
                     }
-                    self.step(i, now, JobLifecycle::Queued);
-                    self.admit(i, now, sched);
+                    self.step(h, now, JobLifecycle::Queued);
+                    self.admit(h, now, sched);
                 }
-                if self.unfinished > 0 {
+                if self.live > 0 || self.more_arrivals {
                     let w = self.cfg.budget_window.expect("chain implies a window");
                     self.events.push(now + w, Event::BudgetWindow);
                 } else {
@@ -1253,16 +1677,307 @@ impl<'a> Fleet<'a> {
             Event::GaugeTick => {
                 // The observer's standing telemetry clock: sample and
                 // re-arm while work remains (the trailing tick, like the
-                // budget window's, is dropped by `simulate` so it can't
-                // stretch the run).
+                // budget window's, is dropped by the replay loop so it
+                // can't stretch the run).
                 self.sample_gauges(now);
-                if self.unfinished > 0 {
+                if self.live > 0 || self.more_arrivals {
                     if let Some(p) = self.obs.gauge_period() {
                         self.events.push(now + p, Event::GaugeTick);
                     }
                 }
             }
         }
+    }
+}
+
+/// What a replay produced: full metrics (records collected) or the
+/// constant-size summary (bounded path).
+enum ReplayResult {
+    // Boxed: the full rollup dwarfs the bounded summary, and this enum
+    // crosses a return boundary per replay, not per event.
+    Metrics(Box<FleetMetrics>),
+    Summary(ReplaySummary),
+}
+
+/// The streaming replay driver behind every public entry point: pull
+/// arrivals from `source` on demand, merge them with the event heap on
+/// simulation time (arrival wins ties — it would have carried the lowest
+/// heap sequence number in the batch-scheduled engine, so the pop order
+/// is bit-identical), and run the fleet to quiescence.
+fn run_replay<S: TraceSource>(
+    mut source: S,
+    cfg: &FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    observer: &mut (dyn FleetObserver + '_),
+    collect: bool,
+) -> Result<ReplayResult, String> {
+    // The budget preamble comes first (sources deliver it before any job).
+    let budgets = source.budgets()?;
+    observer.begin(scheduler.name(), seed, source.len_hint().unwrap_or(0));
+    let mut pending = source.next_job()?;
+    let eta_quantile = scheduler.eta_quantile();
+    let track_service = matches!(scheduler.discipline(), QueueDiscipline::Drr);
+    let mut fleet = Fleet::new(
+        cfg,
+        budgets,
+        seed,
+        observer,
+        eta_quantile,
+        track_service,
+        collect,
+    );
+    fleet.more_arrivals = pending.is_some();
+    // The heap only ever holds in-flight events (completions, preemptions,
+    // provisioning, the standing clocks) — never future arrivals — so one
+    // modest reservation covers any trace length.
+    fleet.events.reserve(4096);
+    // Budget windows are a standing clock, not a deferral side effect:
+    // ledgers must reset at *every* boundary (a tenant spending a steady
+    // 70% of its allowance per window is never over budget), so arm the
+    // chain up front whenever windowed budgets are in play.
+    if let Some(w) = cfg.budget_window {
+        if !fleet.budgets.is_empty() && pending.is_some() {
+            fleet.window_scheduled = true;
+            fleet.events.push(w, Event::BudgetWindow);
+        }
+    }
+    // Arm the observer's standing gauge clock, if it wants one. With the
+    // default (`None`) the queue carries no extra events at all.
+    if let Some(p) = fleet.obs.gauge_period() {
+        if pending.is_some() {
+            fleet.events.push(p, Event::GaugeTick);
+        }
+    }
+
+    let mut last_time = SimTime::ZERO;
+    let mut last_submit = SimTime::ZERO;
+    let mut pops: u64 = 0;
+    loop {
+        // Merge the pulled arrival stream with the event heap on time;
+        // at a tie the arrival goes first (see the function docs).
+        let take_arrival = match (&pending, fleet.events.peek_time()) {
+            (Some(j), Some(t)) => j.submit <= t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_arrival {
+            let job = pending.take().expect("checked above");
+            pending = source.next_job()?;
+            fleet.more_arrivals = pending.is_some();
+            let now = job.submit;
+            if now < last_submit {
+                return Err(format!(
+                    "trace source delivered out-of-order arrivals: job {} submits at {} \
+                     after {} (streaming replay needs non-decreasing submit times)",
+                    job.id,
+                    now.as_secs(),
+                    last_submit.as_secs()
+                ));
+            }
+            last_submit = now;
+            pops += 1;
+            fleet.flush_rollups_to(now);
+            last_time = now;
+            let h = fleet.insert(job);
+            // Budget cap: a tenant whose attributed spend has exhausted its
+            // declared budget gets no more admissions this window. With a
+            // budget window configured the job is priced per job —
+            // `Deferred` to the next window's fresh allowance when that
+            // can still work (or costs less than refusing), `Rejected`
+            // when a P95 deadline miss is already locked in and the
+            // platform prices rejection below it. Without a window (or for
+            // a tenant whose cap is zero — no window can ever afford it)
+            // the job ends `Rejected` without touching a platform.
+            if fleet.budget_exhausted(job.tenant) {
+                let cap = fleet.budgets.get(&job.tenant).copied().unwrap_or(0.0);
+                let pricing = match cfg.budget_window {
+                    Some(_) if cap > 0.0 => fleet.price_over_allowance(h, now, &*scheduler),
+                    _ => OverAllowance {
+                        reject: true,
+                        laxity_s: None,
+                        release_s: None,
+                        eta_q_s: None,
+                    },
+                };
+                if pricing.reject {
+                    fleet.step(h, now, JobLifecycle::Rejected);
+                    fleet.record_refusal(h, now, pricing, true);
+                    fleet.retire(h);
+                } else {
+                    fleet.defer(h, now);
+                    fleet.record_refusal(h, now, pricing, false);
+                }
+                continue;
+            }
+            fleet.admit(h, now, scheduler);
+        } else {
+            let (now, ev) = fleet.events.pop().expect("checked above");
+            pops += 1;
+            if matches!(ev, Event::BudgetWindow | Event::GaugeTick)
+                && fleet.live == 0
+                && !fleet.more_arrivals
+            {
+                // A standing chain's trailing tick after the last job
+                // finished: dropped before it can stretch the makespan or
+                // idle billing.
+                continue;
+            }
+            fleet.flush_rollups_to(now);
+            if ev != Event::GaugeTick {
+                // Gauge ticks observe; they must not move the billing
+                // clock (idle-pool finalization bills through `last_time`).
+                last_time = now;
+            }
+            fleet.handle(now, ev, scheduler);
+        }
+    }
+
+    fleet.iaas.finalize(last_time);
+    debug_assert!(fleet.live == 0, "all jobs must reach a terminal state");
+    debug_assert_eq!(
+        fleet.slots.len(),
+        fleet.free.len(),
+        "every slab slot must be recycled"
+    );
+    fleet.finish_rollups();
+    fleet.obs.replay(&ReplayStats {
+        arrivals_streamed: fleet.arrivals_streamed,
+        peak_resident_jobs: fleet.peak_resident,
+    });
+    // Arrivals never enter the heap, but they are events all the same:
+    // count them as both pushes and pops so the throughput headline stays
+    // comparable with the batch-scheduled engine.
+    let pushes = fleet.events.pushes() + fleet.arrivals_streamed;
+    fleet.obs.end(pushes, pops);
+
+    let Fleet {
+        sink,
+        faas,
+        iaas,
+        spot,
+        arrivals_streamed,
+        peak_resident,
+        ..
+    } = fleet;
+    Ok(match sink {
+        Sink::Records(records) => {
+            let records: Vec<JobRecord> = records
+                .into_iter()
+                .map(|r| r.expect("every streamed job retires exactly once"))
+                .collect();
+            // The provisioned floor bills over the makespan (last job
+            // finish), not over `last_time` — the trailing IaaS IdleCheck
+            // event would otherwise add phantom idle_after seconds only to
+            // policies that touch the pool. One definition, shared with
+            // the metrics rollup.
+            let makespan = JobRecord::makespan(&records);
+            ReplayResult::Metrics(Box::new(FleetMetrics::from_records(
+                scheduler.name(),
+                seed,
+                records,
+                PlatformTotals {
+                    iaas_cost: iaas.cost(),
+                    warm_hit_rate: faas.warm_hit_rate(),
+                    cold_starts: faas.cold_starts(),
+                    iaas_utilization: iaas.utilization(),
+                    iaas_peak_instances: iaas.peak_capacity(),
+                    faas_peak_concurrency: faas.peak_concurrency(),
+                    spot_cost: spot.cost(),
+                    preemptions: spot.preemptions(),
+                    faas_provisioned_cost: faas.provisioned_cost(makespan),
+                    spot_peak_instances: spot.peak_in_use(),
+                },
+            )))
+        }
+        Sink::Bounded(acc) => {
+            // Same decomposition as FleetMetrics::total_cost, minus the
+            // per-record intermediates the bounded path never holds.
+            let total_cost = acc.faas_attributed
+                + faas.provisioned_cost(acc.makespan)
+                + iaas.cost()
+                + spot.cost()
+                + acc.ckpt_dollars;
+            ReplayResult::Summary(ReplaySummary {
+                jobs: arrivals_streamed,
+                completed: acc.completed,
+                rejected: acc.rejected,
+                deferred: acc.deferred,
+                makespan: acc.makespan,
+                total_cost,
+                peak_resident_jobs: peak_resident,
+            })
+        }
+    })
+}
+
+/// Stream `source` through `scheduler` on the configured platforms,
+/// collecting full per-job metrics.
+///
+/// Memory holds the in-flight working set plus one [`JobRecord`] per
+/// streamed job (the metrics need them); for traces too large even for
+/// that, use [`replay_stats`]. Replaying an in-memory trace through
+/// [`InMemorySource`] is byte-identical to [`simulate`].
+///
+/// ```
+/// use lml_fleet::{
+///     replay, simulate, AllFaas, ArrivalProcess, FleetConfig, InMemorySource, JobMix, Trace,
+/// };
+///
+/// let trace = Trace::generate(
+///     ArrivalProcess::Poisson { rate: 0.2 },
+///     &JobMix::default_mix(),
+///     50,
+///     7,
+/// );
+/// let cfg = FleetConfig::default();
+/// let streamed = replay(InMemorySource::new(&trace), &cfg, &mut AllFaas, 7).unwrap();
+/// let in_memory = simulate(&trace, &cfg, &mut AllFaas, 7);
+/// assert_eq!(streamed.to_json(), in_memory.to_json(), "same bytes");
+/// ```
+pub fn replay<S: TraceSource>(
+    source: S,
+    cfg: &FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) -> Result<FleetMetrics, String> {
+    replay_observed(source, cfg, scheduler, seed, &mut NullObserver)
+}
+
+/// [`replay`] with an observer: every validated lifecycle transition,
+/// scheduler decision, platform event, dispatch span, windowed gauge
+/// sample, and — when the observer requests a
+/// [`FleetObserver::rollup_period`] — incremental [`WindowRollup`]s as the
+/// clock crosses each boundary, plus the final [`ReplayStats`].
+pub fn replay_observed<S: TraceSource>(
+    source: S,
+    cfg: &FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    observer: &mut (dyn FleetObserver + '_),
+) -> Result<FleetMetrics, String> {
+    match run_replay(source, cfg, scheduler, seed, observer, true)? {
+        ReplayResult::Metrics(m) => Ok(*m),
+        ReplayResult::Summary(_) => unreachable!("collecting replay returns metrics"),
+    }
+}
+
+/// Constant-memory replay: stream `source` to quiescence keeping only the
+/// in-flight working set and a running [`ReplaySummary`] — no per-job
+/// records, so a ten-million-job trace needs the same resident state as a
+/// four-hundred-job one. The summary's `peak_resident_jobs` reports the
+/// slab high-water mark that proves it.
+pub fn replay_stats<S: TraceSource>(
+    source: S,
+    cfg: &FleetConfig,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    observer: &mut (dyn FleetObserver + '_),
+) -> Result<ReplaySummary, String> {
+    match run_replay(source, cfg, scheduler, seed, observer, false)? {
+        ReplayResult::Summary(s) => Ok(s),
+        ReplayResult::Metrics(_) => unreachable!("bounded replay returns a summary"),
     }
 }
 
@@ -1342,175 +2057,9 @@ pub fn simulate_observed<'a>(
     seed: u64,
     observer: &'a mut (dyn FleetObserver + 'a),
 ) -> FleetMetrics {
-    observer.begin(scheduler.name(), seed, trace.jobs.len());
-    let mut fleet = Fleet::new(cfg, trace, seed, observer);
-    // Batch-schedule every arrival with one up-front reservation sized for
-    // the queue's realistic peak (arrivals plus the in-flight completions/
-    // preemptions/provisioning riding alongside them), so the hot loop
-    // never reallocates the heap's backing buffer.
-    fleet.events.reserve(trace.jobs.len() * 2);
-    fleet.events.push_batch(
-        trace
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (j.submit, Event::Arrive(i))),
-    );
-    // Budget windows are a standing clock, not a deferral side effect:
-    // ledgers must reset at *every* boundary (a tenant spending a steady
-    // 70% of its allowance per window is never over budget), so arm the
-    // chain up front whenever windowed budgets are in play.
-    if let Some(w) = cfg.budget_window {
-        if !trace.budgets.is_empty() && !trace.jobs.is_empty() {
-            fleet.window_scheduled = true;
-            fleet.events.push(w, Event::BudgetWindow);
-        }
-    }
-    // Arm the observer's standing gauge clock, if it wants one. With the
-    // default (`None`) the queue carries no extra events at all.
-    if let Some(p) = fleet.obs.gauge_period() {
-        if !trace.jobs.is_empty() {
-            fleet.events.push(p, Event::GaugeTick);
-        }
-    }
-
-    let mut last_time = SimTime::ZERO;
-    let mut pops: u64 = 0;
-    while let Some((now, ev)) = fleet.events.pop() {
-        pops += 1;
-        if matches!(ev, Event::BudgetWindow | Event::GaugeTick) && fleet.unfinished == 0 {
-            // A standing chain's trailing tick after the last job
-            // finished: dropped before it can stretch the makespan or
-            // idle billing.
-            continue;
-        }
-        if ev != Event::GaugeTick {
-            // Gauge ticks observe; they must not move the billing clock
-            // (idle-pool finalization bills through `last_time`).
-            last_time = now;
-        }
-        if let Event::Arrive(i) = ev {
-            // Budget cap: a tenant whose attributed spend has exhausted its
-            // trace-declared budget gets no more admissions this window.
-            // With a budget window configured the job is priced per job —
-            // `Deferred` to the next window's fresh allowance when that
-            // can still work (or costs less than refusing), `Rejected`
-            // when a P95 deadline miss is already locked in and the
-            // platform prices rejection below it. Without a window (or for
-            // a tenant whose cap is zero — no window can ever afford it)
-            // the job ends `Rejected` without touching a platform.
-            if fleet.budget_exhausted(fleet.jobs[i].tenant) {
-                let cap = fleet
-                    .budgets
-                    .get(&fleet.jobs[i].tenant)
-                    .copied()
-                    .unwrap_or(0.0);
-                let pricing = match cfg.budget_window {
-                    Some(_) if cap > 0.0 => fleet.price_over_allowance(i, now, &*scheduler),
-                    _ => OverAllowance {
-                        reject: true,
-                        laxity_s: None,
-                        release_s: None,
-                        eta_q_s: None,
-                    },
-                };
-                if pricing.reject {
-                    fleet.step(i, now, JobLifecycle::Rejected);
-                    fleet.unfinished -= 1;
-                    fleet.record_refusal(i, now, pricing, true);
-                } else {
-                    fleet.defer(i, now);
-                    fleet.record_refusal(i, now, pricing, false);
-                }
-                continue;
-            }
-            fleet.admit(i, now, scheduler);
-        } else {
-            fleet.handle(now, ev, scheduler);
-        }
-    }
-
-    fleet.iaas.finalize(last_time);
-    debug_assert!(
-        fleet.state.iter().all(|s| s.lifecycle.is_terminal()),
-        "all jobs must reach a terminal lifecycle state"
-    );
-    let pushes = fleet.events.pushes();
-    fleet.obs.end(pushes, pops);
-
-    // The tail the scheduler priced its decisions at — the quantile the
-    // admission snapshots are scored at, so coverage measures the ETA the
-    // fleet actually routed with.
-    let eta_quantile = scheduler.eta_quantile();
-    let records: Vec<JobRecord> = trace
-        .jobs
-        .iter()
-        .zip(&fleet.state)
-        .map(|(j, s)| JobRecord {
-            id: j.id,
-            class: j.class,
-            route: s.route,
-            workers: j.workers,
-            tenant: j.tenant,
-            submit: j.submit,
-            deadline: j.deadline,
-            queue: s.queue,
-            startup: s.startup,
-            run: s.run,
-            warm_hits: s.warm_hits,
-            preemptions: s.preemptions,
-            resumes: s.resumes,
-            spot_attempts: s.attempt,
-            lost_work: s.lost_work,
-            checkpoint_writes: s.ckpt_writes,
-            checkpoint_cost: s.ckpt_cost,
-            rejected: s.lifecycle == JobLifecycle::Rejected,
-            deferred: s.deferred,
-            predicted_run: s.predicted.map(|e| SimTime::secs(e.time(s.route))),
-            // The calibrated quantile ETA snapshotted at admission, at the
-            // tail the scheduler itself routed with (P95 by default) —
-            // what the coverage rollup scores against the actual run.
-            predicted_run_q: s
-                .predicted
-                .map(|e| SimTime::secs(e.eta_q(s.route, eta_quantile))),
-            // Spot attributions ride the market discount the firm-price
-            // prediction deliberately ignores; scoring them would report
-            // the discount as estimator error, so spot jobs carry no cost
-            // prediction (their runtimes still score — spot inflation IS
-            // estimator error).
-            predicted_cost: match s.route {
-                Route::Spot => None,
-                _ => s.predicted.map(|e| Cost::usd(e.cost(s.route))),
-            },
-            cost: s.cost,
-        })
-        .collect();
-
-    // The provisioned floor bills over the makespan (last job finish), not
-    // over `last_time` — the trailing IaaS IdleCheck event would otherwise
-    // add phantom idle_after seconds only to policies that touch the pool.
-    // One definition, shared with the metrics rollup.
-    let makespan = JobRecord::makespan(&records);
-
-    FleetMetrics::from_records(
-        scheduler.name(),
-        seed,
-        records,
-        PlatformTotals {
-            iaas_cost: fleet.iaas.cost(),
-            warm_hit_rate: fleet.faas.warm_hit_rate(),
-            cold_starts: fleet.faas.cold_starts(),
-            iaas_utilization: fleet.iaas.utilization(),
-            iaas_peak_instances: fleet.iaas.peak_capacity(),
-            faas_peak_concurrency: fleet.faas.peak_concurrency(),
-            spot_cost: fleet.spot.cost(),
-            preemptions: fleet.spot.preemptions(),
-            faas_provisioned_cost: fleet.faas.provisioned_cost(makespan),
-            spot_peak_instances: fleet.spot.peak_in_use(),
-        },
-    )
+    replay_observed(InMemorySource::new(trace), cfg, scheduler, seed, observer)
+        .expect("an in-memory trace cannot fail to stream")
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2105,6 +2654,138 @@ mod tests {
             "deadline jobs must wait less: {} vs {}",
             mean(true),
             mean(false)
+        );
+    }
+
+    #[test]
+    fn streamed_replay_is_byte_identical_to_in_memory() {
+        use crate::stream::{collect, GeneratorSource, TextSource};
+        // A budgeted, multi-tenant, deadline-carrying trace with windowed
+        // deferral exercises every v3 feature on the wire.
+        let spec = TenantSpec {
+            n_tenants: 3,
+            deadline_frac: 0.5,
+            deadline_slack: 4.0,
+        };
+        let trace = Trace::generate_multi(
+            ArrivalProcess::Poisson { rate: 0.6 },
+            &JobMix::convex_mix(),
+            &spec,
+            120,
+            29,
+        )
+        .with_budget(0, 0.05)
+        .with_budget(1, 2.0);
+        let cfg = FleetConfig {
+            budget_window: Some(SimTime::secs(3_600.0)),
+            ..Default::default()
+        };
+        let baseline = simulate(&trace, &cfg, &mut CostAware::new(), 29).to_json();
+        let streamed = replay(InMemorySource::new(&trace), &cfg, &mut CostAware::new(), 29)
+            .unwrap()
+            .to_json();
+        assert_eq!(streamed, baseline, "in-memory source");
+        let text = trace.to_text();
+        let from_text = replay(
+            TextSource::new(text.as_bytes()),
+            &cfg,
+            &mut CostAware::new(),
+            29,
+        )
+        .unwrap()
+        .to_json();
+        assert_eq!(from_text, baseline, "text source");
+        // Generator-backed source vs its materialized twin (generated
+        // traces carry no budgets, so the default config applies).
+        let gen = || {
+            GeneratorSource::new(
+                ArrivalProcess::Poisson { rate: 0.6 },
+                JobMix::convex_mix(),
+                spec,
+                120,
+                31,
+            )
+        };
+        let gen_trace = collect(gen()).unwrap();
+        let gen_baseline = simulate(
+            &gen_trace,
+            &FleetConfig::default(),
+            &mut DeadlineAware::new(),
+            31,
+        )
+        .to_json();
+        let gen_streamed = replay(
+            gen(),
+            &FleetConfig::default(),
+            &mut DeadlineAware::new(),
+            31,
+        )
+        .unwrap()
+        .to_json();
+        assert_eq!(gen_streamed, gen_baseline, "generator source");
+    }
+
+    #[test]
+    fn replay_stats_is_bounded_and_consistent() {
+        let trace = small_trace(300, 1.0, 11).with_budget(0, 0.02);
+        let cfg = FleetConfig::default();
+        let m = simulate(&trace, &cfg, &mut CostAware::new(), 11);
+        let s = replay_stats(
+            InMemorySource::new(&trace),
+            &cfg,
+            &mut CostAware::new(),
+            11,
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s.jobs, 300);
+        assert_eq!(s.completed + s.rejected, 300);
+        assert_eq!(s.rejected as usize, m.rejected_jobs);
+        assert_eq!(s.deferred as usize, m.deferred_jobs);
+        assert_eq!(s.makespan, m.makespan, "same fold, same float");
+        assert!(
+            (s.total_cost.as_usd() - m.total_cost().as_usd()).abs() < 1e-6,
+            "bounded total {} vs metrics total {}",
+            s.total_cost.as_usd(),
+            m.total_cost().as_usd()
+        );
+        assert!(s.peak_resident_jobs >= 1 && s.peak_resident_jobs <= 300);
+    }
+
+    #[test]
+    fn incremental_rollups_cover_the_run() {
+        use crate::observe::RollupCollector;
+        let trace = small_trace(200, 1.0, 7);
+        let cfg = FleetConfig::default();
+        let baseline = simulate(&trace, &cfg, &mut AllFaas, 7).to_json();
+        let mut coll = RollupCollector::new(SimTime::secs(600.0));
+        let m = replay_observed(
+            InMemorySource::new(&trace),
+            &cfg,
+            &mut AllFaas,
+            7,
+            &mut coll,
+        )
+        .unwrap();
+        assert_eq!(m.to_json(), baseline, "rollup observer is passive");
+        let stats = coll.replay_stats.expect("replay stats delivered");
+        assert_eq!(stats.arrivals_streamed, 200);
+        assert!(stats.peak_resident_jobs >= 1);
+        // Windows are dense from index 0 and the counters partition the
+        // whole run: nothing double-counted, nothing dropped.
+        for (i, w) in coll.windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+            assert_eq!(w.end, w.start + SimTime::secs(600.0));
+        }
+        let submitted: u64 = coll.windows.iter().map(|w| w.submitted).sum();
+        let completed: u64 = coll.windows.iter().map(|w| w.completed).sum();
+        let rejected: u64 = coll.windows.iter().map(|w| w.rejected).sum();
+        assert_eq!(submitted, 200);
+        assert_eq!(completed + rejected, 200);
+        let cost: f64 = coll.windows.iter().map(|w| w.cost.as_usd()).sum();
+        assert!(
+            (cost - m.faas_cost.as_usd()).abs() < 1e-9,
+            "windowed dollars must sum to the attributed total"
         );
     }
 }

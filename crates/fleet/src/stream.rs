@@ -1,0 +1,446 @@
+//! Streaming trace sources: constant-memory replay input for the fleet
+//! simulator.
+//!
+//! A [`TraceSource`] is a pull-based producer of [`JobRequest`]s in
+//! non-decreasing submission order, preceded by an optional per-tenant
+//! budget preamble. The replay engine ([`crate::sim::replay_observed`])
+//! pulls one arrival at a time, so resident memory is bounded by the
+//! *in-flight* job set, never by trace length — a 10M-job replay holds
+//! the same working set as a 400-job one.
+//!
+//! Three sources live here; the Google cluster-usage adapter
+//! ([`crate::google::GoogleSource`]) is the fourth:
+//!
+//! * [`InMemorySource`] — borrows an existing [`Trace`]. The compatibility
+//!   path: `simulate`/`simulate_observed` delegate through it, and the
+//!   engine's byte-stability contract (streamed metrics JSON ≡ in-memory
+//!   metrics JSON) is tested against it.
+//! * [`TextSource`] — chunked reader over the v1/v2/v3 trace text format,
+//!   one line resident at a time. Shares the line grammar (and error
+//!   strings) with [`Trace::from_text`] via `workload::parse_trace_line`.
+//! * [`GeneratorSource`] — replays the exact RNG draw sequence of
+//!   [`Trace::generate_multi`] lazily, so million-job synthetic traces
+//!   never materialize and still match their materialized twin job for
+//!   job.
+
+use crate::job::{JobRequest, TenantId};
+use crate::workload::{parse_trace_line, ArrivalProcess, JobMix, TenantSpec, Trace, TraceLine};
+use lml_sim::{Pcg64, SimTime};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// A pull-based trace: a budget preamble, then jobs in non-decreasing
+/// submission order.
+///
+/// Contract (relied on by the replay engine):
+/// * [`TraceSource::budgets`] is called exactly once, before the first
+///   [`TraceSource::next_job`] call.
+/// * Jobs come back in non-decreasing `submit` order with ids assigned in
+///   that order; a source that cannot guarantee order must return `Err`
+///   (the engine surfaces it), never a misordered job.
+/// * After the first `Ok(None)` the source is exhausted; further calls
+///   keep returning `Ok(None)`.
+pub trait TraceSource {
+    /// The per-tenant dollar caps declared before any job (trace v3
+    /// preamble). Called once, up front; the engine owns the returned map.
+    fn budgets(&mut self) -> Result<BTreeMap<TenantId, f64>, String>;
+
+    /// Pull the next arrival, or `Ok(None)` when the trace is exhausted.
+    fn next_job(&mut self) -> Result<Option<JobRequest>, String>;
+
+    /// Exact job count when the source knows it (in-memory, generator),
+    /// `None` when it cannot without a full scan (text, adapters). Used
+    /// only for observer preambles and capacity hints, never correctness.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streams a borrowed in-memory [`Trace`]. This is the reference source:
+/// replaying through it is byte-identical to the pre-streaming engine.
+pub struct InMemorySource<'a> {
+    trace: &'a Trace,
+    next: usize,
+}
+
+impl<'a> InMemorySource<'a> {
+    pub fn new(trace: &'a Trace) -> Self {
+        InMemorySource { trace, next: 0 }
+    }
+}
+
+impl TraceSource for InMemorySource<'_> {
+    fn budgets(&mut self) -> Result<BTreeMap<TenantId, f64>, String> {
+        Ok(self.trace.budgets.clone())
+    }
+
+    fn next_job(&mut self) -> Result<Option<JobRequest>, String> {
+        let job = self.trace.jobs.get(self.next).copied();
+        if job.is_some() {
+            self.next += 1;
+        }
+        Ok(job)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.trace.jobs.len())
+    }
+}
+
+/// Chunked reader over the trace text format: one buffered line resident
+/// at a time, so memory is constant in trace length.
+///
+/// Grammar and error strings match [`Trace::from_text`] exactly, with one
+/// documented divergence: v3 `budget` lines must precede the first job
+/// row. `from_text` accepts them anywhere because it sees the whole file;
+/// a streaming reader has already handed budgets to the engine by the
+/// time a late budget line shows up, so that is an error here.
+pub struct TextSource<R> {
+    reader: R,
+    line: String,
+    /// Zero-based index of the next line to read.
+    lineno: usize,
+    preamble_done: bool,
+    /// First job row, pulled while scanning the budget preamble.
+    pending: Option<JobRequest>,
+    last_submit: SimTime,
+    next_id: u64,
+}
+
+impl<R: BufRead> TextSource<R> {
+    pub fn new(reader: R) -> Self {
+        TextSource {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            preamble_done: false,
+            pending: None,
+            last_submit: SimTime::ZERO,
+            next_id: 0,
+        }
+    }
+
+    /// Next parsed line with its zero-based line number, skipping blanks
+    /// and comments; `None` at end of input.
+    fn next_line(&mut self) -> Result<Option<(usize, TraceLine)>, String> {
+        loop {
+            self.line.clear();
+            let n = self
+                .reader
+                .read_line(&mut self.line)
+                .map_err(|e| format!("line {}: read error: {e}", self.lineno + 1))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let lineno = self.lineno;
+            self.lineno += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return parse_trace_line(line, lineno).map(|l| Some((lineno, l)));
+        }
+    }
+
+    /// Check ordering, assign the next dense id, and admit a job row.
+    fn admit(&mut self, submit: SimTime, line: TraceLine) -> Result<JobRequest, String> {
+        if submit < self.last_submit {
+            return Err("trace not sorted by submission time".into());
+        }
+        self.last_submit = submit;
+        let TraceLine::Job {
+            class,
+            workers,
+            tenant,
+            deadline,
+            ..
+        } = line
+        else {
+            unreachable!("admit is only called with job rows");
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(JobRequest {
+            id,
+            class,
+            submit,
+            workers,
+            tenant,
+            deadline,
+        })
+    }
+}
+
+impl<R: BufRead> TraceSource for TextSource<R> {
+    fn budgets(&mut self) -> Result<BTreeMap<TenantId, f64>, String> {
+        let mut budgets = BTreeMap::new();
+        loop {
+            match self.next_line()? {
+                None => break,
+                Some((lineno, TraceLine::Budget { tenant, usd })) => {
+                    if budgets.insert(tenant, usd).is_some() {
+                        return Err(format!(
+                            "line {}: duplicate budget for tenant {tenant}",
+                            lineno + 1
+                        ));
+                    }
+                }
+                Some((_, line @ TraceLine::Job { submit, .. })) => {
+                    let job = self.admit(submit, line)?;
+                    self.pending = Some(job);
+                    break;
+                }
+            }
+        }
+        self.preamble_done = true;
+        Ok(budgets)
+    }
+
+    fn next_job(&mut self) -> Result<Option<JobRequest>, String> {
+        debug_assert!(self.preamble_done, "budgets() must be called first");
+        if let Some(job) = self.pending.take() {
+            return Ok(Some(job));
+        }
+        match self.next_line()? {
+            None => Ok(None),
+            Some((lineno, TraceLine::Budget { .. })) => Err(format!(
+                "line {}: budget lines must precede the first job row in a streamed trace",
+                lineno + 1
+            )),
+            Some((_, line @ TraceLine::Job { submit, .. })) => self.admit(submit, line).map(Some),
+        }
+    }
+}
+
+/// Replays the RNG draw sequence of [`Trace::generate_multi`] one job at
+/// a time: same seed, same process, same mix → the identical job stream,
+/// without ever materializing the `Vec`.
+pub struct GeneratorSource {
+    process: ArrivalProcess,
+    mix: JobMix,
+    tenants: TenantSpec,
+    n_jobs: usize,
+    emitted: usize,
+    rng: Pcg64,
+    t: f64,
+}
+
+impl GeneratorSource {
+    /// Same argument contract (and asserts) as [`Trace::generate_multi`].
+    pub fn new(
+        process: ArrivalProcess,
+        mix: JobMix,
+        tenants: TenantSpec,
+        n_jobs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(tenants.n_tenants >= 1, "need at least one tenant");
+        assert!(
+            (0.0..=1.0).contains(&tenants.deadline_frac),
+            "deadline_frac must be in [0, 1]"
+        );
+        assert!(tenants.deadline_slack > 0.0, "deadline slack must be > 0");
+        GeneratorSource {
+            process,
+            mix,
+            tenants,
+            n_jobs,
+            emitted: 0,
+            rng: Pcg64::new(seed ^ 0xF1EE7),
+            t: 0.0,
+        }
+    }
+
+    /// Single-tenant, deadline-less convenience (mirrors
+    /// [`Trace::generate`]).
+    pub fn generate(process: ArrivalProcess, mix: JobMix, n_jobs: usize, seed: u64) -> Self {
+        GeneratorSource::new(process, mix, TenantSpec::default(), n_jobs, seed)
+    }
+}
+
+impl TraceSource for GeneratorSource {
+    fn budgets(&mut self) -> Result<BTreeMap<TenantId, f64>, String> {
+        Ok(BTreeMap::new())
+    }
+
+    fn next_job(&mut self) -> Result<Option<JobRequest>, String> {
+        if self.emitted == self.n_jobs {
+            return Ok(None);
+        }
+        let id = self.emitted as u64;
+        self.emitted += 1;
+        // Exactly the per-job draw order of `Trace::generate_multi`: gap,
+        // class, tenant (only when the population is > 1), deadline coin.
+        self.t += self.process.next_gap(self.t, &mut self.rng);
+        let class = self.mix.sample(&mut self.rng);
+        let submit = SimTime::secs(self.t);
+        let tenant = if self.tenants.n_tenants > 1 {
+            self.rng.below(self.tenants.n_tenants as u64) as TenantId
+        } else {
+            0
+        };
+        let deadline =
+            if self.tenants.deadline_frac > 0.0 && self.rng.coin(self.tenants.deadline_frac) {
+                Some(submit + class.nominal_runtime() * self.tenants.deadline_slack)
+            } else {
+                None
+            };
+        Ok(Some(JobRequest {
+            id,
+            class,
+            submit,
+            workers: class.default_workers(),
+            tenant,
+            deadline,
+        }))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.n_jobs)
+    }
+}
+
+/// Drain any source into an in-memory [`Trace`] (test/debug helper; the
+/// whole point of streaming is usually *not* to do this).
+pub fn collect(mut source: impl TraceSource) -> Result<Trace, String> {
+    let budgets = source.budgets()?;
+    let mut jobs = Vec::with_capacity(source.len_hint().unwrap_or(0));
+    while let Some(job) = source.next_job()? {
+        jobs.push(job);
+    }
+    Ok(Trace { jobs, budgets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, JobMix, TenantSpec, Trace};
+
+    fn sample_trace() -> Trace {
+        let spec = TenantSpec {
+            n_tenants: 3,
+            deadline_frac: 0.4,
+            deadline_slack: 2.0,
+        };
+        Trace::generate_multi(
+            ArrivalProcess::Poisson { rate: 0.5 },
+            &JobMix::default_mix(),
+            &spec,
+            120,
+            11,
+        )
+        .with_budget(0, 40.0)
+        .with_budget(2, 7.5)
+    }
+
+    #[test]
+    fn in_memory_source_streams_the_trace_verbatim() {
+        let trace = sample_trace();
+        let mut src = InMemorySource::new(&trace);
+        assert_eq!(src.len_hint(), Some(120));
+        assert_eq!(src.budgets().unwrap(), trace.budgets);
+        let back = collect(src).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_source_matches_from_text_on_v1_v2_v3() {
+        for text in [
+            "# v1\n1.0\tlr-higgs\t10\n2.5\tsvm-rcv1\t5\n",
+            &sample_trace().to_text(),
+            &Trace::generate(
+                ArrivalProcess::Poisson { rate: 1.0 },
+                &JobMix::convex_mix(),
+                60,
+                5,
+            )
+            .to_text(),
+        ] {
+            let expected = Trace::from_text(text).unwrap();
+            let streamed = collect(TextSource::new(text.as_bytes())).unwrap();
+            assert_eq!(streamed, expected);
+        }
+    }
+
+    #[test]
+    fn text_source_errors_match_from_text() {
+        for bad in [
+            "1.0\tnot-a-class\t10\n",
+            "abc\tlr-higgs\t10\n",
+            "1.0\tlr-higgs\t0\n",
+            "1.0\tlr-higgs\t10\t0\n",
+            "1.0\tlr-higgs\t10\t0\tsoon\n",
+            "budget\t0\n",
+            "budget\t0\t-1.0\n",
+            "budget\t0\t1.0\nbudget\t0\t2.0\n",
+            "5.0\tlr-higgs\t10\n1.0\tlr-higgs\t10\n",
+        ] {
+            let expected = Trace::from_text(bad).unwrap_err();
+            let got = collect(TextSource::new(bad.as_bytes())).unwrap_err();
+            assert_eq!(got, expected, "error parity for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn text_source_rejects_budget_lines_after_jobs() {
+        // `from_text` accepts this (whole file in hand); the streaming
+        // reader has already surrendered the budget map, so it cannot.
+        let text = "1.0\tlr-higgs\t10\nbudget\t0\t5.0\n";
+        assert!(Trace::from_text(text).is_ok());
+        let err = collect(TextSource::new(text.as_bytes())).unwrap_err();
+        assert!(err.contains("budget lines must precede"), "{err}");
+    }
+
+    #[test]
+    fn text_source_is_constant_memory_per_call() {
+        // Not a real memory assertion — just that the reader never needs
+        // the whole input: a source over a forever-empty tail still
+        // terminates per call.
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let mut src = TextSource::new(text.as_bytes());
+        let budgets = src.budgets().unwrap();
+        assert_eq!(budgets, trace.budgets);
+        let mut n = 0usize;
+        while src.next_job().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, trace.len());
+        assert!(src.next_job().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn generator_source_matches_materialized_generation() {
+        let spec = TenantSpec {
+            n_tenants: 4,
+            deadline_frac: 0.5,
+            deadline_slack: 3.0,
+        };
+        let mix = JobMix::default_mix();
+        let process = ArrivalProcess::Burst {
+            base_rate: 0.1,
+            burst_rate: 5.0,
+            period: 60.0,
+            duty: 0.25,
+        };
+        let expected = Trace::generate_multi(process, &mix, &spec, 500, 77);
+        let src = GeneratorSource::new(process, mix, spec, 500, 77);
+        assert_eq!(src.len_hint(), Some(500));
+        let streamed = collect(src).unwrap();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn generator_convenience_matches_trace_generate() {
+        let mix = JobMix::convex_mix();
+        let expected = Trace::generate(ArrivalProcess::Poisson { rate: 0.2 }, &mix, 200, 42);
+        let streamed = collect(GeneratorSource::generate(
+            ArrivalProcess::Poisson { rate: 0.2 },
+            mix,
+            200,
+            42,
+        ))
+        .unwrap();
+        assert_eq!(streamed, expected);
+    }
+}

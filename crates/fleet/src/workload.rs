@@ -51,8 +51,10 @@ impl ArrivalProcess {
 
     /// Sample the gap to the next arrival after time `t` (exponential at
     /// the local rate — exact for Poisson, a standard step approximation
-    /// for the modulated process).
-    fn next_gap(&self, t: f64, rng: &mut Pcg64) -> f64 {
+    /// for the modulated process). Crate-visible so the streaming
+    /// generator source replays the exact draw order of
+    /// [`Trace::generate_multi`].
+    pub(crate) fn next_gap(&self, t: f64, rng: &mut Pcg64) -> f64 {
         let rate = self.rate_at(t);
         assert!(rate > 0.0, "arrival rate must be positive");
         -(1.0 - rng.uniform()).ln() / rate
@@ -108,7 +110,7 @@ impl JobMix {
         self.entries.iter().map(|&(c, _)| c)
     }
 
-    fn sample(&self, rng: &mut Pcg64) -> JobClass {
+    pub(crate) fn sample(&self, rng: &mut Pcg64) -> JobClass {
         let u = rng.uniform();
         let mut acc = 0.0;
         for &(c, w) in &self.entries {
@@ -119,6 +121,104 @@ impl JobMix {
         }
         self.entries.last().expect("non-empty mix").0
     }
+}
+
+/// One parsed line of the trace text format — either a v3 budget preamble
+/// line or a v1/v2 job row. Shared by [`Trace::from_text`] and the
+/// constant-memory streaming reader (`stream::TextSource`), so both paths
+/// accept the same syntax and emit byte-identical error strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TraceLine {
+    Budget {
+        tenant: TenantId,
+        usd: f64,
+    },
+    Job {
+        submit: SimTime,
+        class: JobClass,
+        workers: usize,
+        tenant: TenantId,
+        deadline: Option<SimTime>,
+    },
+}
+
+/// Parse one trimmed, non-empty, non-comment trace-text line. `lineno` is
+/// zero-based (error messages report `lineno + 1`). Duplicate-budget and
+/// sortedness checks stay with the caller, which owns the cross-line state.
+pub(crate) fn parse_trace_line(line: &str, lineno: usize) -> Result<TraceLine, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    if parts[0] == "budget" {
+        if parts.len() != 3 {
+            return Err(format!(
+                "line {}: budget line needs `budget <tenant> <usd>`, got {} fields",
+                lineno + 1,
+                parts.len()
+            ));
+        }
+        let tenant: TenantId = parts[1]
+            .parse()
+            .map_err(|e| format!("line {}: bad budget tenant id: {e}", lineno + 1))?;
+        let usd: f64 = parts[2]
+            .parse()
+            .map_err(|e| format!("line {}: bad budget amount: {e}", lineno + 1))?;
+        if !usd.is_finite() || usd < 0.0 {
+            return Err(format!(
+                "line {}: budget must be finite and >= 0",
+                lineno + 1
+            ));
+        }
+        return Ok(TraceLine::Budget { tenant, usd });
+    }
+    if parts.len() != 3 && parts.len() != 5 {
+        return Err(format!(
+            "line {}: expected 3 (v1) or 5 (v2) fields, got {}",
+            lineno + 1,
+            parts.len()
+        ));
+    }
+    let t: f64 = parts[0]
+        .parse()
+        .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(format!("line {}: time must be finite and >= 0", lineno + 1));
+    }
+    let class = JobClass::parse(parts[1])
+        .ok_or_else(|| format!("line {}: unknown job class {:?}", lineno + 1, parts[1]))?;
+    let workers: usize = parts[2]
+        .parse()
+        .map_err(|e| format!("line {}: bad workers: {e}", lineno + 1))?;
+    if workers == 0 {
+        return Err(format!("line {}: zero workers", lineno + 1));
+    }
+    let (tenant, deadline) = if parts.len() == 5 {
+        let tenant: TenantId = parts[3]
+            .parse()
+            .map_err(|e| format!("line {}: bad tenant id: {e}", lineno + 1))?;
+        let deadline = if parts[4] == "-" {
+            None
+        } else {
+            let d: f64 = parts[4]
+                .parse()
+                .map_err(|e| format!("line {}: bad deadline: {e}", lineno + 1))?;
+            if !d.is_finite() || d < t {
+                return Err(format!(
+                    "line {}: deadline must be finite and >= submit time",
+                    lineno + 1
+                ));
+            }
+            Some(SimTime::secs(d))
+        };
+        (tenant, deadline)
+    } else {
+        (0, None)
+    };
+    Ok(TraceLine::Job {
+        submit: SimTime::secs(t),
+        class,
+        workers,
+        tenant,
+        deadline,
+    })
 }
 
 /// Tenant population and deadline shape of a generated trace.
@@ -265,93 +365,39 @@ impl Trace {
     /// three-column v1 format (tenant 0, no deadline) and the v3 format's
     /// optional `budget <tenant> <usd>` lines.
     pub fn from_text(text: &str) -> Result<Trace, String> {
-        let mut jobs = Vec::new();
+        let mut jobs: Vec<JobRequest> = Vec::new();
         let mut budgets = BTreeMap::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let parts: Vec<&str> = line.split_whitespace().collect();
-            if parts[0] == "budget" {
-                if parts.len() != 3 {
-                    return Err(format!(
-                        "line {}: budget line needs `budget <tenant> <usd>`, got {} fields",
-                        lineno + 1,
-                        parts.len()
-                    ));
-                }
-                let tenant: TenantId = parts[1]
-                    .parse()
-                    .map_err(|e| format!("line {}: bad budget tenant id: {e}", lineno + 1))?;
-                let usd: f64 = parts[2]
-                    .parse()
-                    .map_err(|e| format!("line {}: bad budget amount: {e}", lineno + 1))?;
-                if !usd.is_finite() || usd < 0.0 {
-                    return Err(format!(
-                        "line {}: budget must be finite and >= 0",
-                        lineno + 1
-                    ));
-                }
-                if budgets.insert(tenant, usd).is_some() {
-                    return Err(format!(
-                        "line {}: duplicate budget for tenant {tenant}",
-                        lineno + 1
-                    ));
-                }
-                continue;
-            }
-            if parts.len() != 3 && parts.len() != 5 {
-                return Err(format!(
-                    "line {}: expected 3 (v1) or 5 (v2) fields, got {}",
-                    lineno + 1,
-                    parts.len()
-                ));
-            }
-            let t: f64 = parts[0]
-                .parse()
-                .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
-            if !t.is_finite() || t < 0.0 {
-                return Err(format!("line {}: time must be finite and >= 0", lineno + 1));
-            }
-            let class = JobClass::parse(parts[1])
-                .ok_or_else(|| format!("line {}: unknown job class {:?}", lineno + 1, parts[1]))?;
-            let workers: usize = parts[2]
-                .parse()
-                .map_err(|e| format!("line {}: bad workers: {e}", lineno + 1))?;
-            if workers == 0 {
-                return Err(format!("line {}: zero workers", lineno + 1));
-            }
-            let (tenant, deadline) = if parts.len() == 5 {
-                let tenant: TenantId = parts[3]
-                    .parse()
-                    .map_err(|e| format!("line {}: bad tenant id: {e}", lineno + 1))?;
-                let deadline = if parts[4] == "-" {
-                    None
-                } else {
-                    let d: f64 = parts[4]
-                        .parse()
-                        .map_err(|e| format!("line {}: bad deadline: {e}", lineno + 1))?;
-                    if !d.is_finite() || d < t {
+            match parse_trace_line(line, lineno)? {
+                TraceLine::Budget { tenant, usd } => {
+                    if budgets.insert(tenant, usd).is_some() {
                         return Err(format!(
-                            "line {}: deadline must be finite and >= submit time",
+                            "line {}: duplicate budget for tenant {tenant}",
                             lineno + 1
                         ));
                     }
-                    Some(SimTime::secs(d))
-                };
-                (tenant, deadline)
-            } else {
-                (0, None)
-            };
-            jobs.push(JobRequest {
-                id: jobs.len() as u64,
-                class,
-                submit: SimTime::secs(t),
-                workers,
-                tenant,
-                deadline,
-            });
+                }
+                TraceLine::Job {
+                    submit,
+                    class,
+                    workers,
+                    tenant,
+                    deadline,
+                } => {
+                    jobs.push(JobRequest {
+                        id: jobs.len() as u64,
+                        class,
+                        submit,
+                        workers,
+                        tenant,
+                        deadline,
+                    });
+                }
+            }
         }
         if !jobs.windows(2).all(|w| w[0].submit <= w[1].submit) {
             return Err("trace not sorted by submission time".into());

@@ -59,19 +59,29 @@ impl Summary {
     /// Percentile via linear interpolation between order statistics,
     /// `p` in [0, 100].
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p));
+        let [v] = self.percentiles([p]);
+        v
+    }
+
+    /// Several percentiles off one shared sort — the amortized form of
+    /// [`Summary::percentile`] for rollups that read the whole tail
+    /// (p50/p95/p99) of the same sample.
+    pub fn percentiles<const N: usize>(&self, ps: [f64; N]) -> [f64; N] {
         assert!(!self.values.is_empty());
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
-        let rank = p / 100.0 * (sorted.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        if lo == hi {
-            sorted[lo]
-        } else {
-            let t = rank - lo as f64;
-            sorted[lo] * (1.0 - t) + sorted[hi] * t
-        }
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+        ps.map(|p| {
+            assert!((0.0..=100.0).contains(&p));
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let t = rank - lo as f64;
+                sorted[lo] * (1.0 - t) + sorted[hi] * t
+            }
+        })
     }
 
     /// Format as `mean ± std` with the given precision, Table 6 style.

@@ -1,0 +1,162 @@
+//! Property test: streaming trace replay is **byte-identical** to the
+//! in-memory simulator — on randomized v1/v2/v3 traces, through both the
+//! in-memory and the text-reader sources, and at any sweep width.
+//!
+//! The harness is hand-rolled: `proptest` is not vendored in this offline
+//! build, so each property draws its random cases from the repository's own
+//! deterministic [`Pcg64`] stream. Failures print the case seed, which
+//! reproduces the exact inputs.
+
+use lambdaml::fleet::{
+    replay, simulate, AllFaas, AllIaas, ArrivalProcess, CostAware, DeadlineAware, FairShare,
+    FleetConfig, InMemorySource, JobMix, Scheduler, TenantSpec, TextSource, Trace,
+};
+use lambdaml::sim::{Pcg64, SimTime};
+use lml_bench::sweep::parallel_map;
+
+/// Number of random cases per property.
+const CASES: u64 = 64;
+
+/// Deterministic per-case RNGs: case `i` of property `tag` always sees the
+/// same stream.
+fn cases(tag: u64) -> impl Iterator<Item = (u64, Pcg64)> {
+    (0..CASES).map(move |i| {
+        let seed = tag.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i;
+        (seed, Pcg64::new(seed))
+    })
+}
+
+/// One randomized replay case: a serialized trace (the text format pins
+/// the v1/v2/v3 shape on the wire), the config, and the scheduler choice.
+#[derive(Clone)]
+struct Case {
+    seed: u64,
+    text: String,
+    cfg: FleetConfig,
+    sched: usize,
+    /// The in-memory engine's metrics JSON — the bytes to reproduce.
+    baseline: String,
+}
+
+fn make_sched(k: usize) -> Box<dyn Scheduler> {
+    match k {
+        0 => Box::new(AllFaas),
+        1 => Box::new(AllIaas),
+        2 => Box::new(CostAware::new()),
+        3 => Box::new(DeadlineAware::new()),
+        _ => Box::new(FairShare::new()),
+    }
+}
+
+/// Draw a random trace spanning the three text-format generations:
+/// v1 (single tenant, no deadlines), v2 (tenants + deadlines), v3
+/// (budgets on top).
+fn random_trace(rng: &mut Pcg64) -> Trace {
+    let version = rng.below(3);
+    let n_jobs = 20 + rng.index(60);
+    let rate = [0.2, 0.5, 1.0, 2.0][rng.index(4)];
+    let mix = if rng.coin(0.5) {
+        JobMix::convex_mix()
+    } else {
+        JobMix::default_mix()
+    };
+    let process = ArrivalProcess::Poisson { rate };
+    let trace_seed = rng.next_u64();
+    if version == 0 {
+        return Trace::generate(process, &mix, n_jobs, trace_seed);
+    }
+    let spec = TenantSpec {
+        n_tenants: 1 + rng.below(4) as u32,
+        deadline_frac: [0.0, 0.3, 0.7][rng.index(3)],
+        deadline_slack: rng.range(2.0, 8.0),
+    };
+    let mut trace = Trace::generate_multi(process, &mix, &spec, n_jobs, trace_seed);
+    if version == 2 {
+        // v3: budget caps, sometimes including an unaffordable zero cap
+        // (hard-reject path) and sometimes a tight one (deferral path).
+        for t in 0..spec.n_tenants {
+            if rng.coin(0.7) {
+                let cap = if rng.coin(0.2) {
+                    0.0
+                } else {
+                    rng.range(0.01, 2.0)
+                };
+                trace = trace.with_budget(t, cap);
+            }
+        }
+    }
+    trace
+}
+
+fn build_cases() -> Vec<Case> {
+    cases(0xEA7)
+        .map(|(seed, mut rng)| {
+            let trace = random_trace(&mut rng);
+            let mut cfg = FleetConfig::default();
+            if !trace.budgets.is_empty() && rng.coin(0.7) {
+                cfg.budget_window = Some(SimTime::secs(rng.range(600.0, 7_200.0)));
+            }
+            let sched = rng.index(5);
+            let baseline = simulate(&trace, &cfg, &mut *make_sched(sched), seed).to_json();
+            Case {
+                seed,
+                text: trace.to_text(),
+                cfg,
+                sched,
+                baseline,
+            }
+        })
+        .collect()
+}
+
+/// Replay the case's trace through both streaming sources and check each
+/// against the in-memory bytes.
+fn check_case(case: &Case) -> String {
+    let trace = Trace::from_text(&case.text).expect("generated trace must re-parse");
+    let in_mem = replay(
+        InMemorySource::new(&trace),
+        &case.cfg,
+        &mut *make_sched(case.sched),
+        case.seed,
+    )
+    .expect("in-memory source cannot fail")
+    .to_json();
+    assert_eq!(
+        in_mem, case.baseline,
+        "case {}: InMemorySource diverged from simulate()",
+        case.seed
+    );
+    let text = replay(
+        TextSource::new(case.text.as_bytes()),
+        &case.cfg,
+        &mut *make_sched(case.sched),
+        case.seed,
+    )
+    .expect("text source must stream a valid trace")
+    .to_json();
+    assert_eq!(
+        text, case.baseline,
+        "case {}: TextSource diverged from simulate()",
+        case.seed
+    );
+    text
+}
+
+/// Streaming replay reproduces the in-memory engine byte-for-byte on every
+/// randomized trace, and the sweep fan-out preserves those bytes at every
+/// worker count (1 = inline, 2 = threaded, 8 = more workers than cores on
+/// most CI boxes).
+#[test]
+fn streaming_replay_matches_in_memory_at_any_sweep_width() {
+    let cases = build_cases();
+    let mut per_width: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let out = parallel_map(cases.clone(), workers, |_, case| check_case(&case));
+        per_width.push(out);
+    }
+    let serial = &per_width[0];
+    assert_eq!(serial.len(), CASES as usize);
+    for wider in &per_width[1..] {
+        assert_eq!(serial, wider, "sweep width must not change any bytes");
+    }
+}
