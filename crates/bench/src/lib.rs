@@ -9,10 +9,18 @@
 //! the whole suite finishes in minutes; pass `--full` for the paper-scale
 //! worker counts.
 
+pub mod alloc;
 pub mod experiments;
 pub mod registry;
 pub mod sweep;
 pub mod tablefmt;
+
+/// Every bench binary (and this crate's tests) runs under the counting
+/// allocator so `fleet_scale` can stamp allocation deltas into its
+/// throughput baseline. Counting is off unless [`alloc::enable`]d; the
+/// passive overhead is one relaxed atomic load per allocation.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Global experiment settings, parsed from the command line.
 #[derive(Debug, Clone, Copy)]

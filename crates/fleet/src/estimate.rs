@@ -43,13 +43,13 @@
 //!   *and* clean completions, so the rate estimate is exposure-weighted
 //!   and unbiased, not a count of disasters.
 
+use crate::intern::TenantClassMap;
 use crate::job::{JobClass, JobRequest, TenantId};
 use crate::platform::SpotConfig;
 use crate::scheduler::Route;
 use lml_analytic::estimator::estimate_epochs;
 use lml_analytic::model::{faas_cost, faas_time, iaas_time, AnalyticCase, Scaling};
 use lml_sim::{Cost, SimTime};
-use std::collections::BTreeMap;
 
 /// The quantile fleet risk decisions are priced at by default: P95.
 pub const ETA_QUANTILE: f64 = 0.95;
@@ -308,7 +308,7 @@ pub struct Analytic {
     faas_case: AnalyticCase,
     iaas_case: AnalyticCase,
     /// Per-class epoch overrides (sampling-estimator calibration).
-    epochs: BTreeMap<JobClass, f64>,
+    epochs: [Option<f64>; JobClass::ALL.len()],
     /// Memoized `(workers, estimate)` per class: the prediction is a pure
     /// function of (class, workers), and `predict` sits on the simulator's
     /// per-admission hot path, so one slot per class covers the common
@@ -330,7 +330,7 @@ impl Analytic {
         Analytic {
             faas_case: AnalyticCase::faas_s3(),
             iaas_case: AnalyticCase::iaas_t2(),
-            epochs: BTreeMap::new(),
+            epochs: [None; JobClass::ALL.len()],
             memo: Default::default(),
         }
     }
@@ -341,24 +341,21 @@ impl Analytic {
         Analytic {
             faas_case: cfg.faas_case,
             iaas_case: cfg.iaas_case,
-            epochs: BTreeMap::new(),
+            epochs: [None; JobClass::ALL.len()],
             memo: Default::default(),
         }
     }
 
     /// Directly pin the epoch estimate for a class (builder style).
     pub fn with_epochs(mut self, class: JobClass, epochs: f64) -> Self {
-        self.epochs.insert(class, epochs);
+        self.epochs[class as usize] = Some(epochs);
         self.memo.get_mut()[class as usize] = None;
         self
     }
 
     /// Epochs-to-threshold the prior assumes for `class`.
     pub fn epochs_for(&self, class: JobClass) -> f64 {
-        self.epochs
-            .get(&class)
-            .copied()
-            .unwrap_or_else(|| class.default_epochs())
+        self.epochs[class as usize].unwrap_or_else(|| class.default_epochs())
     }
 }
 
@@ -392,7 +389,7 @@ impl Estimator for Analytic {
     fn observe(&mut self, _done: &CompletedJob) {}
 
     fn pin_epochs(&mut self, class: JobClass, epochs: f64) {
-        self.epochs.insert(class, epochs);
+        self.epochs[class as usize] = Some(epochs);
         self.memo.get_mut()[class as usize] = None;
     }
 
@@ -482,7 +479,7 @@ pub struct Online {
     pub target_q: f64,
     /// Step size of the online coverage calibration.
     pub calib_lr: f64,
-    state: BTreeMap<(TenantId, JobClass), ClassStats>,
+    state: TenantClassMap<ClassStats>,
 }
 
 /// Where the calibrated margin multiplier starts: ≈ the normal-theory
@@ -504,7 +501,7 @@ impl Online {
             margin: 0.0,
             target_q: ETA_QUANTILE,
             calib_lr: 0.25,
-            state: BTreeMap::new(),
+            state: TenantClassMap::new(),
         }
     }
 
@@ -542,7 +539,7 @@ impl Online {
     /// Observations folded in for (tenant, class) on the route's substrate.
     pub fn observations(&self, tenant: TenantId, class: JobClass, route: Route) -> u64 {
         self.state
-            .get(&(tenant, class))
+            .get(tenant, class)
             .and_then(|cs| cs.slot(route))
             .map_or(0, |s| s.n)
     }
@@ -552,7 +549,7 @@ impl Online {
     /// completions never teach dollars).
     pub fn cost_observations(&self, tenant: TenantId, class: JobClass, route: Route) -> u64 {
         self.state
-            .get(&(tenant, class))
+            .get(tenant, class)
             .and_then(|cs| cs.slot(route))
             .map_or(0, |s| s.n_cost)
     }
@@ -565,7 +562,7 @@ impl Estimator for Online {
 
     fn predict(&self, job: &JobRequest) -> Estimate {
         let mut e = self.prior.predict(job);
-        if let Some(cs) = self.state.get(&(job.tenant, job.class)) {
+        if let Some(cs) = self.state.get(job.tenant, job.class) {
             let prior_epochs = self.prior.epochs_for(job.class).max(1.0);
             // The raw margin `dev × q_mult` is calibrated at `target_q`;
             // the `Estimate` field contract stores margins in the
@@ -604,7 +601,9 @@ impl Estimator for Online {
         let prior_epochs = self.prior.epochs_for(done.class).max(1.0);
         let t_prior = p.time(done.route).max(f64::MIN_POSITIVE);
         let c_prior = p.cost(done.route).max(f64::MIN_POSITIVE);
-        let entry = self.state.entry((done.tenant, done.class)).or_default();
+        let entry = self
+            .state
+            .get_or_insert_with(done.tenant, done.class, ClassStats::default);
         let slot = match done.route {
             Route::Faas => &mut entry.faas,
             Route::Iaas | Route::Spot => &mut entry.iaas,
@@ -662,7 +661,7 @@ impl Estimator for Online {
 
     fn startup_hint(&self, job: &JobRequest, route: Route) -> Option<SimTime> {
         self.state
-            .get(&(job.tenant, job.class))
+            .get(job.tenant, job.class)
             .and_then(|cs| cs.slot(route))
             .map(|s| SimTime::secs(s.startup))
     }
@@ -826,7 +825,7 @@ pub struct RiskModel {
     pub prior_weight: f64,
     /// Learning disabled: the posterior never moves off the prior.
     frozen: bool,
-    state: BTreeMap<(TenantId, JobClass), RateStats>,
+    state: TenantClassMap<RateStats>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -850,7 +849,7 @@ impl RiskModel {
             prior_mttp,
             prior_weight: 4.0,
             frozen: false,
-            state: BTreeMap::new(),
+            state: TenantClassMap::new(),
         }
     }
 
@@ -892,7 +891,9 @@ impl RiskModel {
 
     /// Fold in one spot attempt outcome.
     pub fn observe(&mut self, obs: &PreemptionObs) {
-        let s = self.state.entry((obs.tenant, obs.class)).or_default();
+        let s = self
+            .state
+            .get_or_insert_with(obs.tenant, obs.class, RateStats::default);
         s.attempts += 1;
         s.exposure += obs.workers as f64 * obs.held.as_secs();
         if obs.preempted {
@@ -902,7 +903,7 @@ impl RiskModel {
 
     /// Spot attempts observed for (tenant, class).
     pub fn observations(&self, tenant: TenantId, class: JobClass) -> u64 {
-        self.state.get(&(tenant, class)).map_or(0, |s| s.attempts)
+        self.state.get(tenant, class).map_or(0, |s| s.attempts)
     }
 
     /// Posterior mean preemption rate per instance-second for
@@ -913,7 +914,7 @@ impl RiskModel {
             (0.0, 0.0)
         } else {
             self.state
-                .get(&(tenant, class))
+                .get(tenant, class)
                 .map_or((0.0, 0.0), |s| (s.events, s.exposure))
         };
         (self.prior_weight + events) / (self.prior_weight * self.prior_mttp.as_secs() + exposure)

@@ -18,6 +18,14 @@
 //! * [`google`] — a Google cluster-usage (task_events) adapter: a
 //!   streaming [`TraceSource`] mapping each job's first SUBMIT event onto
 //!   the job zoo (users → tenants), constant memory per row.
+//! * [`opendc`] — an OpenDC serverless-trace adapter: per-function
+//!   invocation-timeline CSVs k-way merged into one non-decreasing
+//!   arrival stream (functions → tenants/classes); a bundled fixture
+//!   lives under `crates/fleet/data/opendc/`.
+//! * [`intern`] — dense key interning ([`TenantMap`],
+//!   [`TenantClassMap`]): the O(1) Vec-indexed tables behind every
+//!   hot-path per-tenant ledger and estimator state map, with
+//!   sorted-by-id cold iteration preserving `BTreeMap` output order.
 //! * [`stream`] — the pull-based [`TraceSource`] abstraction behind
 //!   streaming replay: in-memory ([`InMemorySource`]), chunked text
 //!   ([`TextSource`]), and generator-backed ([`GeneratorSource`])
@@ -69,11 +77,13 @@
 pub mod azure;
 pub mod estimate;
 pub mod google;
+pub mod intern;
 pub mod job;
 pub mod json;
 pub mod lifecycle;
 pub mod metrics;
 pub mod observe;
+pub mod opendc;
 pub mod platform;
 pub mod scheduler;
 pub mod sim;
@@ -85,6 +95,7 @@ pub use estimate::{
     ETA_QUANTILE,
 };
 pub use google::GoogleSource;
+pub use intern::{TenantClassMap, TenantMap};
 pub use job::{JobClass, JobRequest, TenantId};
 pub use lifecycle::{restore_beats_redo, CheckpointPolicy, JobLifecycle};
 pub use metrics::{
@@ -94,6 +105,7 @@ pub use observe::{
     AttemptSpan, Decision, DecisionRecord, FleetEvent, FleetObserver, GaugeSample, NullObserver,
     PlatformEvent, RecordingObserver, ReplayStats, RollupCollector, ThroughputProbe,
 };
+pub use opendc::OpenDcSource;
 pub use platform::{FaasConfig, FaasRegion, IaasConfig, IaasPool, SpotConfig, SpotTier};
 pub use scheduler::{
     AllFaas, AllIaas, CostAware, DeadlineAware, FairShare, FleetView, QueueDiscipline, Route,

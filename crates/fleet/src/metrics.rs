@@ -180,14 +180,19 @@ impl Quantiles {
                 max: 0.0,
             };
         }
-        let s = Summary::from_values(values);
-        let [p50, p95, p99] = s.percentiles([50.0, 95.0, 99.0]);
+        let mut s = Summary::from_values(values);
+        // Mean and max read the sample in insertion order; take them
+        // before the in-place percentile sort permutes it (the summation
+        // order is part of the byte-identical output contract).
+        let mean = s.mean();
+        let max = s.max();
+        let [p50, p95, p99] = s.into_percentiles([50.0, 95.0, 99.0]);
         Quantiles {
-            mean: s.mean(),
+            mean,
             p50,
             p95,
             p99,
-            max: s.max(),
+            max,
         }
     }
 
@@ -429,11 +434,10 @@ impl FleetMetrics {
         let (mut spot_attempts, mut resumes, mut checkpoint_writes) = (0u64, 0u64, 0u64);
         let mut lost_work = SimTime::ZERO;
         let mut checkpoint_cost = Cost::ZERO;
-        // Tenant → accumulated service (worker-seconds), keyed in sorted
-        // order so the fairness index sees tenants exactly as
-        // [`per_tenant_rows`] reports them.
-        let mut service: std::collections::BTreeMap<TenantId, f64> =
-            std::collections::BTreeMap::new();
+        // Tenant → accumulated service (worker-seconds); the dense map
+        // is drained ascending by tenant id so the fairness index sums
+        // tenants exactly as [`per_tenant_rows`] reports them.
+        let mut service: crate::intern::TenantMap<f64> = crate::intern::TenantMap::new();
         for r in &records {
             if r.rejected {
                 rejected_jobs += 1;
@@ -479,7 +483,7 @@ impl FleetMetrics {
             lost_work += r.lost_work;
             checkpoint_writes += r.checkpoint_writes as u64;
             checkpoint_cost += r.checkpoint_cost;
-            *service.entry(r.tenant).or_insert(0.0) += r.workers as f64 * r.run.as_secs();
+            *service.get_or_insert_with(r.tenant, || 0.0) += r.workers as f64 * r.run.as_secs();
         }
         let latency = Quantiles::from_values(lat_s);
         let queue = Quantiles::from_values(queue_s);
@@ -488,7 +492,12 @@ impl FleetMetrics {
         let predicted_jobs = run_apes.len();
         let runtime_mape = mape(run_apes.into_iter());
         let cost_mape = mape(cost_apes.into_iter());
-        let fairness = jain_index(&service.into_values().collect::<Vec<_>>());
+        let fairness = jain_index(
+            &service
+                .into_iter_sorted()
+                .map(|(_, s)| s)
+                .collect::<Vec<_>>(),
+        );
         FleetMetrics {
             policy: policy.to_string(),
             seed,
@@ -743,12 +752,12 @@ fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
         service: f64,
         lat_s: Vec<f64>,
     }
-    // One bucketing pass instead of a full scan per tenant; a BTreeMap
-    // keeps the rows in sorted tenant order, and per-tenant accumulation
+    // One bucketing pass instead of a full scan per tenant; the dense
+    // map is drained ascending by tenant id, and per-tenant accumulation
     // stays in record order, so sums and quantiles are bit-identical.
-    let mut accs: std::collections::BTreeMap<TenantId, Acc> = std::collections::BTreeMap::new();
+    let mut accs: crate::intern::TenantMap<Acc> = crate::intern::TenantMap::new();
     for r in records {
-        let a = accs.entry(r.tenant).or_insert_with(|| Acc {
+        let a = accs.get_or_insert_with(r.tenant, || Acc {
             jobs: 0,
             rejected: 0,
             deferred: 0,
@@ -768,7 +777,7 @@ fn per_tenant_rows(records: &[JobRecord]) -> Vec<TenantRow> {
         a.cost += r.cost;
         a.service += r.workers as f64 * r.run.as_secs();
     }
-    accs.into_iter()
+    accs.into_iter_sorted()
         .map(|(t, a)| TenantRow {
             tenant: t,
             jobs: a.jobs,

@@ -64,6 +64,8 @@ pub struct ReplayStats {
     pub arrivals_streamed: u64,
     /// Peak occupancy of the resident job slab (admitted, non-retired).
     pub peak_resident_jobs: u64,
+    /// Peak number of pending entries in the event queue over the run.
+    pub peak_queue_depth: u64,
 }
 
 /// One validated lifecycle transition, stamped with everything needed to
@@ -788,6 +790,13 @@ pub struct ThroughputProbe {
     pub peak_resident_jobs: u64,
     /// Arrivals pulled from trace sources across the folded runs.
     pub arrivals_streamed: u64,
+    /// Peak event-queue depth across the folded runs (max over runs).
+    pub peak_queue_depth: u64,
+    /// Heap allocations over the probed region, when the driver stamps
+    /// them from a counting allocator (0 = not measured).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations (0 = not measured).
+    pub alloc_bytes: u64,
     /// Sweep-engine worker count, when a sweep stamps it (0 = unset).
     pub workers: usize,
     busy: std::time::Duration,
@@ -812,6 +821,9 @@ impl ThroughputProbe {
             per_run: Vec::new(),
             peak_resident_jobs: 0,
             arrivals_streamed: 0,
+            peak_queue_depth: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
             workers: 0,
             busy: std::time::Duration::ZERO,
             open_run: None,
@@ -871,6 +883,16 @@ impl ThroughputProbe {
         self.per_run.extend(other.per_run);
         self.peak_resident_jobs = self.peak_resident_jobs.max(other.peak_resident_jobs);
         self.arrivals_streamed += other.arrivals_streamed;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.alloc_count += other.alloc_count;
+        self.alloc_bytes += other.alloc_bytes;
+    }
+
+    /// Stamp heap-allocation totals measured over the probed region (a
+    /// counting-allocator delta; see `lml_bench::alloc`).
+    pub fn set_alloc(&mut self, count: u64, bytes: u64) {
+        self.alloc_count = count;
+        self.alloc_bytes = bytes;
     }
 
     /// JSON report of the probe. Wall-clock figures are inherently
@@ -904,6 +926,9 @@ impl ThroughputProbe {
             .raw("per_run", &crate::json::array(&spans))
             .u64("peak_resident_jobs", self.peak_resident_jobs)
             .u64("arrivals_streamed", self.arrivals_streamed)
+            .u64("peak_queue_depth", self.peak_queue_depth)
+            .u64("alloc_count", self.alloc_count)
+            .u64("alloc_bytes", self.alloc_bytes)
             .finish()
     }
 
@@ -946,6 +971,7 @@ impl FleetObserver for ThroughputProbe {
     fn replay(&mut self, stats: &ReplayStats) {
         self.peak_resident_jobs = self.peak_resident_jobs.max(stats.peak_resident_jobs);
         self.arrivals_streamed += stats.arrivals_streamed;
+        self.peak_queue_depth = self.peak_queue_depth.max(stats.peak_queue_depth);
     }
     fn end(&mut self, pushes: u64, pops: u64) {
         self.runs += 1;
@@ -1063,23 +1089,34 @@ mod tests {
         a.replay(&ReplayStats {
             arrivals_streamed: 400,
             peak_resident_jobs: 12,
+            peak_queue_depth: 9,
         });
         a.end(10, 10);
         let mut b = ThroughputProbe::new();
         b.replay(&ReplayStats {
             arrivals_streamed: 600,
             peak_resident_jobs: 30,
+            peak_queue_depth: 25,
         });
         b.end(10, 10);
+        b.set_alloc(70, 4096);
         a.merge(b);
         assert_eq!(a.arrivals_streamed, 1000, "arrivals sum");
         assert_eq!(a.peak_resident_jobs, 30, "peak is a max, not a sum");
+        assert_eq!(a.peak_queue_depth, 25, "queue depth is a max too");
+        assert_eq!((a.alloc_count, a.alloc_bytes), (70, 4096), "allocs sum");
         let json = a.to_json();
         assert!(json.contains(r#""peak_resident_jobs":30"#));
         assert!(json.contains(r#""arrivals_streamed":1000"#));
+        assert!(json.contains(r#""peak_queue_depth":25"#));
+        assert!(json.contains(r#""alloc_count":70"#));
+        assert!(json.contains(r#""alloc_bytes":4096"#));
         // Additive schema: the new fields land after the existing ones.
         let per_run = json.find(r#""per_run""#).unwrap();
-        assert!(json.find(r#""peak_resident_jobs""#).unwrap() > per_run);
+        let peak = json.find(r#""peak_resident_jobs""#).unwrap();
+        assert!(peak > per_run);
+        assert!(json.find(r#""peak_queue_depth""#).unwrap() > peak);
+        assert!(json.find(r#""alloc_count""#).unwrap() > peak);
     }
 
     #[test]
@@ -1100,6 +1137,7 @@ mod tests {
         c.replay(&ReplayStats {
             arrivals_streamed: 5,
             peak_resident_jobs: 4,
+            peak_queue_depth: 3,
         });
         assert_eq!(c.windows.len(), 1);
         assert_eq!(c.windows[0].submitted, 5);

@@ -16,10 +16,10 @@ use crate::estimate::{
     calibrate_epochs, Analytic, CompletedJob, Estimate, Estimator, PreemptionObs, RiskModel,
     ETA_QUANTILE,
 };
+use crate::intern::TenantMap;
 use crate::job::{JobClass, JobRequest, TenantId};
 use crate::lifecycle::CheckpointPolicy;
 use lml_sim::SimTime;
-use std::collections::BTreeMap;
 
 /// Where a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -606,7 +606,7 @@ impl Scheduler for DeadlineAware {
 #[derive(Debug, Clone)]
 pub struct FairShare {
     est: Box<dyn Estimator>,
-    weights: BTreeMap<TenantId, f64>,
+    weights: TenantMap<f64>,
     /// Share of IaaS-bound jobs routed to spot.
     pub spot_fraction: f64,
 }
@@ -621,7 +621,7 @@ impl FairShare {
     pub fn new() -> Self {
         FairShare {
             est: Box::new(Analytic::new()),
-            weights: BTreeMap::new(),
+            weights: TenantMap::new(),
             spot_fraction: 0.0,
         }
     }
@@ -666,7 +666,7 @@ impl Scheduler for FairShare {
     }
 
     fn tenant_weight(&self, tenant: TenantId) -> f64 {
-        self.weights.get(&tenant).copied().unwrap_or(1.0)
+        self.weights.get(tenant).copied().unwrap_or(1.0)
     }
 
     fn route(&mut self, job: &JobRequest, _view: &FleetView) -> Route {

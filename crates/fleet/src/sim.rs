@@ -55,6 +55,7 @@
 //! each boundary, so long replays report progress without buffering.
 
 use crate::estimate::{CompletedJob, Estimate, PreemptionObs};
+use crate::intern::TenantMap;
 use crate::job::{JobClass, JobRequest, TenantId};
 use crate::lifecycle::{
     preempt_outcome, restore_beats_redo, AttemptPlan, CheckpointPolicy, JobLifecycle,
@@ -357,7 +358,7 @@ struct Fleet<'a> {
     cfg: &'a FleetConfig,
     /// Per-tenant dollar caps from the source's preamble (trace v3);
     /// absent tenants are uncapped.
-    budgets: BTreeMap<TenantId, f64>,
+    budgets: TenantMap<f64>,
     faas: FaasRegion,
     iaas: IaasPool,
     spot: SpotTier,
@@ -370,7 +371,12 @@ struct Fleet<'a> {
     free: Vec<u32>,
     class_cache: [Option<ClassCache>; N_CLASSES],
     events: EventQueue<Event>,
+    /// FaaS admission queue. The live entries are `faas_queue[faas_head..]`:
+    /// FIFO consumption advances the cursor instead of shifting the tail,
+    /// and the drained prefix is compacted away only once it dominates
+    /// the buffer — amortized O(1) per start instead of O(queue).
     faas_queue: Vec<Handle>,
+    faas_head: usize,
     iaas_queue: Vec<Handle>,
     /// Workers queued on each platform, maintained incrementally at
     /// enqueue/start so `view()` and the autoscaler stay O(1) instead of
@@ -380,11 +386,11 @@ struct Fleet<'a> {
     /// Weighted-service ledger behind the deficit-round-robin discipline:
     /// worker-seconds of run time started so far, per tenant. Only
     /// maintained when the scheduler's discipline is DRR (`track_service`).
-    tenant_service: BTreeMap<TenantId, f64>,
+    tenant_service: TenantMap<f64>,
     /// Attributed dollars per tenant — the budget-cap enforcement ledger
     /// (reset every accounting window when deferral is on). Only
     /// maintained when someone reads it (`track_spend`).
-    tenant_spend: BTreeMap<TenantId, f64>,
+    tenant_spend: TenantMap<f64>,
     /// Jobs held back until the next budget window, in arrival order.
     deferred_queue: Vec<Handle>,
     /// The standing `BudgetWindow` event chain is armed.
@@ -444,7 +450,12 @@ impl<'a> Fleet<'a> {
         Fleet {
             cfg,
             track_spend: !budgets.is_empty() || obs.gauge_period().is_some(),
-            budgets,
+            budgets: budgets
+                .into_iter()
+                .fold(TenantMap::new(), |mut caps, (t, cap)| {
+                    caps.insert(t, cap);
+                    caps
+                }),
             faas: FaasRegion::new(cfg.faas),
             iaas: IaasPool::new(cfg.iaas),
             spot: SpotTier::new(cfg.spot, seed),
@@ -457,11 +468,12 @@ impl<'a> Fleet<'a> {
             class_cache: [None; N_CLASSES],
             events: EventQueue::new(),
             faas_queue: Vec::new(),
+            faas_head: 0,
             iaas_queue: Vec::new(),
             faas_queued_workers: 0,
             iaas_queued_workers: 0,
-            tenant_service: BTreeMap::new(),
-            tenant_spend: BTreeMap::new(),
+            tenant_service: TenantMap::new(),
+            tenant_spend: TenantMap::new(),
             deferred_queue: Vec::new(),
             window_scheduled: false,
             live: 0,
@@ -558,9 +570,13 @@ impl<'a> Fleet<'a> {
         self.live -= 1;
         let idx = h.slot as usize;
         debug_assert_eq!(self.slots[idx].gen, h.gen, "stale job handle");
+        // Borrow, don't copy: the slot is ~300 bytes and this runs once
+        // per job. Field-disjoint borrows (slots vs rollup vs sink) keep
+        // the borrow checker happy; the slot is recycled only after the
+        // record has been folded out.
         let Slot {
-            job: j,
-            state: s,
+            job: ref j,
+            state: ref s,
             seq,
             ..
         } = self.slots[idx];
@@ -749,14 +765,18 @@ impl<'a> Fleet<'a> {
         }
         let g = GaugeSample {
             at: now,
-            queue_depth: self.faas_queue.len() + self.iaas_queue.len(),
+            queue_depth: (self.faas_queue.len() - self.faas_head) + self.iaas_queue.len(),
             deferred: self.deferred_queue.len(),
             faas_in_use: self.cfg.faas.concurrency_limit - self.faas.available(),
             faas_limit: self.cfg.faas.concurrency_limit,
             iaas_busy: self.iaas.capacity() - self.iaas.free(),
             iaas_capacity: self.iaas.capacity(),
             spot_in_use: self.spot.in_use(),
-            tenant_spend: self.tenant_spend.iter().map(|(&t, &s)| (t, s)).collect(),
+            tenant_spend: self
+                .tenant_spend
+                .iter_sorted()
+                .map(|(t, &s)| (t, s))
+                .collect(),
         };
         self.obs.gauges(&g);
     }
@@ -778,7 +798,9 @@ impl<'a> Fleet<'a> {
         debug_assert_eq!(slot.gen, h.gen, "stale job handle");
         slot.state.cost += c;
         if self.track_spend {
-            *self.tenant_spend.entry(slot.job.tenant).or_insert(0.0) += c.as_usd();
+            *self
+                .tenant_spend
+                .get_or_insert_with(slot.job.tenant, || 0.0) += c.as_usd();
         }
         if let Some(r) = &mut self.rollup {
             r.cost += c;
@@ -788,8 +810,8 @@ impl<'a> Fleet<'a> {
     /// Is this tenant's budget (if any) already exhausted?
     fn budget_exhausted(&self, tenant: TenantId) -> bool {
         self.budgets
-            .get(&tenant)
-            .is_some_and(|&cap| self.tenant_spend.get(&tenant).copied().unwrap_or(0.0) >= cap)
+            .get(tenant)
+            .is_some_and(|&cap| self.tenant_spend.get(tenant).copied().unwrap_or(0.0) >= cap)
     }
 
     fn queued_workers(&self, q: &[Handle]) -> usize {
@@ -799,7 +821,7 @@ impl<'a> Fleet<'a> {
     fn view(&self) -> FleetView {
         debug_assert_eq!(
             self.faas_queued_workers,
-            self.queued_workers(&self.faas_queue)
+            self.queued_workers(&self.faas_queue[self.faas_head..])
         );
         debug_assert_eq!(
             self.iaas_queued_workers,
@@ -823,7 +845,8 @@ impl<'a> Fleet<'a> {
             return;
         }
         let j = self.slot(h).job;
-        *self.tenant_service.entry(j.tenant).or_insert(0.0) += j.workers as f64 * run.as_secs();
+        *self.tenant_service.get_or_insert_with(j.tenant, || 0.0) +=
+            j.workers as f64 * run.as_secs();
     }
 
     /// Position in `q` of the job the discipline admits next, or `None` if
@@ -852,7 +875,7 @@ impl<'a> Fleet<'a> {
                 .min_by(|&(_, &a), &(_, &b)| {
                     let norm = |h: Handle| {
                         let t = self.slot(h).job.tenant;
-                        self.tenant_service.get(&t).copied().unwrap_or(0.0) / sched.tenant_weight(t)
+                        self.tenant_service.get(t).copied().unwrap_or(0.0) / sched.tenant_weight(t)
                     };
                     norm(a)
                         .total_cmp(&norm(b))
@@ -1111,7 +1134,7 @@ impl<'a> Fleet<'a> {
     /// blocks the queue if it doesn't fit (strict priority — no backfill
     /// past an earlier deadline or a shorter-served tenant).
     fn drain_faas(&mut self, now: SimTime, sched: &dyn Scheduler) {
-        if self.faas_queue.is_empty() || self.faas.available() == 0 {
+        if self.faas_head == self.faas_queue.len() || self.faas.available() == 0 {
             // Nothing can start (every job needs ≥ 1 slot): skip the pass.
             // `try_start` only prunes the warm pool on the way to a
             // decision, and pruning is idempotent over advancing time, so
@@ -1119,28 +1142,28 @@ impl<'a> Fleet<'a> {
             return;
         }
         if matches!(sched.discipline(), QueueDiscipline::Fifo) {
-            // FIFO always picks the front: walk a cursor and drain the
-            // started prefix once, instead of shifting the whole queue
-            // per start.
-            let mut k = 0;
-            while k < self.faas_queue.len() {
-                let h = self.faas_queue[k];
+            // FIFO always picks the front: advance the standing head
+            // cursor past the started prefix — no tail shift at all —
+            // and compact the buffer only when the dead prefix dominates.
+            while self.faas_head < self.faas_queue.len() {
+                let h = self.faas_queue[self.faas_head];
                 if !self.start_faas(h, now) {
                     break;
                 }
                 self.faas_queued_workers -= self.slot(h).job.workers;
-                k += 1;
+                self.faas_head += 1;
             }
-            if k > 0 {
-                self.faas_queue.drain(..k);
+            if self.faas_head > 32 && self.faas_head * 2 >= self.faas_queue.len() {
+                self.faas_queue.drain(..self.faas_head);
+                self.faas_head = 0;
             }
             return;
         }
-        while let Some(pos) = self.pick_pos(&self.faas_queue, sched) {
-            let h = self.faas_queue[pos];
+        while let Some(pos) = self.pick_pos(&self.faas_queue[self.faas_head..], sched) {
+            let h = self.faas_queue[self.faas_head + pos];
             if self.start_faas(h, now) {
                 self.faas_queued_workers -= self.slot(h).job.workers;
-                self.faas_queue.remove(pos);
+                self.faas_queue.remove(self.faas_head + pos);
             } else {
                 break;
             }
@@ -1162,19 +1185,46 @@ impl<'a> Fleet<'a> {
             return;
         }
         let mut pending = std::mem::take(&mut self.iaas_queue);
+        // Backfill fail-fast: a job wider than the idle capacity cannot
+        // start, and after the first `start_iaas` of the pass has ticked
+        // the pool's billing integrals to `now`, a failed attempt is a
+        // pure no-op (its redundant tick advances by dt = 0, adding
+        // exactly +0.0) — so skipping the call is byte-identical output
+        // at a fraction of the cost. The first attempt always goes
+        // through, to keep the integral subdivision exactly as it was.
+        let mut ticked = false;
         match sched.discipline() {
             QueueDiscipline::Fifo => {
                 // FIFO visits jobs in queue order: one in-order pass,
                 // starters leave, blocked jobs stay — no per-pick scan
-                // or element shifting.
-                pending.retain(|&h| {
+                // or element shifting. Hand-rolled compaction instead of
+                // `retain` so the pass can stop the moment idle capacity
+                // hits zero (nothing after that point can start) and keep
+                // the entire tail with one bulk copy of handles.
+                let mut out = 0;
+                let mut i = 0;
+                while i < pending.len() {
+                    if ticked && self.iaas.free() == 0 {
+                        break;
+                    }
+                    let h = pending[i];
+                    i += 1;
+                    if ticked && self.slot(h).job.workers > self.iaas.free() {
+                        pending[out] = h;
+                        out += 1;
+                        continue;
+                    }
+                    ticked = true;
                     if self.start_iaas(h, now) {
                         self.iaas_queued_workers -= self.slot(h).job.workers;
-                        false
                     } else {
-                        true
+                        pending[out] = h;
+                        out += 1;
                     }
-                });
+                }
+                pending.copy_within(i.., out);
+                out += pending.len() - i;
+                pending.truncate(out);
             }
             QueueDiscipline::Edf => {
                 // Deadlines are fixed within a drain, so sorting once
@@ -1187,6 +1237,10 @@ impl<'a> Fleet<'a> {
                     da.total_cmp(&db).then(sa.seq.cmp(&sb.seq))
                 });
                 pending.retain(|&h| {
+                    if ticked && self.slot(h).job.workers > self.iaas.free() {
+                        return true;
+                    }
+                    ticked = true;
                     if self.start_iaas(h, now) {
                         self.iaas_queued_workers -= self.slot(h).job.workers;
                         false
@@ -1205,6 +1259,11 @@ impl<'a> Fleet<'a> {
                 let mut blocked = Vec::new();
                 while let Some(pos) = self.pick_pos(&pending, sched) {
                     let h = pending.swap_remove(pos);
+                    if ticked && self.slot(h).job.workers > self.iaas.free() {
+                        blocked.push(h);
+                        continue;
+                    }
+                    ticked = true;
                     if self.start_iaas(h, now) {
                         self.iaas_queued_workers -= self.slot(h).job.workers;
                     } else {
@@ -1730,8 +1789,23 @@ fn run_replay<S: TraceSource>(
     fleet.more_arrivals = pending.is_some();
     // The heap only ever holds in-flight events (completions, preemptions,
     // provisioning, the standing clocks) — never future arrivals — so one
-    // modest reservation covers any trace length.
-    fleet.events.reserve(4096);
+    // modest reservation covers any trace length. Kept under the
+    // allocator's mmap threshold: a fresh 128 KiB block per run would be
+    // a syscall plus a page-fault storm in a cold process.
+    fleet.events.reserve(512);
+    // Pre-size the slabs from the advisory length hint: one exact-fit
+    // allocation beats a doubling-chain of reallocs mid-replay (a wrong
+    // hint costs a realloc or some slack, never correctness). The record
+    // sink genuinely reaches trace length; the job slab only holds the
+    // in-flight working set, so its reservation stays bounded no matter
+    // how long the trace claims to be.
+    if let Some(n) = source.len_hint() {
+        if let Sink::Records(records) = &mut fleet.sink {
+            records.reserve_exact(n);
+        }
+        fleet.slots.reserve(n.min(256));
+        fleet.free.reserve(n.min(256));
+    }
     // Budget windows are a standing clock, not a deferral side effect:
     // ledgers must reset at *every* boundary (a tenant spending a steady
     // 70% of its allowance per window is never over budget), so arm the
@@ -1791,7 +1865,7 @@ fn run_replay<S: TraceSource>(
             // a tenant whose cap is zero — no window can ever afford it)
             // the job ends `Rejected` without touching a platform.
             if fleet.budget_exhausted(job.tenant) {
-                let cap = fleet.budgets.get(&job.tenant).copied().unwrap_or(0.0);
+                let cap = fleet.budgets.get(job.tenant).copied().unwrap_or(0.0);
                 let pricing = match cfg.budget_window {
                     Some(_) if cap > 0.0 => fleet.price_over_allowance(h, now, &*scheduler),
                     _ => OverAllowance {
@@ -1845,6 +1919,7 @@ fn run_replay<S: TraceSource>(
     fleet.obs.replay(&ReplayStats {
         arrivals_streamed: fleet.arrivals_streamed,
         peak_resident_jobs: fleet.peak_resident,
+        peak_queue_depth: fleet.events.peak_len() as u64,
     });
     // Arrivals never enter the heap, but they are events all the same:
     // count them as both pushes and pops so the throughput headline stays

@@ -43,6 +43,15 @@ use std::io::BufRead;
 pub trait TraceSource {
     /// The per-tenant dollar caps declared before any job (trace v3
     /// preamble). Called once, up front; the engine owns the returned map.
+    ///
+    /// Contract: budgets are a property of the *trace text format*, not of
+    /// workloads in general. Only the v3 text preamble (and in-memory
+    /// traces built from it) can declare caps; every other source —
+    /// generator, Azure, Google, OpenDC adapters — must return an empty
+    /// map, because their upstream formats have no budget notion and
+    /// inventing caps would silently change admission behaviour. An empty
+    /// map means "uncapped": the engine then never debits budgets and
+    /// `budget_exhausted` rejections cannot occur.
     fn budgets(&mut self) -> Result<BTreeMap<TenantId, f64>, String>;
 
     /// Pull the next arrival, or `Ok(None)` when the trace is exhausted.
@@ -442,5 +451,36 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn v3_text_traces_are_the_only_budget_carrying_source() {
+        // The budgets() contract: only the trace-text v3 preamble can
+        // declare per-tenant caps. Every adapter over an external format
+        // must come back uncapped (empty map).
+        let mut v3 = TextSource::new("# v3\nbudget\t0\t12.5\n1.0\tlr-higgs\t10\t0\t-\n".as_bytes());
+        let budgets = v3.budgets().unwrap();
+        assert_eq!(budgets.get(&0), Some(&12.5), "v3 preamble carries caps");
+
+        let mut generator = GeneratorSource::generate(
+            ArrivalProcess::Poisson { rate: 0.5 },
+            JobMix::default_mix(),
+            10,
+            1,
+        );
+        assert!(generator.budgets().unwrap().is_empty());
+
+        let mut azure = crate::azure::source(include_str!("../data/azure_sample.csv")).unwrap();
+        assert!(azure.budgets().unwrap().is_empty());
+
+        let mut google =
+            crate::google::GoogleSource::new(include_str!("../data/google_sample.csv").as_bytes());
+        assert!(google.budgets().unwrap().is_empty());
+
+        let mut opendc = crate::opendc::OpenDcSource::new([(
+            "fn-a".to_string(),
+            include_str!("../data/opendc/ml-train.csv").as_bytes(),
+        )]);
+        assert!(opendc.budgets().unwrap().is_empty());
     }
 }

@@ -67,9 +67,22 @@ impl Summary {
     /// [`Summary::percentile`] for rollups that read the whole tail
     /// (p50/p95/p99) of the same sample.
     pub fn percentiles<const N: usize>(&self, ps: [f64; N]) -> [f64; N] {
+        let mut sorted = self.clone();
+        sorted.into_percentiles(ps)
+    }
+
+    /// Consuming form of [`Summary::percentiles`]: sorts the sample in
+    /// place instead of cloning it first. Same order statistics, same
+    /// interpolation — this is the hot-rollup path, where the caller owns
+    /// the sample and the clone would be pure overhead. Read `mean`/`max`
+    /// before calling; they see the sample in insertion order either way
+    /// (both are computed over the unsorted values), so the split cannot
+    /// change any reported float.
+    pub fn into_percentiles<const N: usize>(&mut self, ps: [f64; N]) -> [f64; N] {
         assert!(!self.values.is_empty());
-        let mut sorted = self.values.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+        self.values
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+        let sorted = &self.values;
         ps.map(|p| {
             assert!((0.0..=100.0).contains(&p));
             let rank = p / 100.0 * (sorted.len() - 1) as f64;

@@ -1,0 +1,78 @@
+//! Throwaway microbench for the event queue (ignored by default).
+//! Run: cargo test --release -p lml-sim --test queue_bench -- --ignored --nocapture
+
+use lml_sim::{EventQueue, SimTime};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = self.0;
+        (x ^ (x >> 31)).wrapping_mul(0x9E3779B97F4A7C15)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[test]
+#[ignore]
+fn bench_cluster_outlier() {
+    // Pathology probe: a tight cluster of times plus one far outlier.
+    // A width sized from the global span dumps the cluster into one
+    // bucket; if pops scan it linearly the drain is O(n²), and if the
+    // spill rebalance re-derives the same width it thrashes.
+    let mut rng = Rng(7);
+    for &n in &[100usize, 1000] {
+        let iters = 200_000u64;
+        let mut q = EventQueue::new();
+        let mut now = 0.0f64;
+        for _ in 0..n {
+            q.push(SimTime::secs(now + 1.0 + rng.f64()), 0u64);
+        }
+        q.push(SimTime::secs(1.0e4), 0u64); // far outlier parks in overflow
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            let (t, _) = q.pop().unwrap();
+            now = t.as_secs();
+            // Cluster stays tight: everything lands within 1s of now.
+            q.push(SimTime::secs(now + 1.0 + rng.f64()), i);
+        }
+        let dt = t0.elapsed();
+        println!(
+            "cluster n={n}+outlier: {:.1} ns/op",
+            dt.as_nanos() as f64 / iters as f64
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn bench_hold_model() {
+    // Classic hold model: steady-state queue of N, pop-then-push with
+    // exponential-ish advance — the sim's actual access pattern.
+    for &n in &[32usize, 100, 1000] {
+        let mut q = EventQueue::new();
+        let mut rng = Rng(42);
+        let mut now = 0.0;
+        for _ in 0..n {
+            q.push(SimTime::secs(now + rng.f64() * 300.0), 0u64);
+        }
+        let iters = 1_000_000u64;
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            let (t, _) = q.pop().unwrap();
+            now = t.as_secs();
+            q.push(SimTime::secs(now + rng.f64() * 300.0), i);
+        }
+        let dt = t0.elapsed();
+        println!(
+            "hold n={n}: {:.1} ns/op ({} ops)",
+            dt.as_nanos() as f64 / iters as f64,
+            iters
+        );
+    }
+}
