@@ -19,6 +19,8 @@
 //! * [`whatif`] — §5.3.1's case studies: Q1 (10 Gbps FaaS↔IaaS, GPU
 //!   Lambda pricing) and Q2 (hot data).
 
+#![forbid(unsafe_code)]
+
 pub mod constants;
 pub mod estimator;
 pub mod model;

@@ -1,0 +1,58 @@
+//! Per-crate lint configuration.
+//!
+//! The configuration is code, not a config file: the set of
+//! determinism-critical crates changes at the same cadence as the crates
+//! themselves, and a table here shows up in review next to the code it
+//! governs.
+
+use crate::lints::LintOpts;
+use crate::schema::Emitter;
+
+/// Lint options for a workspace crate, keyed by package name
+/// (`lml-<dir>` for `crates/<dir>`, `lambdaml` for the root `src/`).
+pub fn crate_opts(package: &str) -> LintOpts {
+    LintOpts {
+        // Only the simulation crates carry the byte-stable-artifact
+        // contract; a HashMap in the data-prep or linalg layers cannot leak
+        // iteration order into sweep JSON.
+        hash_collections: matches!(package, "lml-sim" | "lml-fleet"),
+        // Wall clocks are banned everywhere except the bench harness,
+        // whose whole job is measuring wall time.
+        wall_clock: package != "lml-bench",
+        float_eq: true,
+        static_mut: true,
+    }
+}
+
+/// Files allowed to read wall clocks despite their crate's ban.
+/// `observe.rs` hosts the `ThroughputProbe` self-profiler: its `Instant`
+/// reads feed the probe's own report, never simulation state — the
+/// separation the probe's docs promise is exactly what this allowlist
+/// pins down.
+pub const WALL_CLOCK_ALLOWED_FILES: [&str; 1] = ["crates/fleet/src/observe.rs"];
+
+/// The hand-rolled JSON emitters whose field sets are schema-locked.
+/// `fleet/src/json.rs` is the generic writer — it emits no fields of its
+/// own, so the locks cover the two files that call it with literal keys.
+pub const EMITTERS: [Emitter; 2] = [
+    Emitter {
+        name: "metrics",
+        file: "crates/fleet/src/metrics.rs",
+        key_helpers: &[],
+    },
+    Emitter {
+        name: "observe",
+        file: "crates/fleet/src/observe.rs",
+        key_helpers: &["opt_f64"],
+    },
+];
+
+/// Workspace-relative path of the panic-surface ratchet baseline.
+pub const PANIC_BUDGET_PATH: &str = "crates/analyze/panic_budget.toml";
+
+/// Workspace-relative directory holding the `<name>.lock` schema locks.
+pub const SCHEMAS_DIR: &str = "schemas";
+
+/// Workspace-relative path of the human-readable schema documentation the
+/// drift report checks against.
+pub const SCHEMA_DOCS_PATH: &str = "docs/SCHEMAS.md";

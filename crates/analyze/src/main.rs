@@ -1,0 +1,92 @@
+//! `lml-analyze` — the workspace static-analysis driver.
+//!
+//! ```text
+//! lml-analyze --check            # gating: exit 1 on any contract violation
+//! lml-analyze --report           # same output, always exit 0 (advisory)
+//! lml-analyze --write-baseline   # regenerate panic_budget.toml + schemas/*.lock
+//! lml-analyze --root <path>      # analyze a different workspace root
+//! ```
+//!
+//! CI runs `--check` in the lint job; `--write-baseline` is how a PR that
+//! legitimately shrinks the panic surface or adds a schema field records
+//! the new baseline (the diff shows up in review).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The binary runs from anywhere inside the workspace (CI runs it from
+    // the root); walk up from CWD until a Cargo.toml with crates/ appears.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut mode = "--report".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" | "--report" | "--write-baseline" => mode = arg,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: lml-analyze [--check|--report|--write-baseline] [--root PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    if mode == "--write-baseline" {
+        return match lml_analyze::write_baseline(&root) {
+            Ok(written) => {
+                for line in written {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = match lml_analyze::run_check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    let gating = report.gating_count();
+    let advisory = report.findings.len() - gating;
+    println!(
+        "lml-analyze: {} files scanned, {gating} error(s), {advisory} note(s)",
+        report.files_scanned
+    );
+    if mode == "--check" && gating > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

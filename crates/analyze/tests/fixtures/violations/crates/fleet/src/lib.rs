@@ -1,0 +1,4 @@
+// Fixture crate root — clean on purpose; the violations live in sim/.
+
+mod metrics;
+mod observe;

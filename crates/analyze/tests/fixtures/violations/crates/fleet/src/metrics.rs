@@ -1,0 +1,10 @@
+// Fixture emitter: writes `schema` and `jobs`, but the committed lock also
+// lists `removed_field` — the schema-lock checker must flag the removal as
+// gating.
+
+fn to_json() -> String {
+    JsonObject::new()
+        .str("schema", "fixture/v1")
+        .u64("jobs", 3)
+        .finish()
+}

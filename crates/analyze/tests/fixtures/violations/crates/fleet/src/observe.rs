@@ -1,0 +1,6 @@
+// Fixture emitter: in sync with its lock — no schema findings expected
+// from this file.
+
+fn to_json() -> String {
+    JsonObject::new().f64("t", 1.5).finish()
+}

@@ -1,0 +1,40 @@
+//! The end-to-end self-run: the live workspace passes its own static
+//! analysis. This is the same check CI gates on
+//! (`cargo run -p lml-analyze --release -- --check`), wired into
+//! `cargo test` so a violation fails the build even before the lint job.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_passes_check() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root");
+    let report = lml_analyze::run_check(root).expect("workspace is readable");
+    let errors: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.gating)
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "the workspace must pass its own static analysis:\n{}",
+        errors.join("\n")
+    );
+    // Notes are allowed but currently zero; if this starts failing, either
+    // update docs/SCHEMAS.md / re-run --write-baseline, or relax this to
+    // gating-only after deciding the note is acceptable debt.
+    let notes: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        notes.is_empty(),
+        "advisory notes should be resolved, not accumulated:\n{}",
+        notes.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "sanity: the walker found the workspace ({} files)",
+        report.files_scanned
+    );
+}

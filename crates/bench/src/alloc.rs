@@ -14,6 +14,12 @@
 //! during the window are included, which is the honest view of what the
 //! sweep costs. Reallocations count as one allocation of the new size.
 
+// The crate denies `unsafe_code`; this module is the one sanctioned
+// exception. `GlobalAlloc` is an inherently-unsafe trait and every unsafe
+// block below only forwards to the `System` allocator, adding relaxed
+// atomic bookkeeping — no pointer arithmetic of our own.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 

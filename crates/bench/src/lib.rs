@@ -9,6 +9,10 @@
 //! the whole suite finishes in minutes; pass `--full` for the paper-scale
 //! worker counts.
 
+// `deny`, not `forbid`: the counting global allocator (src/alloc.rs) is the
+// one sanctioned `unsafe` block in the workspace and carries a scoped allow.
+#![deny(unsafe_code)]
+
 pub mod alloc;
 pub mod experiments;
 pub mod registry;

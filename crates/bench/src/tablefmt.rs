@@ -34,6 +34,8 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Format a float with sensible precision for reports.
 pub fn f(v: f64) -> String {
+    // Exact-zero is a display special case, not arithmetic.
+    // lml-analyze: allow(float-eq)
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 100.0 {

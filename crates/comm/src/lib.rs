@@ -14,6 +14,8 @@
 //!   checks, and the S-ASP asynchronous protocol (global model on storage,
 //!   stale reads; Figure 8).
 
+#![forbid(unsafe_code)]
+
 pub mod patterns;
 pub mod protocols;
 

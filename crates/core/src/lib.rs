@@ -19,6 +19,8 @@
 //! * [`fleet`] — the multi-tenant fleet simulator layered on top of the
 //!   single-job backends (re-export of `lml-fleet`).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod executor;

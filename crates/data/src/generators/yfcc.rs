@@ -63,6 +63,7 @@ pub fn generate_rows(rows: usize, seed: u64) -> Generated {
             // Post-ReLU-like activation magnitude (driven by the true
             // content; the stored label may be tag noise).
             let mut v = rng.normal().abs() * 0.5;
+            // Labels are exact ±1.0 sentinels. lml-analyze: allow(float-eq)
             if true_y == 1.0 && signal[j] {
                 v += SHIFT * rng.uniform();
             }

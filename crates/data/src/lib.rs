@@ -18,6 +18,8 @@
 //! * [`partition`] — contiguous range partitioning across workers.
 //! * [`transform`] — min-max normalization, shuffling, train/valid split.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod generators;
 pub mod libsvm;

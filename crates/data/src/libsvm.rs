@@ -111,6 +111,7 @@ pub fn write(data: &Dataset) -> String {
         match data.row(r) {
             crate::dataset::Row::Dense(x) => {
                 for (j, &v) in x.iter().enumerate() {
+                    // Sparse format omits exact zeros. lml-analyze: allow(float-eq)
                     if v != 0.0 {
                         let _ = write!(out, " {}:{v}", j + 1);
                     }

@@ -16,6 +16,8 @@
 //! [`startup`] (cold-start model), [`lifetime`] (15-minute rollover logic),
 //! [`invoke`] (hierarchical starter→worker triggering).
 
+#![forbid(unsafe_code)]
+
 pub mod invoke;
 pub mod lambda;
 pub mod lifetime;

@@ -32,7 +32,7 @@ use crate::job::{JobClass, JobRequest, TenantId};
 use crate::stream::TraceSource;
 use crate::workload::Trace;
 use lml_sim::SimTime;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::BufRead;
 
 /// The job class a Google job id maps to (deterministic, same FNV-1a
@@ -61,7 +61,7 @@ pub struct GoogleSource<R> {
     line: String,
     /// Zero-based index of the next line to read.
     lineno: usize,
-    seen_jobs: HashSet<u64>,
+    seen_jobs: BTreeSet<u64>,
     tenants: BTreeMap<String, TenantId>,
     next_tenant: TenantId,
     last_submit: SimTime,
@@ -74,7 +74,7 @@ impl<R: BufRead> GoogleSource<R> {
             reader,
             line: String::new(),
             lineno: 0,
-            seen_jobs: HashSet::new(),
+            seen_jobs: BTreeSet::new(),
             tenants: BTreeMap::new(),
             next_tenant: 0,
             last_submit: SimTime::ZERO,

@@ -74,6 +74,8 @@
 //!   (byte-stable `lml-fleet/trace/v1` JSON + Chrome trace-event export),
 //!   and a [`ThroughputProbe`] self-profiler.
 
+#![forbid(unsafe_code)]
+
 pub mod azure;
 pub mod estimate;
 pub mod google;

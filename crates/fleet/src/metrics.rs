@@ -375,6 +375,8 @@ impl FleetMetrics {
     /// Mean sustained throughput over the makespan, completed jobs/second
     /// (rejected jobs never ran, so they don't count as served work).
     pub fn throughput(&self) -> f64 {
+        // Exact-zero guard against dividing by an empty makespan.
+        // lml-analyze: allow(float-eq)
         if self.makespan.as_secs() == 0.0 {
             0.0
         } else {
@@ -800,6 +802,8 @@ pub fn jain_index(allocations: &[f64]) -> f64 {
     }
     let sum: f64 = allocations.iter().sum();
     let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    // Exact-zero guard: all-zero allocations are perfectly fair.
+    // lml-analyze: allow(float-eq)
     if sum_sq == 0.0 {
         return 1.0;
     }

@@ -347,6 +347,8 @@ impl IaasPool {
 
     /// Busy fraction of all billed instance-seconds.
     pub fn utilization(&self) -> f64 {
+        // Exact-zero guard against dividing by zero billed seconds.
+        // lml-analyze: allow(float-eq)
         if self.instance_seconds == 0.0 {
             0.0
         } else {

@@ -694,6 +694,7 @@ impl<'a> Fleet<'a> {
     /// last boundary.
     fn finish_rollups(&mut self) {
         let Some(r) = &mut self.rollup else { return };
+        // An untouched rollup holds an exact-zero sum. lml-analyze: allow(float-eq)
         if r.submitted + r.completed + r.rejected == 0 && r.cost.as_usd() == 0.0 {
             return;
         }
@@ -2430,8 +2431,14 @@ mod tests {
         // Deferred jobs belong to the capped tenant and waited at least
         // until a window boundary.
         let rows = deferred.per_tenant();
-        let t0 = rows.iter().find(|t| t.tenant == 0).unwrap();
-        let t1 = rows.iter().find(|t| t.tenant == 1).unwrap();
+        let t0 = rows
+            .iter()
+            .find(|t| t.tenant == 0)
+            .expect("tenant 0 has a per-tenant row");
+        let t1 = rows
+            .iter()
+            .find(|t| t.tenant == 1)
+            .expect("tenant 1 has a per-tenant row");
         assert_eq!(t0.deferred, deferred.deferred_jobs);
         assert_eq!(t1.deferred, 0, "the uncapped tenant never waits");
         for r in deferred.records.iter().filter(|r| r.deferred) {
@@ -2757,7 +2764,7 @@ mod tests {
         };
         let baseline = simulate(&trace, &cfg, &mut CostAware::new(), 29).to_json();
         let streamed = replay(InMemorySource::new(&trace), &cfg, &mut CostAware::new(), 29)
-            .unwrap()
+            .expect("in-memory replay cannot fail")
             .to_json();
         assert_eq!(streamed, baseline, "in-memory source");
         let text = trace.to_text();
@@ -2767,7 +2774,7 @@ mod tests {
             &mut CostAware::new(),
             29,
         )
-        .unwrap()
+        .expect("text replay parses its own to_text output")
         .to_json();
         assert_eq!(from_text, baseline, "text source");
         // Generator-backed source vs its materialized twin (generated
@@ -2781,7 +2788,7 @@ mod tests {
                 31,
             )
         };
-        let gen_trace = collect(gen()).unwrap();
+        let gen_trace = collect(gen()).expect("generator source yields valid arrivals");
         let gen_baseline = simulate(
             &gen_trace,
             &FleetConfig::default(),
@@ -2795,7 +2802,7 @@ mod tests {
             &mut DeadlineAware::new(),
             31,
         )
-        .unwrap()
+        .expect("generator replay cannot fail")
         .to_json();
         assert_eq!(gen_streamed, gen_baseline, "generator source");
     }
@@ -2812,7 +2819,7 @@ mod tests {
             11,
             &mut NullObserver,
         )
-        .unwrap();
+        .expect("in-memory replay_stats cannot fail");
         assert_eq!(s.jobs, 300);
         assert_eq!(s.completed + s.rejected, 300);
         assert_eq!(s.rejected as usize, m.rejected_jobs);
@@ -2841,7 +2848,7 @@ mod tests {
             7,
             &mut coll,
         )
-        .unwrap();
+        .expect("rollup-observed replay cannot fail");
         assert_eq!(m.to_json(), baseline, "rollup observer is passive");
         let stats = coll.replay_stats.expect("replay stats delivered");
         assert_eq!(stats.arrivals_streamed, 200);

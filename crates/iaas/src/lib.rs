@@ -16,6 +16,8 @@
 //! * [`systems`] — IaaS system profiles: PyTorch vs Angel (Hadoop-stack
 //!   start-up, HDFS loading and slower kernels; Figure 10).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod fabric;
 pub mod instances;

@@ -12,6 +12,8 @@
 //! * [`matrix`] — row-major [`matrix::Matrix`] used for dense feature blocks
 //!   and MLP weight layers.
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod matrix;
 pub mod sparse;

@@ -18,6 +18,8 @@
 //!   FLOP counts for the system model while training a real MLP for the
 //!   statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod kmeans;
 pub mod linear;
 pub mod mlp;

@@ -61,6 +61,7 @@ impl Objective for LogisticRegression {
         let mut loss = 0.0;
         for &r in rows {
             let y = data.label(r);
+            // Labels are exact ±1.0 sentinels. lml-analyze: allow(float-eq)
             debug_assert!(y == 1.0 || y == -1.0, "LR expects ±1 labels");
             let z = y * data.row(r).dot(&self.w);
             loss += log1p_exp_neg(z);
@@ -147,6 +148,7 @@ impl Objective for LinearSvm {
         let mut loss = 0.0;
         for &r in rows {
             let y = data.label(r);
+            // Labels are exact ±1.0 sentinels. lml-analyze: allow(float-eq)
             debug_assert!(y == 1.0 || y == -1.0, "SVM expects ±1 labels");
             let margin = 1.0 - y * data.row(r).dot(&self.w);
             if margin > 0.0 {

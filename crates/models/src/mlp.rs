@@ -171,6 +171,7 @@ impl Objective for Mlp {
                 // dW += delta ⊗ prev ; db += delta (scaled by 1/n)
                 for o in 0..n_out {
                     let d = delta[o] * inv_n;
+                    // Skip-zero sparsity fast path (exact). lml-analyze: allow(float-eq)
                     if d != 0.0 {
                         let row = &mut w_block[o * n_in..(o + 1) * n_in];
                         for i in 0..n_in {
@@ -185,6 +186,7 @@ impl Objective for Mlp {
                     let mut new_delta = vec![0.0; n_in];
                     for o in 0..n_out {
                         let d = delta[o];
+                        // Skip-zero sparsity fast path (exact). lml-analyze: allow(float-eq)
                         if d != 0.0 {
                             let row = &w[o * n_in..(o + 1) * n_in];
                             for i in 0..n_in {

@@ -15,6 +15,8 @@
 //!   algorithm turns the aggregate back into a model update.
 //! * [`stopping`] — loss-threshold stopping and loss-curve recording.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod schedule;
 pub mod sgd;

@@ -347,9 +347,9 @@ mod tests {
         q.push(SimTime::secs(3.0), "c");
         q.push(SimTime::secs(1.0), "a");
         q.push(SimTime::secs(2.0), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "a");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "b");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "c");
         assert!(q.pop().is_none());
     }
 
@@ -393,11 +393,11 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::secs(10.0), "late");
         q.push(SimTime::secs(1.0), "early");
-        let (t, p) = q.pop().unwrap();
+        let (t, p) = q.pop().expect("queue is non-empty");
         assert_eq!((t, p), (SimTime::secs(1.0), "early"));
         q.push(SimTime::secs(5.0), "mid");
-        assert_eq!(q.pop().unwrap().1, "mid");
-        assert_eq!(q.pop().unwrap().1, "late");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "mid");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "late");
     }
 
     #[test]
@@ -410,8 +410,8 @@ mod tests {
         q.pop();
         q.pop();
         q.push(SimTime::secs(0.5), 777);
-        assert_eq!(q.pop().unwrap().1, 777);
-        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().expect("queue is non-empty").1, 777);
+        assert_eq!(q.pop().expect("queue is non-empty").1, 2);
     }
 
     #[test]
@@ -421,9 +421,9 @@ mod tests {
         q.push(SimTime::secs(1.0e9), "far");
         q.push(SimTime::secs(2.0), "near");
         q.push(SimTime::secs(5.0e8), "mid");
-        assert_eq!(q.pop().unwrap().1, "near");
-        assert_eq!(q.pop().unwrap().1, "mid");
-        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "near");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "mid");
+        assert_eq!(q.pop().expect("queue is non-empty").1, "far");
     }
 
     #[test]
@@ -577,7 +577,7 @@ mod tests {
             q.push(SimTime::secs(7.0), i);
         }
         for i in 0..3_000u32 {
-            assert_eq!(q.pop().unwrap().1, i);
+            assert_eq!(q.pop().expect("queue is non-empty").1, i);
         }
         assert!(q.is_empty());
     }

@@ -16,6 +16,8 @@
 //! * [`events`] — a tiny event queue for asynchronous-protocol simulation.
 //! * [`stats`] — summary statistics used by the calibration harness.
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
 pub mod events;
 pub mod link;

@@ -75,6 +75,7 @@ impl Sum for Cost {
 
 impl fmt::Display for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Exact-zero is a display special case. lml-analyze: allow(float-eq)
         if self.0.abs() < 0.01 && self.0 != 0.0 {
             write!(f, "${:.4}", self.0)
         } else {

@@ -22,6 +22,8 @@
 //!   write/read time+dollar costing through a service profile (the fleet
 //!   simulator's spot recovery prices checkpoints through the S3 profile).
 
+#![forbid(unsafe_code)]
+
 pub mod blob;
 pub mod channel;
 pub mod checkpoint;

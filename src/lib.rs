@@ -46,6 +46,8 @@
 //! | [`analytic`] | lml-analytic | the §5.3 analytical model and what-ifs |
 //! | [`fleet`] | lml-fleet | multi-tenant fleet simulator: arrivals, warm pools, scheduling |
 
+#![forbid(unsafe_code)]
+
 pub use lml_analytic as analytic;
 pub use lml_comm as comm;
 pub use lml_core as core;
